@@ -1,0 +1,60 @@
+//! Baseline benchmarks: COMP/AVG linkage, k-means and the spectral
+//! embedding (the methods PAR-TDBHT is compared against in Figure 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfg_baselines::{hac, kmeans, spectral_embedding, KMeansConfig, Linkage, SpectralConfig};
+use pfg_bench::{BenchDataset, SuiteConfig};
+use pfg_data::ucr_catalogue;
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let spec = ucr_catalogue()
+        .into_iter()
+        .find(|s| s.name == "CBF")
+        .expect("catalogue entry");
+    let data = BenchDataset::prepare(
+        &spec,
+        &SuiteConfig {
+            scale: 0.3,
+            ..SuiteConfig::default()
+        },
+    );
+    let k = data.num_classes;
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("complete_linkage", |b| {
+        b.iter(|| black_box(hac(&data.dissimilarity, Linkage::Complete)))
+    });
+    group.bench_function("average_linkage", |b| {
+        b.iter(|| black_box(hac(&data.dissimilarity, Linkage::Average)))
+    });
+    group.bench_function("kmeans", |b| {
+        b.iter(|| {
+            black_box(kmeans(
+                &data.series,
+                &KMeansConfig {
+                    k,
+                    seed: 1,
+                    ..KMeansConfig::default()
+                },
+            ))
+        })
+    });
+    group.bench_function("spectral_embedding", |b| {
+        b.iter(|| {
+            black_box(spectral_embedding(
+                &data.series,
+                &SpectralConfig {
+                    neighbors: 20,
+                    dimensions: k,
+                    iterations: 60,
+                    seed: 1,
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

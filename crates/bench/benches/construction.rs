@@ -1,0 +1,56 @@
+//! Filtered-graph construction benchmarks: sequential TMFG, prefix-batched
+//! TMFG (the Figure 4/5 "tmfg" stage), and the PMFG baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfg_bench::{BenchDataset, SuiteConfig};
+use pfg_core::{pmfg, tmfg, TmfgConfig};
+use pfg_data::ucr_catalogue;
+use std::hint::black_box;
+
+fn dataset(scale: f64) -> BenchDataset {
+    let spec = ucr_catalogue()
+        .into_iter()
+        .find(|s| s.name == "ECG5000")
+        .expect("catalogue entry");
+    BenchDataset::prepare(
+        &spec,
+        &SuiteConfig {
+            scale,
+            ..SuiteConfig::default()
+        },
+    )
+}
+
+fn bench_tmfg(c: &mut Criterion) {
+    let data = dataset(0.05);
+    let mut group = c.benchmark_group("tmfg");
+    group.sample_size(10);
+    for prefix in [1usize, 10, 50, 200] {
+        group.bench_with_input(
+            BenchmarkId::new("prefix", prefix),
+            &prefix,
+            |b, &prefix| {
+                b.iter(|| {
+                    black_box(
+                        tmfg(&data.correlation, TmfgConfig::with_prefix(prefix)).expect("valid"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pmfg(c: &mut Criterion) {
+    // PMFG runs a planarity test per candidate edge; keep it small.
+    let data = dataset(0.02);
+    let mut group = c.benchmark_group("pmfg");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("n", data.len()), |b| {
+        b.iter(|| black_box(pmfg(&data.correlation).expect("valid")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tmfg, bench_pmfg);
+criterion_main!(benches);

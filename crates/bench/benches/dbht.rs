@@ -1,0 +1,51 @@
+//! DBHT stage benchmarks: all-pairs shortest paths (the dominant cost),
+//! direction + assignment, and the hierarchy step (Figure 5's categories).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfg_bench::{BenchDataset, SuiteConfig};
+use pfg_core::dbht::{assignment, direction, hierarchy};
+use pfg_core::{tmfg, TmfgConfig};
+use pfg_data::ucr_catalogue;
+use pfg_graph::{all_pairs_shortest_paths, WeightedGraph};
+use std::hint::black_box;
+
+fn bench_dbht_stages(c: &mut Criterion) {
+    let spec = ucr_catalogue()
+        .into_iter()
+        .find(|s| s.name == "ECG5000")
+        .expect("catalogue entry");
+    let data = BenchDataset::prepare(
+        &spec,
+        &SuiteConfig {
+            scale: 0.05,
+            ..SuiteConfig::default()
+        },
+    );
+    let t = tmfg(&data.correlation, TmfgConfig::with_prefix(10)).expect("valid");
+    let mut dgraph = WeightedGraph::new(data.len());
+    for (u, v, _) in t.graph.edges() {
+        dgraph.add_edge(u, v, data.dissimilarity.get(u, v));
+    }
+    let spd = all_pairs_shortest_paths(&dgraph);
+    let directed = direction::direct_tmfg_bubble_tree(&t.bubble_tree, &t.graph);
+    let assigned = assignment::assign_vertices(&t.graph, &directed, &spd);
+
+    let mut group = c.benchmark_group("dbht");
+    group.sample_size(10);
+    group.bench_function("apsp", |b| {
+        b.iter(|| black_box(all_pairs_shortest_paths(&dgraph)))
+    });
+    group.bench_function("direction", |b| {
+        b.iter(|| black_box(direction::direct_tmfg_bubble_tree(&t.bubble_tree, &t.graph)))
+    });
+    group.bench_function("assignment", |b| {
+        b.iter(|| black_box(assignment::assign_vertices(&t.graph, &directed, &spd)))
+    });
+    group.bench_function("hierarchy", |b| {
+        b.iter(|| black_box(hierarchy::build_hierarchy(&directed, &assigned, &spd)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbht_stages);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! End-to-end PAR-TDBHT benchmarks across prefix sizes and data-set sizes
+//! (the headline Figure 3/4 comparison at criterion scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfg_bench::{BenchDataset, SuiteConfig};
+use pfg_core::ParTdbht;
+use pfg_data::ucr_catalogue;
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let spec = ucr_catalogue()
+        .into_iter()
+        .find(|s| s.name == "ECG5000")
+        .expect("catalogue entry");
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for &scale in &[0.03, 0.06] {
+        let data = BenchDataset::prepare(
+            &spec,
+            &SuiteConfig {
+                scale,
+                ..SuiteConfig::default()
+            },
+        );
+        for prefix in [1usize, 10] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("prefix_{prefix}"), data.len()),
+                &data,
+                |b, data| {
+                    b.iter(|| {
+                        black_box(
+                            ParTdbht::with_prefix(prefix)
+                                .run(&data.correlation, &data.dissimilarity)
+                                .expect("valid"),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Figure 4: self-relative speedup of PAR-TDBHT vs. thread count, for
+//! different prefix sizes, on the largest (Crop-like) data set.
+//!
+//! Usage: `cargo run --release -p pfg-bench --bin fig4_scalability [scale]`
+
+use pfg_bench::{parse_scale_from_args, BenchDataset, Record, SuiteConfig};
+use pfg_core::ParTdbht;
+use pfg_data::ucr_catalogue;
+use std::time::Instant;
+
+fn main() {
+    let config = parse_scale_from_args();
+    // The paper uses Crop (n = 19412); generate its scaled stand-in.
+    let spec = ucr_catalogue()
+        .into_iter()
+        .find(|s| s.name == "Crop")
+        .expect("Crop in catalogue");
+    let dataset = BenchDataset::prepare(
+        &spec,
+        &SuiteConfig {
+            scale: config.scale,
+            ..config
+        },
+    );
+    println!(
+        "# Figure 4: self-relative speedup on {} (n = {}, scale = {})",
+        dataset.name,
+        dataset.len(),
+        config.scale
+    );
+    let max_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut thread_counts = vec![1, 2, 4, 8, 12, 24, 36, 48];
+    thread_counts.retain(|&t| t <= max_threads);
+    if !thread_counts.contains(&max_threads) {
+        thread_counts.push(max_threads);
+    }
+    println!(
+        "{:>8} {:>8} {:>12} {:>10}",
+        "prefix", "threads", "time(s)", "speedup"
+    );
+    for prefix in [1usize, 2, 5, 10, 30, 50, 200] {
+        let mut single_thread_time = None;
+        for &threads in &thread_counts {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool");
+            let start = Instant::now();
+            let result = pool.install(|| {
+                ParTdbht::with_prefix(prefix)
+                    .run(&dataset.correlation, &dataset.dissimilarity)
+                    .expect("valid matrices")
+            });
+            let elapsed = start.elapsed();
+            drop(result);
+            let baseline = *single_thread_time.get_or_insert(elapsed.as_secs_f64());
+            let speedup = baseline / elapsed.as_secs_f64();
+            println!(
+                "{:>8} {:>8} {:>12.3} {:>10.2}",
+                prefix,
+                threads,
+                elapsed.as_secs_f64(),
+                speedup
+            );
+            Record {
+                experiment: "fig4".into(),
+                dataset: dataset.name.clone(),
+                method: format!("PAR-TDBHT-{prefix}"),
+                params: format!("threads={threads}"),
+                seconds: elapsed.as_secs_f64(),
+                ari: None,
+                value: Some(speedup),
+            }
+            .emit();
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 5: breakdown of PAR-TDBHT runtime across the tmfg / apsp /
+//! bubble-tree / hierarchy stages, per prefix size, on one thread and on
+//! all cores, on the ECG5000-like data set.
+//!
+//! Usage: `cargo run --release -p pfg-bench --bin fig5_breakdown [scale]`
+
+use pfg_bench::{parse_scale_from_args, BenchDataset, Record, SuiteConfig};
+use pfg_core::ParTdbht;
+use pfg_data::ucr_catalogue;
+
+fn run(threads: usize, dataset: &BenchDataset) {
+    println!("## {} thread(s)", threads);
+    println!(
+        "{:>8} {:>10} {:>10} {:>12} {:>11} {:>10}",
+        "prefix", "tmfg(s)", "apsp(s)", "bubble(s)", "hier(s)", "total(s)"
+    );
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    for prefix in [1usize, 2, 5, 10, 30, 50, 200] {
+        let result = pool.install(|| {
+            ParTdbht::with_prefix(prefix)
+                .run(&dataset.correlation, &dataset.dissimilarity)
+                .expect("valid matrices")
+        });
+        let t = result.timings;
+        println!(
+            "{:>8} {:>10.3} {:>10.3} {:>12.3} {:>11.3} {:>10.3}",
+            prefix,
+            t.tmfg.as_secs_f64(),
+            t.apsp.as_secs_f64(),
+            t.bubble_tree.as_secs_f64(),
+            t.hierarchy.as_secs_f64(),
+            t.total().as_secs_f64()
+        );
+        for (stage, secs) in [
+            ("tmfg", t.tmfg.as_secs_f64()),
+            ("apsp", t.apsp.as_secs_f64()),
+            ("bubble-tree", t.bubble_tree.as_secs_f64()),
+            ("hierarchy", t.hierarchy.as_secs_f64()),
+        ] {
+            Record {
+                experiment: "fig5".into(),
+                dataset: dataset.name.clone(),
+                method: format!("PAR-TDBHT-{prefix}"),
+                params: format!("threads={threads},stage={stage}"),
+                seconds: secs,
+                ari: None,
+                value: None,
+            }
+            .emit();
+        }
+    }
+}
+
+fn main() {
+    let config = parse_scale_from_args();
+    let spec = ucr_catalogue()
+        .into_iter()
+        .find(|s| s.name == "ECG5000")
+        .expect("ECG5000 in catalogue");
+    let dataset = BenchDataset::prepare(
+        &spec,
+        &SuiteConfig {
+            scale: config.scale,
+            ..config
+        },
+    );
+    println!(
+        "# Figure 5: runtime breakdown on {} (n = {}, scale = {})",
+        dataset.name,
+        dataset.len(),
+        config.scale
+    );
+    run(1, &dataset);
+    run(
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        &dataset,
+    );
+}

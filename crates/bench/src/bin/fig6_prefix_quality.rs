@@ -1,0 +1,36 @@
+//! Figure 6: clustering quality (ARI) of PAR-TDBHT for prefix sizes
+//! 1, 2, 5, 10, 30, 50 and 200 on every data set.
+//!
+//! Usage: `cargo run --release -p pfg-bench --bin fig6_prefix_quality [scale] [max_datasets]`
+
+use pfg_bench::{build_suite, parse_scale_from_args, run_method, Method, Record};
+
+fn main() {
+    let config = parse_scale_from_args();
+    let suite = build_suite(&config);
+    let prefixes = [1usize, 2, 5, 10, 30, 50, 200];
+    println!("# Figure 6: ARI per prefix size (scale = {})", config.scale);
+    print!("{:<28}", "dataset");
+    for p in prefixes {
+        print!(" {:>8}", format!("p={p}"));
+    }
+    println!();
+    for dataset in &suite {
+        print!("{:<28}", dataset.name);
+        for prefix in prefixes {
+            let output = run_method(Method::ParTdbht { prefix }, dataset);
+            print!(" {:>8.3}", output.ari);
+            Record {
+                experiment: "fig6".into(),
+                dataset: dataset.name.clone(),
+                method: format!("PAR-TDBHT-{prefix}"),
+                params: format!("n={}", dataset.len()),
+                seconds: output.elapsed.as_secs_f64(),
+                ari: Some(output.ari),
+                value: None,
+            }
+            .emit();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,48 @@
+//! Shared harness utilities for the experiment binaries that regenerate the
+//! paper's tables and figures (see DESIGN.md §4 for the experiment index).
+//!
+//! Each binary in `src/bin/` reproduces one table or figure; this library
+//! provides the pieces they share: building the UCR-like data-set suite at
+//! a configurable scale, running every clustering method under a common
+//! interface, timing, and tabular/JSON output.
+
+pub mod methods;
+pub mod suite;
+
+pub use methods::{run_method, Method, MethodOutput};
+pub use suite::{build_suite, parse_scale_from_args, BenchDataset, SuiteConfig};
+
+use std::time::Duration;
+
+/// Formats a duration in seconds with millisecond resolution.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// A serialisable experiment record dumped by the harnesses so results can
+/// be collected into EXPERIMENTS.md.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Record {
+    /// Experiment id (e.g. "fig6").
+    pub experiment: String,
+    /// Data-set name.
+    pub dataset: String,
+    /// Method name (e.g. "PAR-TDBHT-10").
+    pub method: String,
+    /// Free-form parameter description (e.g. "prefix=10").
+    pub params: String,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Adjusted Rand Index against ground truth, if measured.
+    pub ari: Option<f64>,
+    /// Additional metric value (e.g. edge-sum ratio or speedup).
+    pub value: Option<f64>,
+}
+
+impl Record {
+    /// Prints the record as a single JSON line (one record per line so the
+    /// output of every harness can be concatenated and grepped).
+    pub fn emit(&self) {
+        println!("{}", serde_json::to_string(self).expect("record serialises"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Vertex assignment to converging bubbles and bubbles (Algorithm 4,
+//! lines 2–23).
+//!
+//! The first level of clustering assigns every vertex to a *group*, i.e. a
+//! converging bubble: vertices inside a converging bubble pick the one with
+//! the strongest attachment χ, and the remaining vertices pick the reachable
+//! converging bubble with the smallest mean shortest-path distance to the
+//! vertices already assigned to it. The second level assigns every vertex
+//! to a bubble via the normalised attachment χ′.
+
+use pfg_primitives::PriorityCell;
+use rayon::prelude::*;
+
+use pfg_graph::{SymmetricMatrix, WeightedGraph};
+
+use crate::dbht::bubble_graph::DirectedBubbleGraph;
+
+/// Per-vertex group (converging bubble) and bubble assignments.
+#[derive(Debug, Clone)]
+pub struct VertexAssignment {
+    /// `group[v]` is the converging bubble id vertex `v` belongs to.
+    pub group: Vec<usize>,
+    /// `bubble[v]` is the bubble id vertex `v` is attached to.
+    pub bubble: Vec<usize>,
+    /// Sorted list of the distinct group ids actually used.
+    pub groups: Vec<usize>,
+}
+
+impl VertexAssignment {
+    /// The vertices assigned to group `g`, in increasing order.
+    pub fn vertices_in_group(&self, g: usize) -> Vec<usize> {
+        (0..self.group.len()).filter(|&v| self.group[v] == g).collect()
+    }
+
+    /// The number of distinct groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// Attachment of vertex `v` to bubble `b` (the χ score): the total weight
+/// of the filtered-graph edges between `v` and the bubble's vertices,
+/// normalised by the bubble's edge count `3(|b| − 2)`. For TMFG bubbles
+/// (4-cliques) the denominator is always 6, matching the simplification in
+/// §V-C.
+pub fn chi(graph: &WeightedGraph, bubble: &[usize], v: usize) -> f64 {
+    let attach: f64 = bubble
+        .iter()
+        .filter(|&&u| u != v)
+        .map(|&u| graph.edge_weight(u, v).unwrap_or(0.0))
+        .sum();
+    let edges_in_bubble = 3.0 * (bubble.len() as f64 - 2.0);
+    attach / edges_in_bubble
+}
+
+/// Normalised attachment χ′ of vertex `v` to bubble `b`: the attachment
+/// weight divided by twice the bubble's internal edge weight (which equals
+/// the χ_total normaliser of Algorithm 4, lines 19–23).
+pub fn chi_prime(graph: &WeightedGraph, bubble: &[usize], v: usize) -> f64 {
+    let attach: f64 = bubble
+        .iter()
+        .filter(|&&u| u != v)
+        .map(|&u| graph.edge_weight(u, v).unwrap_or(0.0))
+        .sum();
+    let mut internal = 0.0;
+    for (i, &a) in bubble.iter().enumerate() {
+        for &b in &bubble[i + 1..] {
+            internal += graph.edge_weight(a, b).unwrap_or(0.0);
+        }
+    }
+    if internal <= 0.0 {
+        // Degenerate bubble with zero internal weight: fall back to the raw
+        // attachment so the argmax is still meaningful.
+        attach
+    } else {
+        attach / (2.0 * internal)
+    }
+}
+
+/// Runs the vertex-assignment phase of the DBHT.
+///
+/// `shortest_paths` must be the all-pairs shortest-path matrix of the
+/// filtered graph under the dissimilarity edge weights.
+pub fn assign_vertices(
+    graph: &WeightedGraph,
+    bubble_graph: &DirectedBubbleGraph,
+    shortest_paths: &SymmetricMatrix,
+) -> VertexAssignment {
+    let n = graph.num_vertices();
+    let converging = bubble_graph.converging_bubbles();
+    let reachable = bubble_graph.reachable_converging_bubbles();
+    let membership = bubble_graph.bubbles_of_vertices();
+
+    // ---- First level: assign vertices inside converging bubbles by χ -----
+    let group_cells: Vec<PriorityCell> = (0..n).map(|_| PriorityCell::neg_infinity()).collect();
+    converging.par_iter().for_each(|&b| {
+        let bubble = bubble_graph.bubble(b);
+        for &v in bubble {
+            let score = chi(graph, bubble, v);
+            group_cells[v].write_max(score, b);
+        }
+    });
+
+    // V0_b: vertices already assigned to each converging bubble.
+    let mut assigned_to: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    let mut group = vec![usize::MAX; n];
+    for v in 0..n {
+        let (score, b) = group_cells[v].load();
+        if score > f64::NEG_INFINITY && b != usize::MAX {
+            group[v] = b;
+            assigned_to.entry(b).or_default().push(v);
+        }
+    }
+
+    // ---- First level: remaining vertices by mean shortest-path distance --
+    let unassigned: Vec<usize> = (0..n).filter(|&v| group[v] == usize::MAX).collect();
+    let assignments: Vec<(usize, usize)> = unassigned
+        .par_iter()
+        .map(|&v| {
+            // Converging bubbles reachable from any bubble containing v.
+            let mut candidates: Vec<usize> = membership[v]
+                .iter()
+                .flat_map(|&b| reachable[b].iter().copied())
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            let mut best: Option<(f64, usize)> = None;
+            for &b in &candidates {
+                let basis: &[usize] = match assigned_to.get(&b) {
+                    Some(v0) if !v0.is_empty() => v0,
+                    // Fallback: no vertex claimed this converging bubble via
+                    // χ (possible only in degenerate weightings); measure the
+                    // distance to the bubble's own vertices instead.
+                    _ => bubble_graph.bubble(b),
+                };
+                let mean: f64 = basis
+                    .iter()
+                    .map(|&u| shortest_paths.get(u, v))
+                    .sum::<f64>()
+                    / basis.len() as f64;
+                match best {
+                    None => best = Some((mean, b)),
+                    Some((bm, bb)) if mean < bm || (mean == bm && b < bb) => {
+                        best = Some((mean, b))
+                    }
+                    _ => {}
+                }
+            }
+            let chosen = best
+                .map(|(_, b)| b)
+                .or_else(|| converging.first().copied())
+                .expect("at least one converging bubble exists");
+            (v, chosen)
+        })
+        .collect();
+    for (v, b) in assignments {
+        group[v] = b;
+    }
+
+    // ---- Second level: assign every vertex to a bubble by χ′ -------------
+    let bubble_cells: Vec<PriorityCell> = (0..n).map(|_| PriorityCell::neg_infinity()).collect();
+    (0..bubble_graph.num_bubbles()).into_par_iter().for_each(|b| {
+        let bubble = bubble_graph.bubble(b);
+        for &v in bubble {
+            let score = chi_prime(graph, bubble, v);
+            bubble_cells[v].write_max(score, b);
+        }
+    });
+    let bubble: Vec<usize> = (0..n)
+        .map(|v| {
+            let (_, b) = bubble_cells[v].load();
+            debug_assert_ne!(b, usize::MAX, "every vertex lies in at least one bubble");
+            b
+        })
+        .collect();
+
+    let mut groups: Vec<usize> = group.clone();
+    groups.sort_unstable();
+    groups.dedup();
+
+    VertexAssignment {
+        group,
+        bubble,
+        groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbht::direction::direct_tmfg_bubble_tree;
+    use crate::tmfg::{tmfg, TmfgConfig};
+    use pfg_graph::all_pairs_shortest_paths;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn two_block_matrix(n: usize) -> SymmetricMatrix {
+        // Two equally sized blocks with strong intra-block similarity.
+        SymmetricMatrix::from_fn(n, |i, j| {
+            if i == j {
+                1.0
+            } else if (i < n / 2) == (j < n / 2) {
+                0.85
+            } else {
+                0.1
+            }
+        })
+    }
+
+    fn dissimilarity_of(s: &SymmetricMatrix) -> SymmetricMatrix {
+        s.map(|p| (2.0 * (1.0 - p)).sqrt())
+    }
+
+    fn run_assignment(s: &SymmetricMatrix, prefix: usize) -> (VertexAssignment, DirectedBubbleGraph) {
+        let t = tmfg(s, TmfgConfig::with_prefix(prefix)).unwrap();
+        let directed = direct_tmfg_bubble_tree(&t.bubble_tree, &t.graph);
+        let d = dissimilarity_of(s);
+        let mut dgraph = WeightedGraph::new(s.n());
+        for (u, v, _) in t.graph.edges() {
+            dgraph.add_edge(u, v, d.get(u, v));
+        }
+        let spd = all_pairs_shortest_paths(&dgraph);
+        let assignment = assign_vertices(&t.graph, &directed, &spd);
+        (assignment, directed)
+    }
+
+    #[test]
+    fn chi_on_a_clique_bubble() {
+        let mut g = WeightedGraph::new(4);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                g.add_edge(u, v, 0.5);
+            }
+        }
+        let bubble = vec![0, 1, 2, 3];
+        // Each vertex touches three edges of weight 0.5; bubble has 6 edges.
+        assert!((chi(&g, &bubble, 0) - 1.5 / 6.0).abs() < 1e-12);
+        // χ' normalises by twice the internal weight (2 * 3.0 = 6.0).
+        assert!((chi_prime(&g, &bubble, 0) - 1.5 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_for_external_vertex_counts_only_existing_edges() {
+        let mut g = WeightedGraph::new(5);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                g.add_edge(u, v, 1.0);
+            }
+        }
+        g.add_edge(4, 0, 0.9);
+        let bubble = vec![0, 1, 2, 3];
+        assert!((chi(&g, &bubble, 4) - 0.9 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_vertex_gets_group_and_bubble() {
+        let s = two_block_matrix(16);
+        let (assignment, directed) = run_assignment(&s, 5);
+        assert_eq!(assignment.group.len(), 16);
+        assert_eq!(assignment.bubble.len(), 16);
+        let converging = directed.converging_bubbles();
+        for v in 0..16 {
+            assert!(converging.contains(&assignment.group[v]), "vertex {v}");
+            assert!(assignment.bubble[v] < directed.num_bubbles());
+            // The assigned bubble must actually contain the vertex.
+            assert!(directed.bubble(assignment.bubble[v]).contains(&v));
+        }
+        assert!(!assignment.groups.is_empty());
+    }
+
+    #[test]
+    fn group_assignment_respects_reachability() {
+        let n = 20;
+        let s = two_block_matrix(n);
+        let (assignment, directed) = run_assignment(&s, 1);
+        let membership = directed.bubbles_of_vertices();
+        let reachable = directed.reachable_converging_bubbles();
+        for v in 0..n {
+            // The group of v must be a converging bubble reachable from at
+            // least one bubble containing v (Algorithm 4: v ⇀ b).
+            let ok = membership[v]
+                .iter()
+                .any(|&b| reachable[b].contains(&assignment.group[v]));
+            assert!(ok, "vertex {v} assigned to unreachable group {}", assignment.group[v]);
+        }
+        // Every group is non-empty and vertices_in_group partitions 0..n.
+        let total: usize = assignment
+            .groups
+            .iter()
+            .map(|&g| assignment.vertices_in_group(g).len())
+            .sum();
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let s = SymmetricMatrix::from_fn(18, |i, j| {
+            if i == j {
+                1.0
+            } else {
+                rng.gen_range(0.01..1.0)
+            }
+        });
+        let (a1, _) = run_assignment(&s, 4);
+        let (a2, _) = run_assignment(&s, 4);
+        assert_eq!(a1.group, a2.group);
+        assert_eq!(a1.bubble, a2.bubble);
+    }
+}

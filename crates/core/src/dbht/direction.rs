@@ -1,0 +1,279 @@
+//! Directing the bubble-tree edges (§V-B, Algorithm 3).
+//!
+//! Every bubble-tree edge corresponds to a separating triangle; it is
+//! directed towards the side (interior or exterior) to which the triangle
+//! is more strongly connected by edge weight.
+//!
+//! * [`direct_tmfg_bubble_tree`] is the paper's Θ(n)-work algorithm: thanks
+//!   to the invariant that all descendants of a bubble-tree edge lie inside
+//!   its separating triangle, the interior weights (`IN_VAL`) can be
+//!   accumulated bottom-up with one constant-work step per bubble, and the
+//!   exterior weights (`OUT_VAL`) follow from the corners' weighted degrees.
+//! * [`direct_generic`] is the original quadratic method (one BFS per
+//!   separating triangle), used for arbitrary maximal planar graphs (PMFG)
+//!   and as a reference implementation to validate the fast path.
+
+use pfg_graph::{bfs_reachable_within, WeightedGraph};
+use pfg_primitives::AtomicF64;
+use rayon::prelude::*;
+
+use crate::bubble_tree::BubbleTree;
+use crate::dbht::bubble_graph::{DirectedBubbleEdge, DirectedBubbleGraph};
+use crate::dbht::planar_bubbles::PlanarBubbleDecomposition;
+use crate::face::Triangle;
+
+/// Directs the edges of a TMFG-built bubble tree (Algorithm 3) and returns
+/// the resulting directed bubble graph.
+///
+/// Work is Θ(n): each bubble contributes a constant number of operations.
+/// Bubbles are processed level by level from the deepest to the root, with
+/// the bubbles of each level handled in parallel; contributions to a shared
+/// parent are combined with `WRITE_ADD`s.
+pub fn direct_tmfg_bubble_tree(tree: &BubbleTree, graph: &WeightedGraph) -> DirectedBubbleGraph {
+    let nb = tree.len();
+    let weight = |u: usize, v: usize| graph.edge_weight(u, v).unwrap_or(0.0);
+
+    // Depth of every bubble (root = 0) and a bottom-up level ordering.
+    let mut depth = vec![usize::MAX; nb];
+    let mut order: Vec<usize> = Vec::with_capacity(nb);
+    let mut queue = std::collections::VecDeque::new();
+    depth[tree.root()] = 0;
+    queue.push_back(tree.root());
+    while let Some(b) = queue.pop_front() {
+        order.push(b);
+        for &c in &tree.bubble(b).children {
+            depth[c] = depth[b] + 1;
+            queue.push_back(c);
+        }
+    }
+    let max_depth = order.iter().map(|&b| depth[b]).max().unwrap_or(0);
+    let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_depth + 1];
+    for &b in &order {
+        levels[depth[b]].push(b);
+    }
+
+    // accum[b][i] accumulates the interior weight arriving at corner i of
+    // b's separating triangle from b's children (the WRITE_ADDs of
+    // Algorithm 3, lines 9–11).
+    let accum: Vec<[AtomicF64; 3]> = (0..nb)
+        .map(|_| [AtomicF64::new(0.0), AtomicF64::new(0.0), AtomicF64::new(0.0)])
+        .collect();
+
+    // directed_to_child[b] = true iff the edge (parent(b), b) is directed
+    // from the parent towards b (IN_VAL > OUT_VAL).
+    let directed_to_child: Vec<AtomicF64> = (0..nb).map(|_| AtomicF64::new(0.0)).collect();
+
+    for level in levels.iter().rev() {
+        level.par_iter().for_each(|&b| {
+            let bubble = tree.bubble(b);
+            let triangle = match bubble.parent_triangle {
+                Some(t) => t,
+                None => return, // root: nothing to direct (Algorithm 3, lines 19–22)
+            };
+            let corners = triangle.corners();
+            let apex = triangle.apex_in(bubble.vertices);
+            // Lines 5–6: initialise r with the edges from the corners to the
+            // apex, then add the children's contributions.
+            let mut r = [0.0_f64; 3];
+            for i in 0..3 {
+                r[i] = weight(corners[i], apex) + accum[b][i].load();
+            }
+            let in_val: f64 = r.iter().sum();
+            // Line 13: OUT_VAL from the corners' weighted degrees.
+            let triangle_weight = weight(corners[0], corners[1])
+                + weight(corners[0], corners[2])
+                + weight(corners[1], corners[2]);
+            let degree_sum: f64 = corners.iter().map(|&c| graph.weighted_degree(c)).sum();
+            let out_val = degree_sum - in_val - 2.0 * triangle_weight;
+            directed_to_child[b].store(if in_val > out_val { 1.0 } else { 0.0 });
+            // Line 18: propagate r to the parent (only corners that are also
+            // corners of the parent's separating triangle).
+            let parent = bubble.parent.expect("non-root bubble has a parent");
+            if let Some(parent_triangle) = tree.bubble(parent).parent_triangle {
+                let parent_corners = parent_triangle.corners();
+                for i in 0..3 {
+                    if let Some(j) = parent_corners.iter().position(|&c| c == corners[i]) {
+                        accum[parent][j].write_add(r[i]);
+                    }
+                }
+            }
+        });
+    }
+
+    // Assemble the directed bubble graph with the same bubble ids.
+    let bubbles: Vec<Vec<usize>> = (0..nb).map(|b| tree.bubble(b).vertices.to_vec()).collect();
+    let mut edges = Vec::with_capacity(nb.saturating_sub(1));
+    for b in 0..nb {
+        let bubble = tree.bubble(b);
+        if let (Some(parent), Some(triangle)) = (bubble.parent, bubble.parent_triangle) {
+            let to_child = directed_to_child[b].load() > 0.5;
+            let (from, to) = if to_child { (parent, b) } else { (b, parent) };
+            edges.push(DirectedBubbleEdge { from, to, triangle });
+        }
+    }
+    DirectedBubbleGraph::new(bubbles, edges, tree.num_vertices())
+}
+
+/// Directs the edges of an arbitrary bubble decomposition using the original
+/// quadratic method: for every separating triangle, a BFS over the graph
+/// minus the triangle determines its two sides, and the side with the larger
+/// total connection weight receives the edge.
+pub fn direct_generic(
+    decomposition: &PlanarBubbleDecomposition,
+    graph: &WeightedGraph,
+) -> DirectedBubbleGraph {
+    let n = graph.num_vertices();
+    let edges: Vec<DirectedBubbleEdge> = decomposition
+        .edges
+        .par_iter()
+        .map(|&(a, b, triangle)| {
+            let side_a = triangle_side_weight(graph, triangle, &decomposition.bubbles[a], n);
+            let side_b = triangle_side_weight(graph, triangle, &decomposition.bubbles[b], n);
+            // Directed towards the side with the stronger connection. On a
+            // tie the edge points from `a` to `b`, matching the fast path's
+            // `IN_VAL > OUT_VAL` strictness when `a` is the interior bubble.
+            let (from, to) = if side_a > side_b { (b, a) } else { (a, b) };
+            DirectedBubbleEdge { from, to, triangle }
+        })
+        .collect();
+    DirectedBubbleGraph::new(decomposition.bubbles.clone(), edges, n)
+}
+
+/// Total weight of edges from the corners of `triangle` to the side of the
+/// graph (with the triangle removed) that contains `bubble`'s non-corner
+/// vertices.
+fn triangle_side_weight(
+    graph: &WeightedGraph,
+    triangle: Triangle,
+    bubble: &[usize],
+    n: usize,
+) -> f64 {
+    let corners = triangle.corners();
+    let mut allowed = vec![true; n];
+    for c in corners {
+        allowed[c] = false;
+    }
+    // Seed vertices: the bubble's vertices that are not triangle corners.
+    let seeds: Vec<usize> = bubble
+        .iter()
+        .copied()
+        .filter(|v| !triangle.contains(*v))
+        .collect();
+    let mut side = vec![false; n];
+    for &seed in &seeds {
+        if !side[seed] {
+            let reached = bfs_reachable_within(graph, seed, &allowed);
+            for (v, r) in reached.into_iter().enumerate() {
+                side[v] = side[v] || r;
+            }
+        }
+    }
+    corners
+        .iter()
+        .map(|&c| {
+            graph
+                .neighbors(c)
+                .iter()
+                .filter(|&&(u, _)| side[u])
+                .map(|&(_, w)| w)
+                .sum::<f64>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbht::planar_bubbles::decompose;
+    use crate::tmfg::{tmfg, TmfgConfig};
+    use pfg_graph::SymmetricMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A core–periphery similarity matrix in the spirit of Figure 2: four
+    /// strongly inter-connected vertices {0,1,2,3} and three weakly attached
+    /// peripheral vertices {4,5,6}. The strongly connected core must end up
+    /// as the (unique) converging bubble, exactly as in the paper's example,
+    /// because every separating triangle is far more strongly connected to
+    /// the core side than to the peripheral side.
+    fn core_periphery_matrix() -> SymmetricMatrix {
+        SymmetricMatrix::from_fn(7, |i, j| {
+            if i == j {
+                1.0
+            } else if i < 4 && j < 4 {
+                0.9
+            } else {
+                0.1
+            }
+        })
+    }
+
+    fn random_similarity(n: usize, seed: u64) -> SymmetricMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SymmetricMatrix::from_fn(n, |i, j| if i == j { 1.0 } else { rng.gen_range(0.01..1.0) })
+    }
+
+    #[test]
+    fn strongly_connected_core_becomes_converging_bubble() {
+        let s = core_periphery_matrix();
+        let t = tmfg(&s, TmfgConfig::with_prefix(1)).unwrap();
+        let directed = direct_tmfg_bubble_tree(&t.bubble_tree, &t.graph);
+        directed.check_invariants().unwrap();
+        let converging = directed.converging_bubbles();
+        assert_eq!(converging.len(), 1);
+        // The converging bubble is the strongly connected core {0,1,2,3}.
+        assert_eq!(directed.bubble(converging[0]), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fast_direction_matches_quadratic_reference_on_random_tmfgs() {
+        for seed in 0..5 {
+            let n = 24;
+            let s = random_similarity(n, seed);
+            let t = tmfg(&s, TmfgConfig::with_prefix(3)).unwrap();
+            let fast = direct_tmfg_bubble_tree(&t.bubble_tree, &t.graph);
+            // Build a decomposition view with the same bubble ids so edge
+            // directions can be compared one-to-one.
+            let decomposition = PlanarBubbleDecomposition {
+                bubbles: (0..t.bubble_tree.len())
+                    .map(|b| t.bubble_tree.bubble(b).vertices.to_vec())
+                    .collect(),
+                edges: (0..t.bubble_tree.len())
+                    .filter_map(|b| {
+                        let bubble = t.bubble_tree.bubble(b);
+                        bubble
+                            .parent
+                            .map(|p| (b, p, bubble.parent_triangle.expect("non-root")))
+                    })
+                    .collect(),
+            };
+            let reference = direct_generic(&decomposition, &t.graph);
+            let canon = |g: &DirectedBubbleGraph| {
+                let mut e: Vec<(usize, usize)> =
+                    g.edges().iter().map(|e| (e.from, e.to)).collect();
+                e.sort_unstable();
+                e
+            };
+            assert_eq!(canon(&fast), canon(&reference), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn direction_count_is_one_per_non_root_bubble() {
+        let s = random_similarity(40, 9);
+        let t = tmfg(&s, TmfgConfig::with_prefix(10)).unwrap();
+        let directed = direct_tmfg_bubble_tree(&t.bubble_tree, &t.graph);
+        assert_eq!(directed.edges().len(), t.bubble_tree.len() - 1);
+        assert!(!directed.converging_bubbles().is_empty());
+    }
+
+    #[test]
+    fn pmfg_decomposition_directions_are_consistent() {
+        let s = random_similarity(16, 2);
+        let p = crate::pmfg::pmfg(&s).unwrap();
+        let decomposition = decompose(&p.graph);
+        let directed = direct_generic(&decomposition, &p.graph);
+        directed.check_invariants().unwrap();
+        assert_eq!(directed.edges().len(), decomposition.bubbles.len() - 1);
+    }
+}

@@ -1,0 +1,461 @@
+//! The three-level complete-linkage hierarchy and dendrogram heights
+//! (Algorithm 4, lines 24–33, and §V-D).
+//!
+//! The hierarchy is built bottom-up:
+//!
+//! 1. **intra-bubble** — within every *subgroup* (vertices sharing both a
+//!    group, i.e. converging bubble, and a bubble assignment) the vertices
+//!    are merged by complete linkage under the shortest-path distance;
+//! 2. **inter-bubble** — within every group the subgroup dendrograms are
+//!    merged by complete linkage;
+//! 3. **inter-group** — the group dendrograms are merged by complete
+//!    linkage.
+//!
+//! Heights are then re-assigned: inter-group nodes receive the number of
+//! converging bubbles among their descendants, and the nodes inside each
+//! group receive the ladder `[1/(n_b−1), …, 1/2, 1]` in the prescribed
+//! order (intra-bubble nodes first, sorted by bubble then merge distance,
+//! followed by inter-bubble nodes sorted by merge distance), so that every
+//! single-group subtree tops out at height 1.
+
+use pfg_graph::SymmetricMatrix;
+
+use crate::dbht::assignment::VertexAssignment;
+use crate::dbht::bubble_graph::DirectedBubbleGraph;
+use crate::dendrogram::Dendrogram;
+
+/// Which of the three levels created an internal dendrogram node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MergeKind {
+    /// Merge inside a subgroup (same group and bubble assignment).
+    IntraBubble { group: usize, bubble: usize },
+    /// Merge of subgroup dendrograms inside one group.
+    InterBubble { group: usize },
+    /// Merge of group dendrograms.
+    InterGroup,
+}
+
+/// Book-keeping for one internal node created during hierarchy
+/// construction.
+#[derive(Debug, Clone, Copy)]
+struct MergeRecord {
+    node: usize,
+    kind: MergeKind,
+    distance: f64,
+}
+
+/// A cluster being agglomerated: a dendrogram node plus its member
+/// vertices.
+#[derive(Debug, Clone)]
+struct Cluster {
+    node: usize,
+    members: Vec<usize>,
+}
+
+/// Builds the DBHT dendrogram from the vertex assignment.
+pub fn build_hierarchy(
+    bubble_graph: &DirectedBubbleGraph,
+    assignment: &VertexAssignment,
+    shortest_paths: &SymmetricMatrix,
+) -> Dendrogram {
+    let n = bubble_graph.num_vertices();
+    let mut dendrogram = Dendrogram::new(n);
+    let mut records: Vec<MergeRecord> = Vec::new();
+
+    if n == 0 {
+        return dendrogram;
+    }
+
+    // ---- Level 1 + 2: per-group construction ------------------------------
+    let mut group_roots: Vec<Cluster> = Vec::new();
+    let mut group_sizes: Vec<(usize, usize)> = Vec::new(); // (group id, n_b)
+    for &g in &assignment.groups {
+        let members = assignment.vertices_in_group(g);
+        group_sizes.push((g, members.len()));
+        // Partition the group into subgroups by bubble assignment.
+        let mut bubbles: Vec<usize> = members.iter().map(|&v| assignment.bubble[v]).collect();
+        bubbles.sort_unstable();
+        bubbles.dedup();
+        let mut subgroup_roots: Vec<Cluster> = Vec::new();
+        for &b in &bubbles {
+            let subgroup: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&v| assignment.bubble[v] == b)
+                .collect();
+            let leaves: Vec<Cluster> = subgroup
+                .iter()
+                .map(|&v| Cluster {
+                    node: v,
+                    members: vec![v],
+                })
+                .collect();
+            let root = complete_linkage(
+                &mut dendrogram,
+                leaves,
+                shortest_paths,
+                |node, distance, records: &mut Vec<MergeRecord>| {
+                    records.push(MergeRecord {
+                        node,
+                        kind: MergeKind::IntraBubble { group: g, bubble: b },
+                        distance,
+                    });
+                },
+                &mut records,
+            );
+            subgroup_roots.push(root);
+        }
+        // Inter-bubble merges within the group.
+        let group_root = complete_linkage(
+            &mut dendrogram,
+            subgroup_roots,
+            shortest_paths,
+            |node, distance, records: &mut Vec<MergeRecord>| {
+                records.push(MergeRecord {
+                    node,
+                    kind: MergeKind::InterBubble { group: g },
+                    distance,
+                });
+            },
+            &mut records,
+        );
+        group_roots.push(group_root);
+    }
+
+    // ---- Level 3: inter-group merges ---------------------------------------
+    let group_root_nodes: Vec<usize> = group_roots.iter().map(|c| c.node).collect();
+    let _final_root = complete_linkage(
+        &mut dendrogram,
+        group_roots,
+        shortest_paths,
+        |node, distance, records: &mut Vec<MergeRecord>| {
+            records.push(MergeRecord {
+                node,
+                kind: MergeKind::InterGroup,
+                distance,
+            });
+        },
+        &mut records,
+    );
+
+    assign_heights(&mut dendrogram, &records, &group_sizes, &group_root_nodes);
+    dendrogram
+}
+
+/// Complete-linkage agglomeration of the given clusters using the
+/// nearest-neighbor-chain algorithm (O(m²) for m clusters). Returns the
+/// final cluster; `on_merge` is invoked for every internal node created.
+fn complete_linkage(
+    dendrogram: &mut Dendrogram,
+    clusters: Vec<Cluster>,
+    shortest_paths: &SymmetricMatrix,
+    on_merge: impl Fn(usize, f64, &mut Vec<MergeRecord>),
+    records: &mut Vec<MergeRecord>,
+) -> Cluster {
+    let m = clusters.len();
+    assert!(m > 0, "complete linkage needs at least one cluster");
+    if m == 1 {
+        return clusters.into_iter().next().expect("single cluster");
+    }
+    // Initial complete-linkage distances: max pairwise shortest-path
+    // distance between member sets.
+    let mut dist = vec![f64::INFINITY; m * m];
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let d = max_cross_distance(&clusters[i].members, &clusters[j].members, shortest_paths);
+            dist[i * m + j] = d;
+            dist[j * m + i] = d;
+        }
+    }
+    let mut slots: Vec<Option<Cluster>> = clusters.into_iter().map(Some).collect();
+    let mut active: Vec<bool> = vec![true; m];
+    let mut remaining = m;
+    let mut chain: Vec<usize> = Vec::new();
+
+    while remaining > 1 {
+        if chain.is_empty() {
+            let start = active
+                .iter()
+                .position(|&a| a)
+                .expect("at least two active clusters remain");
+            chain.push(start);
+        }
+        let current = *chain.last().expect("chain non-empty");
+        // Nearest active neighbor of `current`; prefer the previous chain
+        // element on ties so reciprocal pairs are detected and the chain
+        // terminates.
+        let prev = if chain.len() >= 2 {
+            Some(chain[chain.len() - 2])
+        } else {
+            None
+        };
+        let mut nearest = usize::MAX;
+        let mut nearest_dist = f64::INFINITY;
+        for j in 0..m {
+            if !active[j] || j == current {
+                continue;
+            }
+            let d = dist[current * m + j];
+            let better = d < nearest_dist
+                || (d == nearest_dist && Some(j) == prev)
+                || (d == nearest_dist && nearest != prev.unwrap_or(usize::MAX) && j < nearest);
+            if better {
+                nearest = j;
+                nearest_dist = d;
+            }
+        }
+        if Some(nearest) == prev {
+            // Reciprocal nearest neighbors: merge them.
+            chain.pop();
+            chain.pop();
+            let a = current.min(nearest);
+            let b = current.max(nearest);
+            let cluster_a = slots[a].take().expect("active cluster present");
+            let cluster_b = slots[b].take().expect("active cluster present");
+            let node = dendrogram.merge(cluster_a.node, cluster_b.node, nearest_dist);
+            on_merge(node, nearest_dist, records);
+            let mut members = cluster_a.members;
+            members.extend(cluster_b.members);
+            members.sort_unstable();
+            // Lance–Williams update for complete linkage: max of the two.
+            for j in 0..m {
+                if active[j] && j != a && j != b {
+                    let d = dist[a * m + j].max(dist[b * m + j]);
+                    dist[a * m + j] = d;
+                    dist[j * m + a] = d;
+                }
+            }
+            active[b] = false;
+            slots[a] = Some(Cluster { node, members });
+            remaining -= 1;
+        } else {
+            chain.push(nearest);
+        }
+    }
+    let winner = active.iter().position(|&a| a).expect("one cluster remains");
+    slots[winner].take().expect("final cluster present")
+}
+
+/// Maximum shortest-path distance between two member sets (the
+/// complete-linkage cluster distance of §V-D).
+fn max_cross_distance(a: &[usize], b: &[usize], shortest_paths: &SymmetricMatrix) -> f64 {
+    let mut max = 0.0_f64;
+    for &u in a {
+        for &v in b {
+            max = max.max(shortest_paths.get(u, v));
+        }
+    }
+    max
+}
+
+/// Re-assigns the dendrogram heights per §V-D.
+fn assign_heights(
+    dendrogram: &mut Dendrogram,
+    records: &[MergeRecord],
+    group_sizes: &[(usize, usize)],
+    group_root_nodes: &[usize],
+) {
+    use std::collections::HashMap;
+
+    // Inter-group nodes: height = number of converging bubbles (groups)
+    // among the node's descendants. Group roots count 1; leaves of the
+    // inter-group level are exactly the group roots.
+    let group_root_set: std::collections::HashSet<usize> = group_root_nodes.iter().copied().collect();
+    let mut groups_below: HashMap<usize, usize> = HashMap::new();
+    let count_groups = |dendrogram: &Dendrogram,
+                            node: usize,
+                            groups_below: &mut HashMap<usize, usize>| {
+        // Children of inter-group nodes are either group roots or earlier
+        // inter-group nodes (already counted, since records are in creation
+        // order).
+        let n = dendrogram.node(node);
+        let child_count = |c: usize, groups_below: &HashMap<usize, usize>| {
+            if group_root_set.contains(&c) {
+                1
+            } else {
+                *groups_below.get(&c).unwrap_or(&1)
+            }
+        };
+        let total = child_count(n.left.expect("internal"), groups_below)
+            + child_count(n.right.expect("internal"), groups_below);
+        groups_below.insert(node, total);
+        total
+    };
+    for record in records {
+        if record.kind == MergeKind::InterGroup {
+            let total = count_groups(dendrogram, record.node, &mut groups_below);
+            dendrogram.set_height(record.node, total as f64);
+        }
+    }
+
+    // Per-group ladder heights.
+    let sizes: HashMap<usize, usize> = group_sizes.iter().copied().collect();
+    let mut per_group: HashMap<usize, Vec<&MergeRecord>> = HashMap::new();
+    for record in records {
+        match record.kind {
+            MergeKind::IntraBubble { group, .. } | MergeKind::InterBubble { group } => {
+                per_group.entry(group).or_default().push(record);
+            }
+            MergeKind::InterGroup => {}
+        }
+    }
+    for (group, mut group_records) in per_group {
+        let nb = sizes[&group];
+        debug_assert_eq!(group_records.len(), nb.saturating_sub(1));
+        // Sort: intra-bubble nodes first (by bubble assignment, then merge
+        // distance, then creation order), then inter-bubble nodes (by merge
+        // distance, then creation order).
+        group_records.sort_by(|a, b| {
+            let key = |r: &MergeRecord| match r.kind {
+                MergeKind::IntraBubble { bubble, .. } => (0_usize, bubble),
+                MergeKind::InterBubble { .. } => (1, 0),
+                MergeKind::InterGroup => unreachable!("filtered above"),
+            };
+            key(a)
+                .cmp(&key(b))
+                .then(a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.node.cmp(&b.node))
+        });
+        // Ladder 1/(nb−1), 1/(nb−2), …, 1/2, 1.
+        for (i, record) in group_records.iter().enumerate() {
+            let denom = (nb - 1 - i) as f64;
+            dendrogram.set_height(record.node, 1.0 / denom);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbht::dbht_for_tmfg;
+    use crate::tmfg::{tmfg, TmfgConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blocks_matrix(n: usize, blocks: usize, strong: f64, weak: f64, seed: u64) -> SymmetricMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SymmetricMatrix::from_fn(n, |i, j| {
+            if i == j {
+                1.0
+            } else if (i % blocks) == (j % blocks) {
+                strong + rng.gen_range(-0.02..0.02)
+            } else {
+                weak + rng.gen_range(-0.02..0.02)
+            }
+        })
+    }
+
+    fn dissimilarity_of(s: &SymmetricMatrix) -> SymmetricMatrix {
+        s.map(|p| (2.0 * (1.0 - p)).sqrt())
+    }
+
+    #[test]
+    fn dendrogram_covers_all_vertices_and_is_monotone() {
+        for prefix in [1, 5] {
+            let n = 24;
+            let s = blocks_matrix(n, 3, 0.8, 0.1, 7);
+            let t = tmfg(&s, TmfgConfig::with_prefix(prefix)).unwrap();
+            let d = dissimilarity_of(&s);
+            let result = dbht_for_tmfg(&t, &d).unwrap();
+            let dend = &result.dendrogram;
+            assert_eq!(dend.num_leaves(), n);
+            let root = dend.root().expect("fully merged dendrogram");
+            assert_eq!(dend.node(root).size, n);
+            assert!(dend.is_monotone(), "DBHT heights must be monotone");
+        }
+    }
+
+    #[test]
+    fn root_height_equals_number_of_groups() {
+        let n = 30;
+        let s = blocks_matrix(n, 3, 0.85, 0.05, 3);
+        let t = tmfg(&s, TmfgConfig::with_prefix(2)).unwrap();
+        let d = dissimilarity_of(&s);
+        let result = dbht_for_tmfg(&t, &d).unwrap();
+        let dend = &result.dendrogram;
+        let root = dend.root().unwrap();
+        let groups = result.assignment.num_groups();
+        if groups > 1 {
+            assert!((dend.node(root).height - groups as f64).abs() < 1e-9);
+        } else {
+            // A single group tops out at height 1.
+            assert!((dend.node(root).height - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn three_blocks_recovered_by_cutting() {
+        let n = 30;
+        let s = blocks_matrix(n, 3, 0.85, 0.05, 11);
+        let t = tmfg(&s, TmfgConfig::with_prefix(1)).unwrap();
+        let d = dissimilarity_of(&s);
+        let result = dbht_for_tmfg(&t, &d).unwrap();
+        let labels = result.dendrogram.cut_to_clusters(3);
+        // Measure agreement with ground truth (i % 3) via pair counting:
+        // the clustering should be far better than random.
+        let mut agree = 0_usize;
+        let mut total = 0_usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let same_truth = i % 3 == j % 3;
+                let same_label = labels[i] == labels[j];
+                if same_truth == same_label {
+                    agree += 1;
+                }
+                total += 1;
+            }
+        }
+        let agreement = agree as f64 / total as f64;
+        assert!(agreement > 0.8, "agreement {agreement}");
+    }
+
+    #[test]
+    fn group_subtrees_top_out_at_height_one() {
+        let n = 26;
+        let s = blocks_matrix(n, 2, 0.8, 0.1, 5);
+        let t = tmfg(&s, TmfgConfig::with_prefix(3)).unwrap();
+        let d = dissimilarity_of(&s);
+        let result = dbht_for_tmfg(&t, &d).unwrap();
+        let dend = &result.dendrogram;
+        // Every internal node height is either in (0, 1] (within-group) or
+        // an integer ≥ 2 (inter-group).
+        for id in dend.internal_nodes() {
+            let h = dend.node(id).height;
+            let within = h > 0.0 && h <= 1.0 + 1e-12;
+            let inter = h >= 2.0 - 1e-12 && (h - h.round()).abs() < 1e-9;
+            assert!(within || inter, "unexpected height {h}");
+        }
+    }
+
+    #[test]
+    fn complete_linkage_chain_merges_closest_first() {
+        // Four singleton clusters on a line: 0-1 close, 2-3 close, the two
+        // pairs far apart.
+        let spd = SymmetricMatrix::from_fn(4, |i, j| {
+            let pos: [f64; 4] = [0.0, 1.0, 10.0, 11.0];
+            (pos[i] - pos[j]).abs()
+        });
+        let mut dend = Dendrogram::new(4);
+        let clusters: Vec<Cluster> = (0..4)
+            .map(|v| Cluster {
+                node: v,
+                members: vec![v],
+            })
+            .collect();
+        let mut records = Vec::new();
+        let root = complete_linkage(&mut dend, clusters, &spd, |node, dist, recs| {
+            recs.push(MergeRecord {
+                node,
+                kind: MergeKind::InterGroup,
+                distance: dist,
+            });
+        }, &mut records);
+        assert_eq!(root.members, vec![0, 1, 2, 3]);
+        assert_eq!(records.len(), 3);
+        // First two merges are the tight pairs at distance 1.
+        assert!((records[0].distance - 1.0).abs() < 1e-12);
+        assert!((records[1].distance - 1.0).abs() < 1e-12);
+        // Final merge is the complete-linkage distance 11.
+        assert!((records[2].distance - 11.0).abs() < 1e-12);
+    }
+}

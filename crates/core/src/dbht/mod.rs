@@ -1,0 +1,126 @@
+//! The Directed Bubble Hierarchy Tree (DBHT) clustering algorithm (§V).
+//!
+//! Given a filtered graph (a TMFG or any maximal planar graph such as a
+//! PMFG), its bubble tree, and a dissimilarity measure, the DBHT produces a
+//! dendrogram in four steps:
+//!
+//! 1. [`direction`] — direct the bubble-tree edges by comparing, for each
+//!    separating triangle, the weight of its connections to the interior
+//!    and exterior (Algorithm 3; Θ(n) work for TMFG-built bubble trees,
+//!    with a quadratic reference implementation for arbitrary planar
+//!    graphs);
+//! 2. [`assignment`] — assign every vertex to a converging bubble (its
+//!    *group*) and to a bubble (Algorithm 4, lines 1–23);
+//! 3. [`hierarchy`] — build the three-level complete-linkage hierarchy
+//!    (intra-bubble, inter-bubble, inter-group; Algorithm 4, lines 24–33);
+//! 4. height re-assignment (§V-D) so that all single-group subtrees end at
+//!    the same height.
+//!
+//! [`planar_bubbles`] implements the original (quadratic) bubble
+//! decomposition of an arbitrary maximal planar graph, which is what the
+//! PMFG+DBHT baseline uses and what the TMFG fast path is validated
+//! against.
+
+pub mod assignment;
+pub mod bubble_graph;
+pub mod direction;
+pub mod hierarchy;
+pub mod planar_bubbles;
+
+use pfg_graph::{all_pairs_shortest_paths, SymmetricMatrix, WeightedGraph};
+
+use crate::dendrogram::Dendrogram;
+use crate::error::CoreError;
+use crate::tmfg::Tmfg;
+
+pub use assignment::VertexAssignment;
+pub use bubble_graph::DirectedBubbleGraph;
+
+/// The full DBHT output.
+#[derive(Debug, Clone)]
+pub struct Dbht {
+    /// The dendrogram with DBHT height assignment.
+    pub dendrogram: Dendrogram,
+    /// The directed bubble graph used to produce it.
+    pub bubble_graph: DirectedBubbleGraph,
+    /// The per-vertex group (converging bubble) and bubble assignments.
+    pub assignment: VertexAssignment,
+}
+
+impl Dbht {
+    /// Number of converging bubbles (= number of first-level groups).
+    pub fn num_groups(&self) -> usize {
+        self.bubble_graph.converging_bubbles().len()
+    }
+}
+
+/// Runs the DBHT on a TMFG, using the fast Θ(n)-work direction computation
+/// enabled by the bubble tree built during TMFG construction.
+///
+/// `dissimilarity` supplies the edge lengths for the shortest-path
+/// computations (the paper uses `d = sqrt(2 (1 − ρ))` for correlations).
+///
+/// # Errors
+/// Returns [`CoreError::DimensionMismatch`] if the dissimilarity matrix
+/// size differs from the graph's vertex count.
+pub fn dbht_for_tmfg(tmfg: &Tmfg, dissimilarity: &SymmetricMatrix) -> Result<Dbht, CoreError> {
+    if dissimilarity.n() != tmfg.graph.num_vertices() {
+        return Err(CoreError::DimensionMismatch {
+            similarity: tmfg.graph.num_vertices(),
+            dissimilarity: dissimilarity.n(),
+        });
+    }
+    let bubble_graph = direction::direct_tmfg_bubble_tree(&tmfg.bubble_tree, &tmfg.graph);
+    run_dbht(&tmfg.graph, bubble_graph, dissimilarity)
+}
+
+/// Runs the DBHT on an arbitrary maximal planar graph (e.g. a PMFG), using
+/// the original quadratic bubble decomposition and direction computation.
+///
+/// # Errors
+/// Returns [`CoreError::DimensionMismatch`] if the dissimilarity matrix
+/// size differs from the graph's vertex count, and
+/// [`CoreError::TooFewVertices`] if the graph has fewer than 4 vertices.
+pub fn dbht_for_planar_graph(
+    graph: &WeightedGraph,
+    dissimilarity: &SymmetricMatrix,
+) -> Result<Dbht, CoreError> {
+    let n = graph.num_vertices();
+    if n < 4 {
+        return Err(CoreError::TooFewVertices { got: n });
+    }
+    if dissimilarity.n() != n {
+        return Err(CoreError::DimensionMismatch {
+            similarity: n,
+            dissimilarity: dissimilarity.n(),
+        });
+    }
+    let decomposition = planar_bubbles::decompose(graph);
+    let bubble_graph = direction::direct_generic(&decomposition, graph);
+    run_dbht(graph, bubble_graph, dissimilarity)
+}
+
+/// Shared tail of the DBHT: all-pairs shortest paths over the
+/// dissimilarity-weighted filtered graph, vertex assignment, hierarchy and
+/// height re-assignment.
+fn run_dbht(
+    graph: &WeightedGraph,
+    bubble_graph: DirectedBubbleGraph,
+    dissimilarity: &SymmetricMatrix,
+) -> Result<Dbht, CoreError> {
+    // Build the dissimilarity-weighted copy of the filtered graph and run
+    // parallel APSP on it (Algorithm 4, line 7).
+    let mut dgraph = WeightedGraph::new(graph.num_vertices());
+    for (u, v, _) in graph.edges() {
+        dgraph.add_edge(u, v, dissimilarity.get(u, v));
+    }
+    let shortest_paths = all_pairs_shortest_paths(&dgraph);
+
+    let assignment = assignment::assign_vertices(graph, &bubble_graph, &shortest_paths);
+    let dendrogram = hierarchy::build_hierarchy(&bubble_graph, &assignment, &shortest_paths);
+    Ok(Dbht {
+        dendrogram,
+        bubble_graph,
+        assignment,
+    })
+}

@@ -1,0 +1,338 @@
+//! Dendrograms: the hierarchical-clustering output of the DBHT and the
+//! agglomerative baselines.
+//!
+//! A dendrogram over `n` objects has `n` leaves (ids `0..n`) and up to
+//! `n − 1` binary internal nodes (ids `n..2n−1` in creation order). Each
+//! internal node records the merge height; cutting the dendrogram so that
+//! `k` clusters remain reproduces the evaluation protocol of §VII (cut such
+//! that the number of clusters equals the number of ground-truth classes).
+
+use pfg_graph::UnionFind;
+
+/// A node of a [`Dendrogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DendroNode {
+    /// Left child id (`None` for leaves).
+    pub left: Option<usize>,
+    /// Right child id (`None` for leaves).
+    pub right: Option<usize>,
+    /// Merge height; `0.0` for leaves.
+    pub height: f64,
+    /// Number of leaves in this subtree.
+    pub size: usize,
+    /// Parent node id, if already merged into one.
+    pub parent: Option<usize>,
+}
+
+impl DendroNode {
+    /// Returns `true` if this node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.left.is_none()
+    }
+}
+
+/// A binary merge tree over `n` leaves.
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    nodes: Vec<DendroNode>,
+    num_leaves: usize,
+}
+
+impl Dendrogram {
+    /// Creates a dendrogram with `n` leaves and no merges yet.
+    pub fn new(num_leaves: usize) -> Self {
+        let nodes = (0..num_leaves)
+            .map(|_| DendroNode {
+                left: None,
+                right: None,
+                height: 0.0,
+                size: 1,
+                parent: None,
+            })
+            .collect();
+        Self { nodes, num_leaves }
+    }
+
+    /// Number of leaves.
+    #[inline]
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// Total number of nodes (leaves + internal).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the dendrogram has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node by id.
+    #[inline]
+    pub fn node(&self, id: usize) -> &DendroNode {
+        &self.nodes[id]
+    }
+
+    /// Ids of all internal (merge) nodes, in creation order.
+    pub fn internal_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        (self.num_leaves..self.nodes.len()).filter(move |&id| !self.nodes[id].is_leaf())
+    }
+
+    /// Merges the subtrees rooted at `a` and `b` at the given `height`,
+    /// returning the id of the new internal node.
+    ///
+    /// # Panics
+    /// Panics if either node already has a parent or if `a == b`.
+    pub fn merge(&mut self, a: usize, b: usize, height: f64) -> usize {
+        assert_ne!(a, b, "cannot merge a node with itself");
+        assert!(self.nodes[a].parent.is_none(), "node {a} already merged");
+        assert!(self.nodes[b].parent.is_none(), "node {b} already merged");
+        let id = self.nodes.len();
+        let size = self.nodes[a].size + self.nodes[b].size;
+        self.nodes.push(DendroNode {
+            left: Some(a),
+            right: Some(b),
+            height,
+            size,
+            parent: None,
+        });
+        self.nodes[a].parent = Some(id);
+        self.nodes[b].parent = Some(id);
+        id
+    }
+
+    /// Overrides the height of node `id` (used by the DBHT height
+    /// re-assignment step, §V-D).
+    pub fn set_height(&mut self, id: usize, height: f64) {
+        self.nodes[id].height = height;
+    }
+
+    /// The root node id, i.e. the unique node without a parent, provided the
+    /// dendrogram is fully merged. Returns `None` if more than one subtree
+    /// remains (or the dendrogram is empty).
+    pub fn root(&self) -> Option<usize> {
+        let mut roots = self.nodes.iter().enumerate().filter(|(_, n)| n.parent.is_none());
+        match (roots.next(), roots.next()) {
+            (Some((id, _)), None) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if every internal node's height is at least as large
+    /// as both of its children's heights (the standard dendrogram
+    /// monotonicity requirement discussed in §V-D).
+    pub fn is_monotone(&self) -> bool {
+        self.internal_nodes().all(|id| {
+            let node = &self.nodes[id];
+            let hl = self.nodes[node.left.expect("internal node")].height;
+            let hr = self.nodes[node.right.expect("internal node")].height;
+            node.height + 1e-12 >= hl && node.height + 1e-12 >= hr
+        })
+    }
+
+    /// Leaves contained in the subtree rooted at `id`.
+    pub fn leaves_of(&self, id: usize) -> Vec<usize> {
+        let mut leaves = Vec::new();
+        let mut stack = vec![id];
+        while let Some(x) = stack.pop() {
+            let node = &self.nodes[x];
+            if node.is_leaf() {
+                leaves.push(x);
+            } else {
+                stack.push(node.left.expect("internal"));
+                stack.push(node.right.expect("internal"));
+            }
+        }
+        leaves.sort_unstable();
+        leaves
+    }
+
+    /// Cuts the dendrogram so that exactly `k` clusters remain (or as many
+    /// as possible if fewer than `k` leaves / merges exist), returning a
+    /// cluster label in `0..k` for every leaf.
+    ///
+    /// The cut applies the `n − k` merges with the smallest heights (ties
+    /// broken by creation order, so children are always applied before their
+    /// parents when heights are equal), which for monotone dendrograms is
+    /// equivalent to removing the `k − 1` highest merges.
+    pub fn cut_to_clusters(&self, k: usize) -> Vec<usize> {
+        let n = self.num_leaves;
+        if n == 0 {
+            return Vec::new();
+        }
+        let k = k.max(1);
+        let mut internal: Vec<usize> = self.internal_nodes().collect();
+        internal.sort_by(|&a, &b| {
+            self.nodes[a]
+                .height
+                .partial_cmp(&self.nodes[b].height)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let merges_to_apply = internal.len().saturating_sub(k.saturating_sub(1));
+        let mut uf = UnionFind::new(self.nodes.len());
+        for &id in internal.iter().take(merges_to_apply) {
+            let node = &self.nodes[id];
+            uf.union(id, node.left.expect("internal"));
+            uf.union(id, node.right.expect("internal"));
+        }
+        // Any applied-parent chain links leaves transitively; unapplied
+        // merges leave their children in separate clusters.
+        let mut labels = vec![usize::MAX; n];
+        let mut next = 0;
+        let mut label_of_root = std::collections::HashMap::new();
+        for leaf in 0..n {
+            let root = uf.find(leaf);
+            let label = *label_of_root.entry(root).or_insert_with(|| {
+                let l = next;
+                next += 1;
+                l
+            });
+            labels[leaf] = label;
+        }
+        labels
+    }
+
+    /// Cuts the dendrogram at `height`: merges with height strictly greater
+    /// than `height` are ignored. Returns a label per leaf.
+    pub fn cut_at_height(&self, height: f64) -> Vec<usize> {
+        let n = self.num_leaves;
+        let mut uf = UnionFind::new(self.nodes.len());
+        for id in self.internal_nodes() {
+            let node = &self.nodes[id];
+            if node.height <= height {
+                uf.union(id, node.left.expect("internal"));
+                uf.union(id, node.right.expect("internal"));
+            }
+        }
+        let mut labels = vec![usize::MAX; n];
+        let mut next = 0;
+        let mut label_of_root = std::collections::HashMap::new();
+        for leaf in 0..n {
+            let root = uf.find(leaf);
+            let label = *label_of_root.entry(root).or_insert_with(|| {
+                let l = next;
+                next += 1;
+                l
+            });
+            labels[leaf] = label;
+        }
+        labels
+    }
+
+    /// Number of clusters produced by [`Dendrogram::cut_at_height`].
+    pub fn num_clusters_at_height(&self, height: f64) -> usize {
+        let labels = self.cut_at_height(height);
+        let mut distinct: Vec<usize> = labels;
+        distinct.sort_unstable();
+        distinct.dedup();
+        distinct.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the dendrogram ((0,1)@1, (2,3)@2)@4 over 4 leaves.
+    fn small_dendrogram() -> Dendrogram {
+        let mut d = Dendrogram::new(4);
+        let a = d.merge(0, 1, 1.0);
+        let b = d.merge(2, 3, 2.0);
+        d.merge(a, b, 4.0);
+        d
+    }
+
+    #[test]
+    fn merge_builds_binary_tree() {
+        let d = small_dendrogram();
+        assert_eq!(d.len(), 7);
+        assert_eq!(d.root(), Some(6));
+        assert_eq!(d.node(6).size, 4);
+        assert!(d.is_monotone());
+        assert_eq!(d.leaves_of(4), vec![0, 1]);
+        assert_eq!(d.leaves_of(6), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cut_to_two_clusters() {
+        let d = small_dendrogram();
+        let labels = d.cut_to_clusters(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn cut_to_one_and_many_clusters() {
+        let d = small_dendrogram();
+        let one = d.cut_to_clusters(1);
+        assert!(one.iter().all(|&l| l == one[0]));
+        let four = d.cut_to_clusters(4);
+        let mut distinct = four.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 4);
+        // Asking for more clusters than leaves degrades gracefully.
+        let many = d.cut_to_clusters(10);
+        let mut distinct = many;
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn cut_at_height_thresholds() {
+        let d = small_dendrogram();
+        assert_eq!(d.num_clusters_at_height(0.5), 4);
+        assert_eq!(d.num_clusters_at_height(1.5), 3);
+        assert_eq!(d.num_clusters_at_height(2.5), 2);
+        assert_eq!(d.num_clusters_at_height(5.0), 1);
+    }
+
+    #[test]
+    fn root_is_none_until_fully_merged() {
+        let mut d = Dendrogram::new(3);
+        assert_eq!(d.root(), None);
+        let a = d.merge(0, 1, 1.0);
+        assert_eq!(d.root(), None);
+        d.merge(a, 2, 2.0);
+        assert_eq!(d.root(), Some(4));
+    }
+
+    #[test]
+    fn set_height_can_break_and_restore_monotonicity() {
+        let mut d = small_dendrogram();
+        d.set_height(6, 0.5);
+        assert!(!d.is_monotone());
+        d.set_height(6, 10.0);
+        assert!(d.is_monotone());
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_merge_panics() {
+        let mut d = Dendrogram::new(3);
+        d.merge(0, 1, 1.0);
+        d.merge(0, 2, 2.0);
+    }
+
+    #[test]
+    fn empty_dendrogram() {
+        let d = Dendrogram::new(0);
+        assert!(d.is_empty());
+        assert_eq!(d.cut_to_clusters(3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn singleton_dendrogram() {
+        let d = Dendrogram::new(1);
+        assert_eq!(d.root(), Some(0));
+        assert_eq!(d.cut_to_clusters(1), vec![0]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error types for the filtered-graph construction and DBHT pipeline.
+
+use std::fmt;
+
+/// Errors produced by TMFG/PMFG construction and the DBHT pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The input matrix has fewer than four vertices; TMFG/PMFG start from a
+    /// 4-clique and are undefined below that.
+    TooFewVertices {
+        /// Number of vertices supplied.
+        got: usize,
+    },
+    /// The similarity and dissimilarity matrices have different sizes.
+    DimensionMismatch {
+        /// Size of the similarity matrix.
+        similarity: usize,
+        /// Size of the dissimilarity matrix.
+        dissimilarity: usize,
+    },
+    /// The prefix size must be at least 1.
+    InvalidPrefix,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::TooFewVertices { got } => {
+                write!(f, "filtered graphs require at least 4 vertices, got {got}")
+            }
+            CoreError::DimensionMismatch {
+                similarity,
+                dissimilarity,
+            } => write!(
+                f,
+                "similarity matrix is {similarity}x{similarity} but dissimilarity matrix is {dissimilarity}x{dissimilarity}"
+            ),
+            CoreError::InvalidPrefix => write!(f, "prefix size must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::TooFewVertices { got: 2 };
+        assert!(e.to_string().contains("at least 4"));
+        let e = CoreError::DimensionMismatch {
+            similarity: 5,
+            dissimilarity: 6,
+        };
+        assert!(e.to_string().contains("5x5"));
+        assert!(CoreError::InvalidPrefix.to_string().contains("prefix"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Planar Maximally Filtered Graph (PMFG) construction (§II).
+//!
+//! The PMFG sorts all pairwise similarities in decreasing order and adds
+//! each edge iff the graph remains planar, stopping once the maximal planar
+//! edge count `3n − 6` is reached. Every tentative insertion runs the
+//! left–right planarity test, which is what makes the PMFG orders of
+//! magnitude slower than the TMFG — the runtime gap reproduced by the
+//! Figure 1/3 experiments.
+
+use pfg_graph::{planarity, SymmetricMatrix, WeightedGraph};
+use pfg_primitives::par_sort_unstable_by;
+
+use crate::error::CoreError;
+
+/// Result of PMFG construction.
+#[derive(Debug, Clone)]
+pub struct Pmfg {
+    /// The filtered graph with similarity edge weights.
+    pub graph: WeightedGraph,
+    /// Number of candidate edges examined (accepted + rejected) before the
+    /// graph became maximal.
+    pub candidates_examined: usize,
+    /// Number of planarity tests that rejected an edge.
+    pub rejections: usize,
+}
+
+impl Pmfg {
+    /// Sum of the edge weights of the filtered graph.
+    pub fn edge_weight_sum(&self) -> f64 {
+        self.graph.total_edge_weight()
+    }
+}
+
+/// Builds the PMFG of the similarity matrix `s`.
+///
+/// # Errors
+/// Returns [`CoreError::TooFewVertices`] if `s` has fewer than 4 rows.
+pub fn pmfg(s: &SymmetricMatrix) -> Result<Pmfg, CoreError> {
+    let n = s.n();
+    if n < 4 {
+        return Err(CoreError::TooFewVertices { got: n });
+    }
+    // Sort all candidate edges by decreasing weight (parallel sort); ties
+    // broken by the vertex pair so construction is deterministic.
+    let mut candidates: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+    par_sort_unstable_by(&mut candidates, |&(ai, aj), &(bi, bj)| {
+        s.get(bi, bj)
+            .partial_cmp(&s.get(ai, aj))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(ai.cmp(&bi))
+            .then(aj.cmp(&bj))
+    });
+
+    let target_edges = 3 * n - 6;
+    let mut graph = WeightedGraph::new(n);
+    let mut candidates_examined = 0;
+    let mut rejections = 0;
+    for (u, v) in candidates {
+        if graph.num_edges() == target_edges {
+            break;
+        }
+        candidates_examined += 1;
+        let w = s.get(u, v);
+        graph.add_edge(u, v, w);
+        if !planarity::is_planar(&graph) {
+            // Roll back the tentative insertion.
+            graph.remove_edge(u, v);
+            rejections += 1;
+        }
+    }
+    Ok(Pmfg {
+        graph,
+        candidates_examined,
+        rejections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_similarity(n: usize, seed: u64) -> SymmetricMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SymmetricMatrix::from_fn(n, |i, j| if i == j { 1.0 } else { rng.gen_range(0.0..1.0) })
+    }
+
+    #[test]
+    fn rejects_tiny_inputs() {
+        let s = SymmetricMatrix::filled(2, 1.0);
+        assert!(matches!(pmfg(&s), Err(CoreError::TooFewVertices { .. })));
+    }
+
+    #[test]
+    fn pmfg_is_maximal_planar() {
+        for n in [5, 10, 20] {
+            let s = random_similarity(n, n as u64);
+            let p = pmfg(&s).unwrap();
+            assert_eq!(p.graph.num_edges(), 3 * n - 6);
+            assert!(pfg_graph::is_planar(&p.graph));
+            assert!(p.graph.is_connected());
+        }
+    }
+
+    #[test]
+    fn pmfg_of_five_vertices_drops_exactly_one_edge() {
+        // K5 has 10 edges; a maximal planar graph on 5 vertices has 9. The
+        // construction either rejects exactly one edge or stops early having
+        // accepted the 9 heaviest, in which case the lightest edge is the
+        // implicitly dropped one.
+        let s = random_similarity(5, 3);
+        let p = pmfg(&s).unwrap();
+        assert_eq!(p.graph.num_edges(), 9);
+        assert!(p.rejections <= 1);
+        assert!(p.candidates_examined >= 9 && p.candidates_examined <= 10);
+    }
+
+    #[test]
+    fn pmfg_keeps_heaviest_edges_greedily() {
+        // With uniform weights plus one dominant edge, that edge must be kept.
+        let n = 8;
+        let mut s = SymmetricMatrix::filled(n, 0.1);
+        for i in 0..n {
+            s.set(i, i, 1.0);
+        }
+        s.set(2, 6, 0.99);
+        let p = pmfg(&s).unwrap();
+        assert!(p.graph.has_edge(2, 6));
+    }
+
+    #[test]
+    fn pmfg_weight_at_least_tmfg_weight_typically() {
+        // PMFG optimizes edge-by-edge and usually retains at least as much
+        // total weight as the TMFG (Figure 7 shows ratios close to 1).
+        let s = random_similarity(24, 11);
+        let p = pmfg(&s).unwrap();
+        let t = crate::tmfg::tmfg_sequential(&s).unwrap();
+        assert!(p.edge_weight_sum() > 0.9 * t.edge_weight_sum());
+    }
+
+    #[test]
+    fn edge_weights_match_similarity() {
+        let s = random_similarity(12, 5);
+        let p = pmfg(&s).unwrap();
+        for (u, v, w) in p.graph.edges() {
+            assert!((w - s.get(u, v)).abs() < 1e-12);
+        }
+    }
+}

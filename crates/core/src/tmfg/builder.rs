@@ -1,0 +1,474 @@
+//! Algorithm 1: parallel (prefix-batched) TMFG construction.
+
+use pfg_graph::{SymmetricMatrix, WeightedGraph};
+use rayon::prelude::*;
+
+use crate::bubble_tree::BubbleTree;
+use crate::error::CoreError;
+use crate::face::Triangle;
+use crate::tmfg::gains::GainTable;
+
+/// Configuration for [`tmfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TmfgConfig {
+    /// Maximum number of vertices inserted per round (`PREFIX` in the
+    /// paper). `prefix = 1` reproduces the sequential TMFG exactly.
+    pub prefix: usize,
+}
+
+impl Default for TmfgConfig {
+    fn default() -> Self {
+        // The paper uses prefix 10 for most experiments as a good
+        // speed/quality trade-off (§VII-A).
+        Self { prefix: 10 }
+    }
+}
+
+impl TmfgConfig {
+    /// Configuration with the given prefix size.
+    pub fn with_prefix(prefix: usize) -> Self {
+        Self { prefix }
+    }
+}
+
+/// One vertex insertion performed during TMFG construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Insertion {
+    /// The inserted vertex.
+    pub vertex: usize,
+    /// The face it was inserted into.
+    pub face: Triangle,
+    /// The gain (sum of the three new edge weights).
+    pub gain: f64,
+    /// The round (iteration of the outer while loop) of the insertion.
+    pub round: usize,
+}
+
+/// The result of TMFG construction: the filtered graph, the bubble tree
+/// built alongside it (Algorithm 2), and the insertion trace.
+#[derive(Debug, Clone)]
+pub struct Tmfg {
+    /// The filtered graph; edge weights are similarities from the input
+    /// matrix.
+    pub graph: WeightedGraph,
+    /// The bubble tree constructed during insertion.
+    pub bubble_tree: BubbleTree,
+    /// The initial 4-clique (the four vertices with largest row sums, in
+    /// decreasing row-sum order).
+    pub initial_clique: [usize; 4],
+    /// Every vertex insertion, in the order it was applied.
+    pub insertions: Vec<Insertion>,
+    /// Number of rounds of the outer loop (ρ in the paper's analysis).
+    pub rounds: usize,
+}
+
+impl Tmfg {
+    /// Sum of all edge weights of the filtered graph (used by the Figure 7
+    /// edge-weight-sum-ratio experiment).
+    pub fn edge_weight_sum(&self) -> f64 {
+        self.graph.total_edge_weight()
+    }
+
+    /// Number of vertices of the filtered graph.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+}
+
+/// Builds the TMFG of the similarity matrix `s` (Algorithm 1).
+///
+/// # Errors
+/// Returns [`CoreError::TooFewVertices`] if `s` has fewer than 4 rows and
+/// [`CoreError::InvalidPrefix`] if `config.prefix == 0`.
+pub fn tmfg(s: &SymmetricMatrix, config: TmfgConfig) -> Result<Tmfg, CoreError> {
+    if config.prefix == 0 {
+        return Err(CoreError::InvalidPrefix);
+    }
+    let n = s.n();
+    if n < 4 {
+        return Err(CoreError::TooFewVertices { got: n });
+    }
+    Ok(Builder::new(s, config).run())
+}
+
+/// Builds the sequential TMFG (equivalent to `prefix = 1`).
+pub fn tmfg_sequential(s: &SymmetricMatrix) -> Result<Tmfg, CoreError> {
+    tmfg(s, TmfgConfig::with_prefix(1))
+}
+
+/// Internal construction state for Algorithm 1.
+struct Builder<'a> {
+    s: &'a SymmetricMatrix,
+    prefix: usize,
+    graph: WeightedGraph,
+    /// Face id → triangle.
+    faces: Vec<Triangle>,
+    /// Face id → still a face of the planar subgraph?
+    face_active: Vec<bool>,
+    /// Face id → bubble id owning the face.
+    face_bubble: Vec<usize>,
+    /// Vertex → still waiting to be inserted?
+    remaining: Vec<bool>,
+    num_remaining: usize,
+    gains: GainTable,
+    tree: BubbleTree,
+    initial_clique: [usize; 4],
+    insertions: Vec<Insertion>,
+    rounds: usize,
+}
+
+impl<'a> Builder<'a> {
+    fn new(s: &'a SymmetricMatrix, config: TmfgConfig) -> Self {
+        let n = s.n();
+        // Lines 1–2: the four vertices with the highest row sums and all six
+        // edges among them.
+        let top = s.top_rows_by_sum(4);
+        let initial_clique = [top[0], top[1], top[2], top[3]];
+        let mut graph = WeightedGraph::new(n);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let (u, v) = (initial_clique[i], initial_clique[j]);
+                graph.add_edge(u, v, s.get(u, v));
+            }
+        }
+        // Line 3: the four triangular faces of the initial clique.
+        let [v1, v2, v3, v4] = initial_clique;
+        let faces = vec![
+            Triangle::new(v1, v2, v3),
+            Triangle::new(v1, v2, v4),
+            Triangle::new(v1, v3, v4),
+            Triangle::new(v2, v3, v4),
+        ];
+        // Line 4: the remaining vertices.
+        let mut remaining = vec![true; n];
+        for &v in &initial_clique {
+            remaining[v] = false;
+        }
+        let num_remaining = n - 4;
+        // Lines 6–7: the bubble tree starts with the initial clique and the
+        // outer face {v1, v2, v3}.
+        let outer_face = Triangle::new(v1, v2, v3);
+        let tree = BubbleTree::new(initial_clique, outer_face, n);
+        // Line 5: the best vertex for each initial face.
+        let mut gains = GainTable::new(n);
+        let face_best: Vec<Option<(usize, f64)>> = faces
+            .par_iter()
+            .map(|&t| GainTable::best_for_face(s, t, &remaining))
+            .collect();
+        let mut face_active = Vec::with_capacity(4);
+        let mut face_bubble = Vec::with_capacity(4);
+        for best in face_best {
+            let id = gains.push_face();
+            face_active.push(true);
+            face_bubble.push(0);
+            match best {
+                Some((v, g)) => gains.record_best(id, Some(v), g),
+                None => gains.record_best(id, None, f64::NEG_INFINITY),
+            }
+        }
+        Self {
+            s,
+            prefix: config.prefix,
+            graph,
+            faces,
+            face_active,
+            face_bubble,
+            remaining,
+            num_remaining,
+            gains,
+            tree,
+            initial_clique,
+            insertions: Vec::with_capacity(num_remaining),
+            rounds: 0,
+        }
+    }
+
+    fn run(mut self) -> Tmfg {
+        // Lines 8–17: insert the remaining vertices in rounds of up to
+        // `prefix` vertices.
+        while self.num_remaining > 0 {
+            self.rounds += 1;
+            let selected = self.select_batch();
+            debug_assert!(!selected.is_empty(), "a round must insert at least one vertex");
+            self.apply_batch(&selected);
+        }
+        debug_assert!(self.graph.has_maximal_planar_edge_count());
+        Tmfg {
+            graph: self.graph,
+            bubble_tree: self.tree,
+            initial_clique: self.initial_clique,
+            insertions: self.insertions,
+            rounds: self.rounds,
+        }
+    }
+
+    /// Lines 9–10: pick the `prefix` vertex–face pairs with the largest
+    /// gains and resolve vertex conflicts in favour of the largest gain.
+    /// Returns `(face_id, vertex, gain)` triples.
+    fn select_batch(&self) -> Vec<(usize, usize, f64)> {
+        // Gather the candidate (gain, face, vertex) triples from active
+        // faces whose recorded best vertex is still available.
+        let mut candidates: Vec<(usize, usize, f64)> = (0..self.faces.len())
+            .filter(|&f| self.face_active[f])
+            .filter_map(|f| {
+                let v = self.gains.best_vertex(f)?;
+                debug_assert!(self.remaining[v], "gain table entries must be fresh");
+                Some((f, v, self.gains.best_gain(f)))
+            })
+            .collect();
+
+        if self.prefix == 1 {
+            // Fast path: a single parallel maximum (Line 9 simplification).
+            let best = pfg_primitives::par_max_index(&candidates, |&(_, _, g)| g)
+                .expect("at least one candidate while vertices remain");
+            return vec![candidates[best]];
+        }
+
+        // Parallel sort by decreasing gain (ties: face id, then vertex id,
+        // so the selection is deterministic).
+        pfg_primitives::par_sort_unstable_by(&mut candidates, |a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+                .then(a.1.cmp(&b.1))
+        });
+        candidates.truncate(self.prefix);
+
+        // Line 10: a vertex paired with multiple faces keeps only its
+        // maximum-gain pair (the first occurrence in the sorted order).
+        let mut taken = std::collections::HashSet::new();
+        candidates
+            .into_iter()
+            .filter(|&(_, v, _)| taken.insert(v))
+            .collect()
+    }
+
+    /// Lines 11–17: insert the selected vertices, update faces, the gain
+    /// table and the bubble tree.
+    fn apply_batch(&mut self, selected: &[(usize, usize, f64)]) {
+        let round = self.rounds;
+        // Line 11: remove the selected vertices from V first, so gain
+        // recomputation below never proposes a vertex inserted this round.
+        for &(_, v, _) in selected {
+            debug_assert!(self.remaining[v]);
+            self.remaining[v] = false;
+            self.num_remaining -= 1;
+        }
+
+        let mut faces_to_refresh: Vec<usize> = Vec::new();
+        for &(face_id, v, gain) in selected {
+            let t = self.faces[face_id];
+            let [a, b, c] = t.corners();
+            // Line 13: add the three edges from v to the face corners.
+            self.graph.add_edge(v, a, self.s.get(v, a));
+            self.graph.add_edge(v, b, self.s.get(v, b));
+            self.graph.add_edge(v, c, self.s.get(v, c));
+            // Line 17: update the bubble tree (Algorithm 2).
+            let bubble = self.face_bubble[face_id];
+            let new_bubble = self.tree.insert(v, t, bubble);
+            // Line 14: replace face t by the three new faces.
+            self.face_active[face_id] = false;
+            for new_face in t.split_with(v) {
+                let id = self.gains.push_face();
+                self.faces.push(new_face);
+                self.face_active.push(true);
+                self.face_bubble.push(new_bubble);
+                debug_assert_eq!(id, self.faces.len() - 1);
+                faces_to_refresh.push(id);
+            }
+            // Line 15: faces that previously had v as their best vertex.
+            for &f in self.gains.faces_possibly_best_for(v) {
+                if self.face_active[f] && self.gains.best_vertex(f) == Some(v) {
+                    faces_to_refresh.push(f);
+                }
+            }
+            self.insertions.push(Insertion {
+                vertex: v,
+                face: t,
+                gain,
+                round,
+            });
+        }
+
+        faces_to_refresh.sort_unstable();
+        faces_to_refresh.dedup();
+
+        // Line 16: recompute the best vertex for the affected faces, in
+        // parallel (each face scans the remaining vertex set).
+        let s = self.s;
+        let remaining = &self.remaining;
+        let faces = &self.faces;
+        let updates: Vec<(usize, Option<(usize, f64)>)> = faces_to_refresh
+            .par_iter()
+            .map(|&f| (f, GainTable::best_for_face(s, faces[f], remaining)))
+            .collect();
+        for (f, best) in updates {
+            match best {
+                Some((v, g)) => self.gains.record_best(f, Some(v), g),
+                None => self.gains.record_best(f, None, f64::NEG_INFINITY),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The correlation matrix of Figure 12 in the paper's appendix.
+    fn appendix_matrix() -> SymmetricMatrix {
+        let rows = vec![
+            1.0, 0.8, 0.4, 0.8, 0.8, 0.4, //
+            0.8, 1.0, 0.41, 0.9, 0.4, 0.0, //
+            0.4, 0.41, 1.0, 0.0, 0.4, 0.42, //
+            0.8, 0.9, 0.0, 1.0, 0.8, 0.8, //
+            0.8, 0.4, 0.4, 0.8, 1.0, 0.8, //
+            0.4, 0.0, 0.42, 0.8, 0.8, 1.0,
+        ];
+        SymmetricMatrix::from_rows(6, rows)
+    }
+
+    fn random_similarity(n: usize, seed: u64) -> SymmetricMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SymmetricMatrix::from_fn(n, |i, j| if i == j { 1.0 } else { rng.gen_range(0.0..1.0) })
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let s = SymmetricMatrix::filled(3, 1.0);
+        assert!(matches!(
+            tmfg(&s, TmfgConfig::default()),
+            Err(CoreError::TooFewVertices { got: 3 })
+        ));
+        let s = SymmetricMatrix::filled(5, 1.0);
+        assert!(matches!(
+            tmfg(&s, TmfgConfig::with_prefix(0)),
+            Err(CoreError::InvalidPrefix)
+        ));
+    }
+
+    #[test]
+    fn four_vertices_is_just_the_clique() {
+        let s = SymmetricMatrix::filled(4, 0.5);
+        let t = tmfg_sequential(&s).unwrap();
+        assert_eq!(t.graph.num_edges(), 6);
+        assert_eq!(t.bubble_tree.len(), 1);
+        assert_eq!(t.rounds, 0);
+        assert!(t.insertions.is_empty());
+    }
+
+    #[test]
+    fn appendix_prefix_one_matches_paper_example() {
+        // Figure 13(a)-(d): with PREFIX = 1 the algorithm starts from the
+        // clique {0,1,3,4}, inserts 5 into {0,3,4} and then 2 into {0,4,5}.
+        let s = appendix_matrix();
+        let t = tmfg_sequential(&s).unwrap();
+        let mut clique = t.initial_clique;
+        clique.sort_unstable();
+        assert_eq!(clique, [0, 1, 3, 4]);
+        assert_eq!(t.insertions.len(), 2);
+        assert_eq!(t.insertions[0].vertex, 5);
+        assert_eq!(t.insertions[0].face, Triangle::new(0, 3, 4));
+        assert_eq!(t.insertions[1].vertex, 2);
+        assert_eq!(t.insertions[1].face, Triangle::new(0, 4, 5));
+        assert_eq!(t.rounds, 2);
+    }
+
+    #[test]
+    fn appendix_prefix_three_matches_paper_example() {
+        // Figure 13(e)-(h): with PREFIX = 3, vertices 5 and 2 are inserted
+        // in the same round; 2 goes into {0,1,4} because {0,4,5} does not
+        // exist yet.
+        let s = appendix_matrix();
+        let t = tmfg(&s, TmfgConfig::with_prefix(3)).unwrap();
+        assert_eq!(t.rounds, 1);
+        assert_eq!(t.insertions.len(), 2);
+        let by_vertex: std::collections::HashMap<usize, Triangle> = t
+            .insertions
+            .iter()
+            .map(|ins| (ins.vertex, ins.face))
+            .collect();
+        assert_eq!(by_vertex[&5], Triangle::new(0, 3, 4));
+        assert_eq!(by_vertex[&2], Triangle::new(0, 1, 4));
+    }
+
+    #[test]
+    fn tmfg_has_maximal_planar_structure() {
+        for seed in 0..3 {
+            let n = 40;
+            let s = random_similarity(n, seed);
+            for prefix in [1, 2, 5, 50] {
+                let t = tmfg(&s, TmfgConfig::with_prefix(prefix)).unwrap();
+                assert_eq!(t.graph.num_edges(), 3 * n - 6, "prefix {prefix}");
+                assert!(t.graph.is_connected());
+                assert!(pfg_graph::is_planar(&t.graph), "TMFG must be planar");
+                assert_eq!(t.bubble_tree.len(), n - 3);
+                t.bubble_tree.check_invariants().unwrap();
+                // Every non-clique vertex inserted exactly once.
+                assert_eq!(t.insertions.len(), n - 4);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_weights_come_from_similarity_matrix() {
+        let s = random_similarity(25, 7);
+        let t = tmfg_sequential(&s).unwrap();
+        for (u, v, w) in t.graph.edges() {
+            assert!((w - s.get(u, v)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prefix_one_is_greedy_optimal_each_step() {
+        // For the sequential TMFG, each insertion's gain must be the best
+        // available at that time; in particular gains of later insertions
+        // can exceed earlier ones only if enabled by newly created faces.
+        let s = random_similarity(20, 3);
+        let t = tmfg_sequential(&s).unwrap();
+        assert_eq!(t.rounds, 16);
+        for ins in &t.insertions {
+            assert!(ins.gain.is_finite());
+        }
+    }
+
+    #[test]
+    fn larger_prefix_needs_fewer_rounds() {
+        let s = random_similarity(60, 11);
+        let seq = tmfg(&s, TmfgConfig::with_prefix(1)).unwrap();
+        let par = tmfg(&s, TmfgConfig::with_prefix(20)).unwrap();
+        assert_eq!(seq.rounds, 56);
+        assert!(par.rounds < seq.rounds);
+        // Quality stays close: parallel edge weight sum within a few percent.
+        let ratio = par.edge_weight_sum() / seq.edge_weight_sum();
+        assert!(ratio > 0.85 && ratio < 1.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn huge_prefix_still_valid() {
+        let n = 30;
+        let s = random_similarity(n, 5);
+        let t = tmfg(&s, TmfgConfig::with_prefix(10_000)).unwrap();
+        assert_eq!(t.graph.num_edges(), 3 * n - 6);
+        assert!(pfg_graph::is_planar(&t.graph));
+    }
+
+    #[test]
+    fn initial_clique_has_highest_row_sums() {
+        let s = random_similarity(30, 9);
+        let t = tmfg_sequential(&s).unwrap();
+        let sums = s.row_sums();
+        let min_clique_sum = t
+            .initial_clique
+            .iter()
+            .map(|&v| sums[v])
+            .fold(f64::INFINITY, f64::min);
+        let max_other = (0..30)
+            .filter(|v| !t.initial_clique.contains(v))
+            .map(|v| sums[v])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(min_clique_sum >= max_other);
+    }
+}

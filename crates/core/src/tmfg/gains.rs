@@ -1,0 +1,171 @@
+//! The gain table: for every active face, the best remaining vertex.
+//!
+//! Algorithm 1 keeps, for each face `t`, `GAINS[t] = argmax_{u ∈ V} Σ_{c ∈ t}
+//! S[c, u]`. Unlike the original TMFG code, which rescans every face after
+//! each insertion, the paper (and this implementation) keeps a reverse index
+//! from each vertex to the faces whose recorded best vertex it currently is,
+//! so only the affected faces are recomputed.
+
+use pfg_graph::SymmetricMatrix;
+
+use crate::face::Triangle;
+
+/// Best-vertex bookkeeping for the faces of the graph under construction.
+#[derive(Debug, Clone)]
+pub struct GainTable {
+    /// `best_vertex[f]` is the best remaining vertex for face `f`, if any.
+    best_vertex: Vec<Option<usize>>,
+    /// `best_gain[f]` is the gain of inserting that vertex into face `f`.
+    best_gain: Vec<f64>,
+    /// `faces_of_best[v]` lists face ids whose recorded best vertex is (or
+    /// recently was) `v`. Entries may be stale; readers must cross-check
+    /// against `best_vertex`.
+    faces_of_best: Vec<Vec<usize>>,
+}
+
+impl GainTable {
+    /// Creates an empty table for a graph on `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Self {
+            best_vertex: Vec::new(),
+            best_gain: Vec::new(),
+            faces_of_best: vec![Vec::new(); num_vertices],
+        }
+    }
+
+    /// Number of faces tracked (active or not).
+    pub fn num_faces(&self) -> usize {
+        self.best_vertex.len()
+    }
+
+    /// Registers a new face id; its best vertex starts unset.
+    pub fn push_face(&mut self) -> usize {
+        self.best_vertex.push(None);
+        self.best_gain.push(f64::NEG_INFINITY);
+        self.best_vertex.len() - 1
+    }
+
+    /// The best vertex recorded for face `face`.
+    #[inline]
+    pub fn best_vertex(&self, face: usize) -> Option<usize> {
+        self.best_vertex[face]
+    }
+
+    /// The gain recorded for face `face`.
+    #[inline]
+    pub fn best_gain(&self, face: usize) -> f64 {
+        self.best_gain[face]
+    }
+
+    /// Faces whose recorded best vertex may be `v` (possibly stale).
+    #[inline]
+    pub fn faces_possibly_best_for(&self, v: usize) -> &[usize] {
+        &self.faces_of_best[v]
+    }
+
+    /// Records that `vertex` (with `gain`) is the best choice for `face`.
+    pub fn record_best(&mut self, face: usize, vertex: Option<usize>, gain: f64) {
+        self.best_vertex[face] = vertex;
+        self.best_gain[face] = gain;
+        if let Some(v) = vertex {
+            self.faces_of_best[v].push(face);
+        }
+    }
+
+    /// Computes the gain of inserting `vertex` into `triangle` under the
+    /// similarity matrix `s`: the sum of the three new edge weights.
+    #[inline]
+    pub fn gain_of(s: &SymmetricMatrix, triangle: Triangle, vertex: usize) -> f64 {
+        let [a, b, c] = triangle.corners();
+        s.get(a, vertex) + s.get(b, vertex) + s.get(c, vertex)
+    }
+
+    /// Scans `remaining` (a mask over vertices) for the best vertex to
+    /// insert into `triangle`. Ties are broken towards the smaller vertex
+    /// index. Returns `(vertex, gain)` or `None` if no vertex remains.
+    pub fn best_for_face(
+        s: &SymmetricMatrix,
+        triangle: Triangle,
+        remaining: &[bool],
+    ) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (v, &is_remaining) in remaining.iter().enumerate() {
+            if !is_remaining {
+                continue;
+            }
+            let gain = Self::gain_of(s, triangle, v);
+            match best {
+                None => best = Some((v, gain)),
+                Some((_, bg)) if gain > bg => best = Some((v, gain)),
+                _ => {}
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> SymmetricMatrix {
+        // 5 vertices; vertex 4 is strongly attached to {0,1,2}.
+        SymmetricMatrix::from_fn(5, |i, j| {
+            if i == j {
+                1.0
+            } else if (i, j) == (0, 4) || (i, j) == (1, 4) || (i, j) == (2, 4) {
+                0.9
+            } else {
+                0.1
+            }
+        })
+    }
+
+    #[test]
+    fn gain_is_sum_of_three_edges() {
+        let s = matrix();
+        let t = Triangle::new(0, 1, 2);
+        assert!((GainTable::gain_of(&s, t, 4) - 2.7).abs() < 1e-12);
+        assert!((GainTable::gain_of(&s, t, 3) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_for_face_prefers_highest_gain() {
+        let s = matrix();
+        let t = Triangle::new(0, 1, 2);
+        let remaining = vec![false, false, false, true, true];
+        let (v, gain) = GainTable::best_for_face(&s, t, &remaining).unwrap();
+        assert_eq!(v, 4);
+        assert!((gain - 2.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_for_face_tie_breaks_to_smaller_index() {
+        let s = SymmetricMatrix::filled(5, 0.5);
+        let t = Triangle::new(0, 1, 2);
+        let remaining = vec![false, false, false, true, true];
+        let (v, _) = GainTable::best_for_face(&s, t, &remaining).unwrap();
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn best_for_face_none_when_empty() {
+        let s = matrix();
+        let t = Triangle::new(0, 1, 2);
+        let remaining = vec![false; 5];
+        assert!(GainTable::best_for_face(&s, t, &remaining).is_none());
+    }
+
+    #[test]
+    fn record_best_maintains_reverse_index() {
+        let mut table = GainTable::new(5);
+        let f0 = table.push_face();
+        let f1 = table.push_face();
+        table.record_best(f0, Some(4), 2.7);
+        table.record_best(f1, Some(4), 1.0);
+        assert_eq!(table.faces_possibly_best_for(4), &[f0, f1]);
+        assert_eq!(table.best_vertex(f0), Some(4));
+        assert!((table.best_gain(f1) - 1.0).abs() < 1e-12);
+        assert_eq!(table.num_faces(), 2);
+    }
+}

@@ -1,0 +1,23 @@
+//! Triangulated Maximally Filtered Graph construction (§IV, Algorithm 1).
+//!
+//! The TMFG approximates the NP-hard Weighted Maximum Planar Graph problem
+//! by starting from the 4-clique of the four vertices with the largest row
+//! sums and repeatedly inserting a remaining vertex into a triangular face,
+//! adding the three edges to the face corners that maximise the gain.
+//!
+//! The parallel algorithm of the paper inserts up to `PREFIX` vertices per
+//! round: the `PREFIX` vertex–face pairs with the largest gains are
+//! selected, conflicts (a vertex chosen by several faces) are resolved in
+//! favour of the maximum-gain pair, and the gain table is rebuilt in
+//! parallel only for the faces whose best vertex was consumed and for the
+//! newly created faces. With `prefix = 1` the construction is identical to
+//! the sequential TMFG of Massara et al.
+//!
+//! The bubble tree (Algorithm 2) is maintained during construction at no
+//! extra asymptotic cost and is returned alongside the graph.
+
+mod builder;
+mod gains;
+
+pub use builder::{tmfg, tmfg_sequential, Insertion, Tmfg, TmfgConfig};
+pub use gains::GainTable;

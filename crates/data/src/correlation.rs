@@ -1,0 +1,153 @@
+//! Pearson correlations and the correlation-based dissimilarity measure.
+
+use pfg_graph::SymmetricMatrix;
+use rayon::prelude::*;
+
+/// Pearson correlation coefficient between two equal-length series.
+/// Returns 0 when either series has zero variance.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let mean_a = a.iter().sum::<f64>() / n;
+    let mean_b = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let dx = x - mean_a;
+        let dy = y - mean_b;
+        cov += dx * dy;
+        var_a += dx * dx;
+        var_b += dy * dy;
+    }
+    if var_a <= 0.0 || var_b <= 0.0 {
+        0.0
+    } else {
+        (cov / (var_a.sqrt() * var_b.sqrt())).clamp(-1.0, 1.0)
+    }
+}
+
+/// The full Pearson correlation matrix of a collection of series, computed
+/// in parallel over rows. The diagonal is 1.
+pub fn correlation_matrix(series: &[Vec<f64>]) -> SymmetricMatrix {
+    let n = series.len();
+    // Pre-compute centred, unit-norm series so each pair is a dot product.
+    let normalized: Vec<Vec<f64>> = series
+        .par_iter()
+        .map(|s| {
+            let mean = s.iter().sum::<f64>() / s.len().max(1) as f64;
+            let centred: Vec<f64> = s.iter().map(|&x| x - mean).collect();
+            let norm = centred.iter().map(|&x| x * x).sum::<f64>().sqrt();
+            if norm <= 0.0 {
+                vec![0.0; s.len()]
+            } else {
+                centred.iter().map(|&x| x / norm).collect()
+            }
+        })
+        .collect();
+    let rows: Vec<Vec<f64>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    if i == j {
+                        1.0
+                    } else {
+                        normalized[i]
+                            .iter()
+                            .zip(normalized[j].iter())
+                            .map(|(&x, &y)| x * y)
+                            .sum::<f64>()
+                            .clamp(-1.0, 1.0)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut m = SymmetricMatrix::zeros(n);
+    for i in 0..n {
+        for j in i..n {
+            // Average the two symmetric entries to wash out rounding noise.
+            let v = 0.5 * (rows[i][j] + rows[j][i]);
+            m.set(i, j, v);
+        }
+    }
+    m
+}
+
+/// The dissimilarity `d = sqrt(2 (1 − ρ))` used by the paper for the
+/// shortest-path computations. For z-normalised series this equals the
+/// Euclidean distance between them (up to scale).
+pub fn dissimilarity_from_correlation(correlation: &SymmetricMatrix) -> SymmetricMatrix {
+    correlation.map(|p| (2.0 * (1.0 - p)).max(0.0).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_of_identical_series_is_one() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_negated_series_is_minus_one() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b: Vec<f64> = a.iter().map(|x| -x).collect();
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_is_shift_and_scale_invariant() {
+        let a = vec![1.0, 5.0, 2.0, 8.0, 3.0];
+        let b: Vec<f64> = a.iter().map(|x| 3.0 * x + 10.0).collect();
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_has_zero_correlation() {
+        let a = vec![2.0; 5];
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(pearson(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn correlation_matrix_matches_pairwise_pearson() {
+        let series = vec![
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![2.0, 1.0, 4.0, 3.0, 6.0],
+            vec![5.0, 4.0, 3.0, 2.0, 1.0],
+        ];
+        let m = correlation_matrix(&series);
+        for i in 0..3 {
+            assert!((m.get(i, i) - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                assert!((m.get(i, j) - pearson(&series[i], &series[j])).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dissimilarity_transform_bounds() {
+        let series = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![4.0, 3.0, 2.0, 1.0],
+            vec![1.0, 3.0, 2.0, 4.0],
+        ];
+        let c = correlation_matrix(&series);
+        let d = dissimilarity_from_correlation(&c);
+        for i in 0..3 {
+            assert_eq!(d.get(i, i), 0.0);
+            for j in 0..3 {
+                assert!(d.get(i, j) >= 0.0 && d.get(i, j) <= 2.0 + 1e-12);
+            }
+        }
+        // Perfectly anti-correlated pair is at the maximum distance 2.
+        assert!((d.get(0, 1) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,132 @@
+//! A catalogue mirroring Table II of the paper: the 18 UCR archive data
+//! sets used in the evaluation, with their sizes, series lengths and class
+//! counts.
+//!
+//! The real UCR archive is not available offline; each entry generates a
+//! synthetic data set (via [`crate::time_series`]) with the same `n`, `L`
+//! and number of classes, so the benchmark harnesses sweep the same problem
+//! sizes the paper reports. A `scale` parameter shrinks `n` and `L`
+//! proportionally for laptop-sized runs.
+
+use crate::time_series::{TimeSeriesConfig, TimeSeriesDataset};
+
+/// One row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UcrDatasetSpec {
+    /// Data-set id as used in the paper's figures (1–18).
+    pub id: usize,
+    /// Data-set name.
+    pub name: &'static str,
+    /// Number of objects `n`.
+    pub n: usize,
+    /// Length (or size) of each object `L`.
+    pub length: usize,
+    /// Number of ground-truth classes.
+    pub num_classes: usize,
+}
+
+impl UcrDatasetSpec {
+    /// Generates a synthetic stand-in data set of this spec, optionally
+    /// scaled down. `scale = 1.0` reproduces the full Table II size;
+    /// `scale = 0.1` keeps 10% of the objects (at least 8 per class) and
+    /// caps the series length at 256 samples.
+    pub fn generate(&self, scale: f64, seed: u64) -> TimeSeriesDataset {
+        let n = ((self.n as f64 * scale).round() as usize)
+            .max(self.num_classes * 8)
+            .min(self.n);
+        let length = if scale >= 1.0 {
+            self.length
+        } else {
+            self.length.min(256)
+        };
+        let config = TimeSeriesConfig {
+            num_series: n,
+            length,
+            num_classes: self.num_classes,
+            noise: 0.35,
+            seed: seed ^ (self.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
+        TimeSeriesDataset::generate(self.name, &config)
+    }
+}
+
+/// The 18 data sets of Table II.
+pub fn ucr_catalogue() -> Vec<UcrDatasetSpec> {
+    vec![
+        UcrDatasetSpec { id: 1, name: "Mallat", n: 2400, length: 1024, num_classes: 8 },
+        UcrDatasetSpec { id: 2, name: "UWaveGestureLibraryAll", n: 4478, length: 945, num_classes: 8 },
+        UcrDatasetSpec { id: 3, name: "NonInvasiveFetalECGThorax2", n: 3765, length: 750, num_classes: 42 },
+        UcrDatasetSpec { id: 4, name: "MixedShapesRegularTrain", n: 2925, length: 1024, num_classes: 5 },
+        UcrDatasetSpec { id: 5, name: "MixedShapesSmallTrain", n: 2525, length: 1024, num_classes: 5 },
+        UcrDatasetSpec { id: 6, name: "ECG5000", n: 5000, length: 140, num_classes: 5 },
+        UcrDatasetSpec { id: 7, name: "NonInvasiveFetalECGThorax1", n: 3765, length: 750, num_classes: 42 },
+        UcrDatasetSpec { id: 8, name: "StarLightCurves", n: 9236, length: 84, num_classes: 2 },
+        UcrDatasetSpec { id: 9, name: "HandOutlines", n: 1370, length: 2709, num_classes: 2 },
+        UcrDatasetSpec { id: 10, name: "UWaveGestureLibraryX", n: 4478, length: 315, num_classes: 8 },
+        UcrDatasetSpec { id: 11, name: "CBF", n: 930, length: 128, num_classes: 3 },
+        UcrDatasetSpec { id: 12, name: "InsectWingbeatSound", n: 2200, length: 256, num_classes: 11 },
+        UcrDatasetSpec { id: 13, name: "UWaveGestureLibraryY", n: 4478, length: 315, num_classes: 8 },
+        UcrDatasetSpec { id: 14, name: "ShapesAll", n: 1200, length: 512, num_classes: 60 },
+        UcrDatasetSpec { id: 15, name: "SonyAIBORobotSurface2", n: 980, length: 65, num_classes: 2 },
+        UcrDatasetSpec { id: 16, name: "FreezerSmallTrain", n: 2878, length: 301, num_classes: 2 },
+        UcrDatasetSpec { id: 17, name: "Crop", n: 19412, length: 46, num_classes: 24 },
+        UcrDatasetSpec { id: 18, name: "ElectricDevices", n: 16160, length: 96, num_classes: 7 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_matches_table_two() {
+        let catalogue = ucr_catalogue();
+        assert_eq!(catalogue.len(), 18);
+        // Spot-check a few rows against Table II.
+        let ecg = catalogue.iter().find(|d| d.name == "ECG5000").unwrap();
+        assert_eq!((ecg.id, ecg.n, ecg.length, ecg.num_classes), (6, 5000, 140, 5));
+        let crop = catalogue.iter().find(|d| d.name == "Crop").unwrap();
+        assert_eq!((crop.id, crop.n, crop.length, crop.num_classes), (17, 19412, 46, 24));
+        let star = catalogue.iter().find(|d| d.name == "StarLightCurves").unwrap();
+        assert_eq!((star.id, star.n, star.num_classes), (8, 9236, 2));
+        // Ids are 1..=18 and unique.
+        let mut ids: Vec<usize> = catalogue.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=18).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scaled_generation_respects_class_count() {
+        let spec = ucr_catalogue()[5]; // ECG5000
+        let ds = spec.generate(0.05, 1);
+        assert!(ds.len() <= spec.n);
+        assert!(ds.len() >= spec.num_classes * 8);
+        assert_eq!(ds.num_classes(), spec.num_classes);
+        assert!(ds.series_length() <= 256);
+    }
+
+    #[test]
+    fn full_scale_preserves_table_dimensions() {
+        let spec = UcrDatasetSpec {
+            id: 99,
+            name: "Tiny",
+            n: 60,
+            length: 32,
+            num_classes: 3,
+        };
+        let ds = spec.generate(1.0, 3);
+        assert_eq!(ds.len(), 60);
+        assert_eq!(ds.series_length(), 32);
+        assert_eq!(ds.num_classes(), 3);
+    }
+
+    #[test]
+    fn generation_is_seed_dependent_but_deterministic() {
+        let spec = ucr_catalogue()[10]; // CBF
+        let a = spec.generate(0.1, 7);
+        let b = spec.generate(0.1, 7);
+        let c = spec.generate(0.1, 8);
+        assert_eq!(a.series, b.series);
+        assert_ne!(a.series, c.series);
+    }
+}

@@ -1,0 +1,25 @@
+//! Graph substrate for the parallel filtered-graph clustering pipeline.
+//!
+//! The paper's algorithms consume a complete weighted graph given as an
+//! `n × n` similarity matrix ([`SymmetricMatrix`]) and produce sparse planar
+//! graphs ([`WeightedGraph`]) on which the DBHT algorithm runs breadth-first
+//! searches, Dijkstra single-source shortest paths, and all-pairs shortest
+//! paths. The PMFG baseline additionally needs a planarity test
+//! ([`planarity::is_planar`]).
+//!
+//! Everything here is implemented from scratch on top of the standard
+//! library plus rayon for parallel loops.
+
+pub mod bfs;
+pub mod matrix;
+pub mod planarity;
+pub mod shortest_paths;
+pub mod union_find;
+pub mod weighted_graph;
+
+pub use bfs::{bfs_distances, bfs_reachable, bfs_reachable_within};
+pub use matrix::SymmetricMatrix;
+pub use planarity::is_planar;
+pub use shortest_paths::{all_pairs_shortest_paths, dijkstra};
+pub use union_find::UnionFind;
+pub use weighted_graph::WeightedGraph;

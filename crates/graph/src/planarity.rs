@@ -1,0 +1,593 @@
+//! Planarity testing via the left–right (LR) criterion.
+//!
+//! The PMFG baseline (§II of the paper) repeatedly adds the heaviest
+//! remaining edge if and only if the graph stays planar, which requires a
+//! planarity test after every tentative insertion. We implement the
+//! left–right planarity algorithm of de Fraysseix and Rosenstiehl in the
+//! formulation of Brandes ("The left-right planarity test"), boolean
+//! version (no embedding is produced, which is all PMFG needs).
+//!
+//! The algorithm runs two depth-first passes:
+//!
+//! 1. an *orientation* pass that orients edges away from the DFS roots and
+//!    computes `lowpt`, `lowpt2` and a nesting order for the outgoing edges
+//!    of each vertex, and
+//! 2. a *testing* pass that maintains a stack of conflict pairs of edge
+//!    intervals; the graph is planar iff no interval pair ever conflicts on
+//!    both sides.
+
+use crate::weighted_graph::WeightedGraph;
+use std::collections::HashMap;
+
+/// A directed half-edge `(from, to)`.
+type Edge = (usize, usize);
+
+const UNVISITED: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Interval {
+    low: Option<Edge>,
+    high: Option<Edge>,
+}
+
+impl Interval {
+    fn is_empty(&self) -> bool {
+        self.low.is_none() && self.high.is_none()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct ConflictPair {
+    left: Interval,
+    right: Interval,
+}
+
+impl ConflictPair {
+    fn swap(&mut self) {
+        std::mem::swap(&mut self.left, &mut self.right);
+    }
+}
+
+struct LrState {
+    adj: Vec<Vec<usize>>,
+    height: Vec<usize>,
+    parent_edge: Vec<Option<Edge>>,
+    lowpt: HashMap<Edge, usize>,
+    lowpt2: HashMap<Edge, usize>,
+    nesting_depth: HashMap<Edge, i64>,
+    oriented: HashMap<Edge, ()>,
+    ordered_adjs: Vec<Vec<usize>>,
+    reference: HashMap<Edge, Option<Edge>>,
+    lowpt_edge: HashMap<Edge, Edge>,
+    stack: Vec<ConflictPair>,
+    stack_bottom: HashMap<Edge, usize>,
+}
+
+impl LrState {
+    fn new(graph: &WeightedGraph) -> Self {
+        let n = graph.num_vertices();
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|u| graph.neighbors(u).iter().map(|&(v, _)| v).collect())
+            .collect();
+        Self {
+            adj,
+            height: vec![UNVISITED; n],
+            parent_edge: vec![None; n],
+            lowpt: HashMap::new(),
+            lowpt2: HashMap::new(),
+            nesting_depth: HashMap::new(),
+            oriented: HashMap::new(),
+            ordered_adjs: vec![Vec::new(); n],
+            reference: HashMap::new(),
+            lowpt_edge: HashMap::new(),
+            stack: Vec::new(),
+            stack_bottom: HashMap::new(),
+        }
+    }
+
+    #[inline]
+    fn lowpt_of(&self, e: Edge) -> usize {
+        self.lowpt[&e]
+    }
+
+    // ---- Phase 1: orientation DFS ------------------------------------------------
+
+    fn dfs_orientation(&mut self, v: usize) {
+        let e = self.parent_edge[v];
+        let neighbors = self.adj[v].clone();
+        for w in neighbors {
+            let vw: Edge = (v, w);
+            if self.oriented.contains_key(&vw) || self.oriented.contains_key(&(w, v)) {
+                continue;
+            }
+            self.oriented.insert(vw, ());
+            self.lowpt.insert(vw, self.height[v]);
+            self.lowpt2.insert(vw, self.height[v]);
+            if self.height[w] == UNVISITED {
+                // tree edge
+                self.parent_edge[w] = Some(vw);
+                self.height[w] = self.height[v] + 1;
+                self.dfs_orientation(w);
+            } else {
+                // back edge
+                self.lowpt.insert(vw, self.height[w]);
+            }
+            // determine nesting depth
+            let mut nesting = 2 * self.lowpt[&vw] as i64;
+            if self.lowpt2[&vw] < self.height[v] {
+                nesting += 1; // chordal: nest inside
+            }
+            self.nesting_depth.insert(vw, nesting);
+            // fold lowpoints into parent edge e
+            if let Some(e) = e {
+                let (lp_vw, lp2_vw) = (self.lowpt[&vw], self.lowpt2[&vw]);
+                let (lp_e, lp2_e) = (self.lowpt[&e], self.lowpt2[&e]);
+                if lp_vw < lp_e {
+                    self.lowpt2.insert(e, lp_e.min(lp2_vw));
+                    self.lowpt.insert(e, lp_vw);
+                } else if lp_vw > lp_e {
+                    self.lowpt2.insert(e, lp2_e.min(lp_vw));
+                } else {
+                    self.lowpt2.insert(e, lp2_e.min(lp2_vw));
+                }
+            }
+        }
+    }
+
+    // ---- Phase 2: testing DFS ----------------------------------------------------
+
+    fn interval_conflicting(&self, interval: &Interval, b: Edge) -> bool {
+        match interval.high {
+            None => false,
+            Some(high) => self.lowpt_of(high) > self.lowpt_of(b),
+        }
+    }
+
+    fn pair_lowest(&self, pair: &ConflictPair) -> usize {
+        match (pair.left.low, pair.right.low) {
+            (None, Some(r)) => self.lowpt_of(r),
+            (Some(l), None) => self.lowpt_of(l),
+            (Some(l), Some(r)) => self.lowpt_of(l).min(self.lowpt_of(r)),
+            (None, None) => usize::MAX,
+        }
+    }
+
+    fn dfs_testing(&mut self, v: usize) -> bool {
+        let e = self.parent_edge[v];
+        let ordered = self.ordered_adjs[v].clone();
+        for (i, &w) in ordered.iter().enumerate() {
+            let ei: Edge = (v, w);
+            self.stack_bottom.insert(ei, self.stack.len());
+            if Some(ei) == self.parent_edge[w] {
+                // tree edge: recurse
+                if !self.dfs_testing(w) {
+                    return false;
+                }
+            } else {
+                // back edge
+                self.lowpt_edge.insert(ei, ei);
+                self.stack.push(ConflictPair {
+                    left: Interval::default(),
+                    right: Interval {
+                        low: Some(ei),
+                        high: Some(ei),
+                    },
+                });
+            }
+            // integrate new return edges
+            if self.lowpt[&ei] < self.height[v] {
+                if i == 0 {
+                    if let Some(e) = e {
+                        let le = self.lowpt_edge[&ei];
+                        self.lowpt_edge.insert(e, le);
+                    }
+                } else if !self.add_constraints(ei, e) {
+                    return false;
+                }
+            }
+        }
+        // remove back edges returning to the parent
+        if let Some(e) = e {
+            self.remove_back_edges(e);
+        }
+        true
+    }
+
+    fn add_constraints(&mut self, ei: Edge, e: Option<Edge>) -> bool {
+        let e = match e {
+            Some(e) => e,
+            None => return true,
+        };
+        let bottom = *self.stack_bottom.get(&ei).unwrap_or(&0);
+        let mut p = ConflictPair::default();
+        // merge return edges of ei into p.right
+        loop {
+            let mut q = match self.stack.pop() {
+                Some(q) => q,
+                None => break,
+            };
+            if !q.left.is_empty() {
+                q.swap();
+            }
+            if !q.left.is_empty() {
+                return false; // not planar
+            }
+            let q_r_low = q.right.low.expect("right interval must be non-empty");
+            if self.lowpt_of(q_r_low) > self.lowpt_of(e) {
+                // merge intervals
+                if p.right.is_empty() {
+                    p.right.high = q.right.high;
+                } else {
+                    let p_r_low = p.right.low.expect("non-empty interval has low");
+                    self.reference.insert(p_r_low, q.right.high);
+                }
+                p.right.low = q.right.low;
+            } else {
+                // align
+                self.reference.insert(q_r_low, Some(self.lowpt_edge[&e]));
+            }
+            if self.stack.len() == bottom {
+                break;
+            }
+        }
+        // merge conflicting return edges of previous sibling edges into p.left
+        loop {
+            let conflicts = match self.stack.last() {
+                Some(top) => {
+                    self.interval_conflicting(&top.left, ei)
+                        || self.interval_conflicting(&top.right, ei)
+                }
+                None => false,
+            };
+            if !conflicts {
+                break;
+            }
+            let mut q = self.stack.pop().expect("checked non-empty");
+            if self.interval_conflicting(&q.right, ei) {
+                q.swap();
+            }
+            if self.interval_conflicting(&q.right, ei) {
+                return false; // not planar
+            }
+            // merge interval below lowpt(ei) into p.right
+            if let Some(p_r_low) = p.right.low {
+                self.reference.insert(p_r_low, q.right.high);
+            }
+            if q.right.low.is_some() {
+                p.right.low = q.right.low;
+            }
+            if p.left.is_empty() {
+                p.left.high = q.left.high;
+            } else {
+                let p_l_low = p.left.low.expect("non-empty interval has low");
+                self.reference.insert(p_l_low, q.left.high);
+            }
+            p.left.low = q.left.low;
+        }
+        if !(p.left.is_empty() && p.right.is_empty()) {
+            self.stack.push(p);
+        }
+        true
+    }
+
+    fn remove_back_edges(&mut self, e: Edge) {
+        let u = e.0;
+        // drop entire conflict pairs whose lowest return point is at height[u]
+        while let Some(top) = self.stack.last() {
+            if self.pair_lowest(top) == self.height[u] {
+                self.stack.pop();
+            } else {
+                break;
+            }
+        }
+        // trim one more conflict pair
+        if let Some(mut p) = self.stack.pop() {
+            // trim left interval
+            while let Some(high) = p.left.high {
+                if high.1 == u {
+                    p.left.high = self.reference.get(&high).copied().flatten();
+                } else {
+                    break;
+                }
+            }
+            if p.left.high.is_none() && p.left.low.is_some() {
+                let low = p.left.low.expect("checked");
+                self.reference.insert(low, p.right.low);
+                p.left.low = None;
+            }
+            // trim right interval
+            while let Some(high) = p.right.high {
+                if high.1 == u {
+                    p.right.high = self.reference.get(&high).copied().flatten();
+                } else {
+                    break;
+                }
+            }
+            if p.right.high.is_none() && p.right.low.is_some() {
+                let low = p.right.low.expect("checked");
+                self.reference.insert(low, p.left.low);
+                p.right.low = None;
+            }
+            self.stack.push(p);
+        }
+        // side of e is the side of a highest return edge
+        if self.lowpt[&e] < self.height[u] {
+            if let Some(top) = self.stack.last() {
+                let hl = top.left.high;
+                let hr = top.right.high;
+                let chosen = match (hl, hr) {
+                    (Some(l), Some(r)) => {
+                        if self.lowpt_of(l) > self.lowpt_of(r) {
+                            Some(l)
+                        } else {
+                            Some(r)
+                        }
+                    }
+                    (Some(l), None) => Some(l),
+                    (_, r) => r,
+                };
+                self.reference.insert(e, chosen);
+            }
+        }
+    }
+
+    fn run(mut self) -> bool {
+        let n = self.adj.len();
+        // Phase 1: orientation from every root
+        let mut roots = Vec::new();
+        for v in 0..n {
+            if self.height[v] == UNVISITED {
+                self.height[v] = 0;
+                roots.push(v);
+                self.dfs_orientation(v);
+            }
+        }
+        // Order adjacency lists by nesting depth (outgoing oriented edges only)
+        for v in 0..n {
+            let mut outgoing: Vec<usize> = self.adj[v]
+                .iter()
+                .copied()
+                .filter(|&w| self.oriented.contains_key(&(v, w)))
+                .collect();
+            outgoing.sort_by_key(|&w| self.nesting_depth[&(v, w)]);
+            self.ordered_adjs[v] = outgoing;
+        }
+        // Phase 2: testing from every root
+        for v in roots {
+            if !self.dfs_testing(v) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Returns `true` if `graph` is planar.
+///
+/// Runs the left–right planarity criterion. Graphs with at most 4 vertices
+/// are always planar; graphs with more than `3n − 6` edges are rejected
+/// immediately by Euler's bound.
+pub fn is_planar(graph: &WeightedGraph) -> bool {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    if n <= 4 {
+        return true;
+    }
+    if m > 3 * n - 6 {
+        return false;
+    }
+    LrState::new(graph).run()
+}
+
+/// Returns `true` if adding edge `(u, v)` to `graph` would keep it planar.
+/// The graph itself is not modified.
+pub fn stays_planar_with_edge(graph: &WeightedGraph, u: usize, v: usize) -> bool {
+    let mut candidate = graph.clone();
+    candidate.add_edge(u, v, 1.0);
+    is_planar(&candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete_graph(n: usize) -> WeightedGraph {
+        let mut g = WeightedGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v, 1.0);
+            }
+        }
+        g
+    }
+
+    fn complete_bipartite(a: usize, b: usize) -> WeightedGraph {
+        let mut g = WeightedGraph::new(a + b);
+        for u in 0..a {
+            for v in 0..b {
+                g.add_edge(u, a + v, 1.0);
+            }
+        }
+        g
+    }
+
+    /// Builds a maximal planar graph on `n >= 4` vertices the TMFG way:
+    /// start from K4 and repeatedly insert a vertex into a triangular face.
+    fn triangulation(n: usize) -> WeightedGraph {
+        let mut g = WeightedGraph::new(n);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                g.add_edge(u, v, 1.0);
+            }
+        }
+        let mut faces = vec![(0, 1, 2), (0, 1, 3), (0, 2, 3), (1, 2, 3)];
+        for v in 4..n {
+            let pos = v % faces.len();
+            let (a, b, c) = faces[pos];
+            g.add_edge(v, a, 1.0);
+            g.add_edge(v, b, 1.0);
+            g.add_edge(v, c, 1.0);
+            faces.swap_remove(pos);
+            faces.push((v, a, b));
+            faces.push((v, b, c));
+            faces.push((v, a, c));
+        }
+        g
+    }
+
+    #[test]
+    fn small_graphs_are_planar() {
+        assert!(is_planar(&WeightedGraph::new(0)));
+        assert!(is_planar(&WeightedGraph::new(1)));
+        assert!(is_planar(&complete_graph(3)));
+        assert!(is_planar(&complete_graph(4)));
+    }
+
+    #[test]
+    fn k5_is_not_planar() {
+        assert!(!is_planar(&complete_graph(5)));
+    }
+
+    #[test]
+    fn k6_is_not_planar() {
+        assert!(!is_planar(&complete_graph(6)));
+    }
+
+    #[test]
+    fn k33_is_not_planar() {
+        assert!(!is_planar(&complete_bipartite(3, 3)));
+    }
+
+    #[test]
+    fn k23_is_planar() {
+        assert!(is_planar(&complete_bipartite(2, 3)));
+    }
+
+    #[test]
+    fn k24_is_planar() {
+        assert!(is_planar(&complete_bipartite(2, 4)));
+    }
+
+    #[test]
+    fn trees_and_cycles_are_planar() {
+        let mut path = WeightedGraph::new(10);
+        for i in 0..9 {
+            path.add_edge(i, i + 1, 1.0);
+        }
+        assert!(is_planar(&path));
+        let mut cycle = WeightedGraph::new(10);
+        for i in 0..10 {
+            cycle.add_edge(i, (i + 1) % 10, 1.0);
+        }
+        assert!(is_planar(&cycle));
+    }
+
+    #[test]
+    fn planar_grid_is_planar() {
+        let side = 5;
+        let mut g = WeightedGraph::new(side * side);
+        for r in 0..side {
+            for c in 0..side {
+                let v = r * side + c;
+                if c + 1 < side {
+                    g.add_edge(v, v + 1, 1.0);
+                }
+                if r + 1 < side {
+                    g.add_edge(v, v + side, 1.0);
+                }
+            }
+        }
+        assert!(is_planar(&g));
+    }
+
+    #[test]
+    fn k5_minus_an_edge_is_planar() {
+        let mut g = WeightedGraph::new(5);
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                if !(u == 0 && v == 1) {
+                    g.add_edge(u, v, 1.0);
+                }
+            }
+        }
+        assert!(is_planar(&g));
+    }
+
+    #[test]
+    fn petersen_graph_is_not_planar() {
+        // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5.
+        let mut g = WeightedGraph::new(10);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5, 1.0);
+            g.add_edge(5 + i, 5 + (i + 2) % 5, 1.0);
+            g.add_edge(i, i + 5, 1.0);
+        }
+        assert!(!is_planar(&g));
+    }
+
+    #[test]
+    fn disconnected_planar_components() {
+        let mut g = WeightedGraph::new(8);
+        for base in [0, 4] {
+            for u in 0..4 {
+                for v in (u + 1)..4 {
+                    g.add_edge(base + u, base + v, 1.0);
+                }
+            }
+        }
+        assert!(is_planar(&g));
+    }
+
+    #[test]
+    fn disconnected_with_one_nonplanar_component() {
+        let mut g = WeightedGraph::new(8);
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                g.add_edge(u, v, 1.0);
+            }
+        }
+        assert!(!is_planar(&g));
+    }
+
+    #[test]
+    fn triangulations_are_planar() {
+        for n in [5, 10, 30, 80] {
+            let g = triangulation(n);
+            assert_eq!(g.num_edges(), 3 * n - 6);
+            assert!(is_planar(&g), "triangulation on {n} vertices must be planar");
+        }
+    }
+
+    #[test]
+    fn triangulation_plus_any_edge_is_not_planar() {
+        let n = 30;
+        let g = triangulation(n);
+        // A maximal planar graph cannot accept any additional edge.
+        let mut checked = 0;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !g.has_edge(u, v) {
+                    assert!(!stays_planar_with_edge(&g, u, v));
+                    checked += 1;
+                    if checked > 20 {
+                        return; // enough samples; keep the test fast
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn euler_bound_rejects_dense_graphs_fast() {
+        let g = complete_graph(12);
+        assert!(!is_planar(&g));
+    }
+
+    #[test]
+    fn stays_planar_helper_does_not_mutate() {
+        let mut h = WeightedGraph::new(5);
+        h.add_edge(0, 1, 1.0);
+        assert!(stays_planar_with_edge(&h, 2, 3));
+        assert_eq!(h.num_edges(), 1);
+    }
+}

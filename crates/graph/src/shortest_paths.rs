@@ -1,0 +1,171 @@
+//! Dijkstra single-source shortest paths and parallel all-pairs shortest
+//! paths over the sparse filtered graphs.
+//!
+//! APSP over the dissimilarity-weighted TMFG is the dominant cost of the
+//! DBHT (§VI): the paper runs Dijkstra from every source in parallel, which
+//! is exactly what [`all_pairs_shortest_paths`] does (one rayon task per
+//! source over a binary-heap Dijkstra).
+
+use crate::matrix::SymmetricMatrix;
+use crate::weighted_graph::WeightedGraph;
+use rayon::prelude::*;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Min-heap entry: (distance, vertex).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    vertex: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so that BinaryHeap (a max-heap) pops the smallest distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra shortest-path distances from `source` using edge weights as
+/// (non-negative) lengths. Unreachable vertices get `f64::INFINITY`.
+///
+/// # Panics
+/// Debug-asserts that edge weights are non-negative.
+pub fn dijkstra(graph: &WeightedGraph, source: usize) -> Vec<f64> {
+    let n = graph.num_vertices();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    dist[source] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        vertex: source,
+    });
+    while let Some(HeapEntry { dist: d, vertex: u }) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        for &(v, w) in graph.neighbors(u) {
+            debug_assert!(w >= 0.0, "Dijkstra requires non-negative weights");
+            let candidate = d + w;
+            if candidate < dist[v] {
+                dist[v] = candidate;
+                heap.push(HeapEntry {
+                    dist: candidate,
+                    vertex: v,
+                });
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs shortest paths: runs [`dijkstra`] from every vertex in
+/// parallel and returns the resulting symmetric distance matrix.
+pub fn all_pairs_shortest_paths(graph: &WeightedGraph) -> SymmetricMatrix {
+    let n = graph.num_vertices();
+    let rows: Vec<Vec<f64>> = (0..n)
+        .into_par_iter()
+        .map(|source| dijkstra(graph, source))
+        .collect();
+    let mut flat = Vec::with_capacity(n * n);
+    for row in &rows {
+        flat.extend_from_slice(row);
+    }
+    // The graph is undirected so the matrix is symmetric up to floating
+    // point associativity; symmetrise explicitly to make downstream
+    // consumers (complete linkage) independent of traversal order.
+    let mut m = SymmetricMatrix::zeros(n);
+    for i in 0..n {
+        for j in i..n {
+            let v = 0.5 * (flat[i * n + j] + flat[j * n + i]);
+            m.set(i, j, v);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted_square() -> WeightedGraph {
+        // 0 -1- 1
+        // |     |
+        // 4     1
+        // |     |
+        // 3 -1- 2
+        WeightedGraph::from_edges(
+            4,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 4.0)],
+        )
+    }
+
+    #[test]
+    fn dijkstra_prefers_longer_hop_path_with_smaller_weight() {
+        let g = weighted_square();
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], 1.0);
+        assert_eq!(d[2], 2.0);
+        assert_eq!(d[3], 3.0); // via 1,2 not the direct weight-4 edge
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_infinite() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let d = dijkstra(&g, 0);
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn apsp_matches_per_source_dijkstra() {
+        let g = weighted_square();
+        let apsp = all_pairs_shortest_paths(&g);
+        for s in 0..4 {
+            let d = dijkstra(&g, s);
+            for t in 0..4 {
+                assert!((apsp.get(s, t) - d[t]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn apsp_is_symmetric_with_zero_diagonal() {
+        let g = weighted_square();
+        let apsp = all_pairs_shortest_paths(&g);
+        for i in 0..4 {
+            assert_eq!(apsp.get(i, i), 0.0);
+            for j in 0..4 {
+                assert_eq!(apsp.get(i, j), apsp.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn apsp_satisfies_triangle_inequality() {
+        let g = weighted_square();
+        let apsp = all_pairs_shortest_paths(&g);
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    assert!(apsp.get(i, j) <= apsp.get(i, k) + apsp.get(k, j) + 1e-12);
+                }
+            }
+        }
+    }
+}

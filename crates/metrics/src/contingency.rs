@@ -1,0 +1,146 @@
+//! Contingency tables between two clusterings.
+
+use std::collections::HashMap;
+
+/// A contingency table `n_ij` between ground-truth clusters `i` and
+/// predicted clusters `j`, with the marginals the ARI/AMI formulas need.
+#[derive(Debug, Clone)]
+pub struct ContingencyTable {
+    /// `counts[i][j]` = number of objects in truth cluster `i` and predicted
+    /// cluster `j`.
+    pub counts: Vec<Vec<u64>>,
+    /// Row sums `a_i` (sizes of the ground-truth clusters).
+    pub row_sums: Vec<u64>,
+    /// Column sums `b_j` (sizes of the predicted clusters).
+    pub col_sums: Vec<u64>,
+    /// Total number of objects `n`.
+    pub total: u64,
+}
+
+impl ContingencyTable {
+    /// Builds the table from two label vectors of equal length. Labels may
+    /// be arbitrary `usize` values; they are compacted internally.
+    ///
+    /// # Panics
+    /// Panics if the two label vectors have different lengths.
+    pub fn new(truth: &[usize], predicted: &[usize]) -> Self {
+        assert_eq!(
+            truth.len(),
+            predicted.len(),
+            "label vectors must have equal length"
+        );
+        let mut row_index: HashMap<usize, usize> = HashMap::new();
+        let mut col_index: HashMap<usize, usize> = HashMap::new();
+        for &t in truth {
+            let next = row_index.len();
+            row_index.entry(t).or_insert(next);
+        }
+        for &p in predicted {
+            let next = col_index.len();
+            col_index.entry(p).or_insert(next);
+        }
+        let rows = row_index.len();
+        let cols = col_index.len();
+        let mut counts = vec![vec![0_u64; cols]; rows];
+        for (&t, &p) in truth.iter().zip(predicted.iter()) {
+            counts[row_index[&t]][col_index[&p]] += 1;
+        }
+        let row_sums: Vec<u64> = counts.iter().map(|r| r.iter().sum()).collect();
+        let col_sums: Vec<u64> = (0..cols)
+            .map(|j| counts.iter().map(|r| r[j]).sum())
+            .collect();
+        Self {
+            counts,
+            row_sums,
+            col_sums,
+            total: truth.len() as u64,
+        }
+    }
+
+    /// Number of ground-truth clusters.
+    pub fn num_truth_clusters(&self) -> usize {
+        self.row_sums.len()
+    }
+
+    /// Number of predicted clusters.
+    pub fn num_predicted_clusters(&self) -> usize {
+        self.col_sums.len()
+    }
+
+    /// Sum over all cells of `C(n_ij, 2)`.
+    pub fn sum_cell_pairs(&self) -> f64 {
+        self.counts
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|&c| choose2(c))
+            .sum()
+    }
+
+    /// Sum over rows of `C(a_i, 2)`.
+    pub fn sum_row_pairs(&self) -> f64 {
+        self.row_sums.iter().map(|&a| choose2(a)).sum()
+    }
+
+    /// Sum over columns of `C(b_j, 2)`.
+    pub fn sum_col_pairs(&self) -> f64 {
+        self.col_sums.iter().map(|&b| choose2(b)).sum()
+    }
+}
+
+/// `C(n, 2)` as a float.
+pub fn choose2(n: u64) -> f64 {
+    (n as f64) * (n as f64 - 1.0) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_counts_and_marginals() {
+        let truth = vec![0, 0, 1, 1, 1];
+        let pred = vec![5, 5, 5, 9, 9];
+        let table = ContingencyTable::new(&truth, &pred);
+        assert_eq!(table.total, 5);
+        assert_eq!(table.num_truth_clusters(), 2);
+        assert_eq!(table.num_predicted_clusters(), 2);
+        assert_eq!(table.counts, vec![vec![2, 0], vec![1, 2]]);
+        assert_eq!(table.row_sums, vec![2, 3]);
+        assert_eq!(table.col_sums, vec![3, 2]);
+    }
+
+    #[test]
+    fn pair_sums() {
+        let truth = vec![0, 0, 1, 1, 1];
+        let pred = vec![0, 0, 0, 1, 1];
+        let table = ContingencyTable::new(&truth, &pred);
+        // cells: 2,0 / 1,2 → C(2,2)+C(1,2)+C(2,2) = 1 + 0 + 1 = 2
+        assert_eq!(table.sum_cell_pairs(), 2.0);
+        assert_eq!(table.sum_row_pairs(), 1.0 + 3.0);
+        assert_eq!(table.sum_col_pairs(), 3.0 + 1.0);
+    }
+
+    #[test]
+    fn arbitrary_label_values_are_compacted() {
+        let truth = vec![100, 100, 7];
+        let pred = vec![42, 3, 3];
+        let table = ContingencyTable::new(&truth, &pred);
+        assert_eq!(table.num_truth_clusters(), 2);
+        assert_eq!(table.num_predicted_clusters(), 2);
+        assert_eq!(table.total, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        ContingencyTable::new(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn choose2_small_values() {
+        assert_eq!(choose2(0), 0.0);
+        assert_eq!(choose2(1), 0.0);
+        assert_eq!(choose2(2), 1.0);
+        assert_eq!(choose2(5), 10.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Clustering evaluation metrics used in §VII of the paper: the Adjusted
+//! Rand Index (ARI) and Adjusted Mutual Information (AMI), plus the
+//! contingency-table machinery they share.
+//!
+//! Both scores compare a predicted clustering against ground-truth labels;
+//! they equal 1 for a perfect match and have expected value 0 for random
+//! assignments.
+
+pub mod contingency;
+pub mod scores;
+
+pub use contingency::ContingencyTable;
+pub use scores::{adjusted_mutual_information, adjusted_rand_index, normalized_mutual_information, rand_index};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![1, 1, 0, 0];
+        assert!((adjusted_rand_index(&truth, &pred) - 1.0).abs() < 1e-12);
+        assert!((adjusted_mutual_information(&truth, &pred) - 1.0).abs() < 1e-9);
+    }
+}

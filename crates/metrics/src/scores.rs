@@ -1,0 +1,239 @@
+//! The Adjusted Rand Index and (Adjusted / Normalized) Mutual Information.
+
+use crate::contingency::{choose2, ContingencyTable};
+
+/// The (unadjusted) Rand index: the fraction of object pairs on which the
+/// two clusterings agree.
+pub fn rand_index(truth: &[usize], predicted: &[usize]) -> f64 {
+    let table = ContingencyTable::new(truth, predicted);
+    let n = table.total;
+    if n < 2 {
+        return 1.0;
+    }
+    let total_pairs = choose2(n);
+    let sum_cells = table.sum_cell_pairs();
+    let sum_rows = table.sum_row_pairs();
+    let sum_cols = table.sum_col_pairs();
+    // Agreements = pairs together in both + pairs separated in both.
+    let together_both = sum_cells;
+    let separated_both = total_pairs - sum_rows - sum_cols + sum_cells;
+    (together_both + separated_both) / total_pairs
+}
+
+/// The Adjusted Rand Index of Hubert and Arabie (the formula of §VII):
+/// 1 for identical clusterings, expected value 0 under random labelings.
+pub fn adjusted_rand_index(truth: &[usize], predicted: &[usize]) -> f64 {
+    let table = ContingencyTable::new(truth, predicted);
+    let n = table.total;
+    if n < 2 {
+        return 1.0;
+    }
+    let total_pairs = choose2(n);
+    let index = table.sum_cell_pairs();
+    let expected = table.sum_row_pairs() * table.sum_col_pairs() / total_pairs;
+    let max_index = 0.5 * (table.sum_row_pairs() + table.sum_col_pairs());
+    if (max_index - expected).abs() < 1e-15 {
+        // Both clusterings are trivial (all singletons or a single cluster):
+        // they agree perfectly iff the index equals the expectation.
+        return if (index - expected).abs() < 1e-15 { 1.0 } else { 0.0 };
+    }
+    (index - expected) / (max_index - expected)
+}
+
+/// Entropy (natural log) of a clustering given its cluster sizes.
+fn entropy(sizes: &[u64], total: u64) -> f64 {
+    let n = total as f64;
+    sizes
+        .iter()
+        .filter(|&&s| s > 0)
+        .map(|&s| {
+            let p = s as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Mutual information (natural log) between the two clusterings.
+fn mutual_information(table: &ContingencyTable) -> f64 {
+    let n = table.total as f64;
+    let mut mi = 0.0;
+    for (i, row) in table.counts.iter().enumerate() {
+        for (j, &nij) in row.iter().enumerate() {
+            if nij == 0 {
+                continue;
+            }
+            let nij = nij as f64;
+            let ai = table.row_sums[i] as f64;
+            let bj = table.col_sums[j] as f64;
+            mi += (nij / n) * ((n * nij) / (ai * bj)).ln();
+        }
+    }
+    mi
+}
+
+/// Expected mutual information under the permutation (hypergeometric)
+/// model, following Vinh, Epps and Bailey (2010).
+fn expected_mutual_information(table: &ContingencyTable) -> f64 {
+    let n = table.total;
+    let nf = n as f64;
+    // Pre-computed log-factorials 0..=n.
+    let mut log_fact = vec![0.0_f64; (n + 1) as usize];
+    for i in 1..=n as usize {
+        log_fact[i] = log_fact[i - 1] + (i as f64).ln();
+    }
+    let lf = |x: u64| log_fact[x as usize];
+
+    let mut emi = 0.0;
+    for &ai in &table.row_sums {
+        for &bj in &table.col_sums {
+            let lower = 1.max((ai + bj).saturating_sub(n));
+            let upper = ai.min(bj);
+            for nij in lower..=upper {
+                let nij_f = nij as f64;
+                let term1 = (nij_f / nf) * ((nf * nij_f) / (ai as f64 * bj as f64)).ln();
+                // log of the hypergeometric probability of n_ij.
+                let log_prob = lf(ai) + lf(bj) + lf(n - ai) + lf(n - bj)
+                    - lf(n)
+                    - lf(nij)
+                    - lf(ai - nij)
+                    - lf(bj - nij)
+                    - lf(n + nij - ai - bj);
+                emi += term1 * log_prob.exp();
+            }
+        }
+    }
+    emi
+}
+
+/// Normalized mutual information with the arithmetic-mean normaliser.
+pub fn normalized_mutual_information(truth: &[usize], predicted: &[usize]) -> f64 {
+    let table = ContingencyTable::new(truth, predicted);
+    let hu = entropy(&table.row_sums, table.total);
+    let hv = entropy(&table.col_sums, table.total);
+    if hu == 0.0 && hv == 0.0 {
+        return 1.0;
+    }
+    let mi = mutual_information(&table);
+    2.0 * mi / (hu + hv)
+}
+
+/// The Adjusted Mutual Information (arithmetic-mean normalisation), the
+/// second quality score used in §VII. Equals 1 for identical clusterings
+/// and has expected value 0 for random ones.
+pub fn adjusted_mutual_information(truth: &[usize], predicted: &[usize]) -> f64 {
+    let table = ContingencyTable::new(truth, predicted);
+    let hu = entropy(&table.row_sums, table.total);
+    let hv = entropy(&table.col_sums, table.total);
+    if hu == 0.0 && hv == 0.0 {
+        // Both clusterings put everything in one cluster: identical.
+        return 1.0;
+    }
+    let mi = mutual_information(&table);
+    let emi = expected_mutual_information(&table);
+    let denom = 0.5 * (hu + hv) - emi;
+    if denom.abs() < 1e-15 {
+        return 0.0;
+    }
+    (mi - emi) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_clusterings_score_one() {
+        let labels = vec![0, 0, 1, 1, 2, 2, 2];
+        assert!((adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-12);
+        assert!((adjusted_mutual_information(&labels, &labels) - 1.0).abs() < 1e-9);
+        assert!((rand_index(&labels, &labels) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&labels, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn permuted_label_names_do_not_matter() {
+        let truth = vec![0, 0, 1, 1, 2, 2];
+        let pred = vec![7, 7, 3, 3, 9, 9];
+        assert!((adjusted_rand_index(&truth, &pred) - 1.0).abs() < 1e-12);
+        assert!((adjusted_mutual_information(&truth, &pred) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completely_split_prediction_scores_near_zero() {
+        // Each object its own cluster vs two ground-truth clusters: ARI = 0.
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let pred = vec![0, 1, 2, 3, 4, 5];
+        let ari = adjusted_rand_index(&truth, &pred);
+        assert!(ari.abs() < 1e-12, "ari {ari}");
+    }
+
+    #[test]
+    fn single_cluster_prediction_scores_near_zero() {
+        let truth = vec![0, 0, 0, 1, 1, 1];
+        let pred = vec![0; 6];
+        let ari = adjusted_rand_index(&truth, &pred);
+        assert!(ari.abs() < 1e-12, "ari {ari}");
+        let ami = adjusted_mutual_information(&truth, &pred);
+        assert!(ami.abs() < 1e-9, "ami {ami}");
+    }
+
+    #[test]
+    fn known_ari_value() {
+        // Classic example: truth = [0,0,1,1], pred = [0,0,0,1].
+        // Contingency: [[2,0],[1,1]]; sum cells C2 = 1; rows = 1+1=2; cols = C(3,2)+0 = 3.
+        // index = 1, expected = 2*3/6 = 1, max = 2.5 → ARI = 0/1.5 = 0.
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 0, 0, 1];
+        let ari = adjusted_rand_index(&truth, &pred);
+        assert!(ari.abs() < 1e-12, "ari {ari}");
+    }
+
+    #[test]
+    fn known_rand_index_value() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 0, 0, 1];
+        // Agreeing pairs: (0,1) together-together, (0,3),(1,3) apart-apart → 3 of 6.
+        // Wait: pairs = (0,1) T/T agree, (0,2) F/T disagree, (0,3) F/F agree,
+        // (1,2) F/T disagree, (1,3) F/F agree, (2,3) T/F disagree → 3/6.
+        assert!((rand_index(&truth, &pred) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_agreement_is_between_zero_and_one() {
+        let truth = vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2];
+        let pred = vec![0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 0];
+        let ari = adjusted_rand_index(&truth, &pred);
+        let ami = adjusted_mutual_information(&truth, &pred);
+        assert!(ari > 0.0 && ari < 1.0, "ari {ari}");
+        assert!(ami > 0.0 && ami < 1.0, "ami {ami}");
+    }
+
+    #[test]
+    fn ami_is_close_to_zero_for_random_labels() {
+        // Deterministic pseudo-random labels via a multiplicative hash.
+        let n = 400;
+        let truth: Vec<usize> = (0..n).map(|i| (i * 2654435761_usize) % 5).collect();
+        let pred: Vec<usize> = (0..n).map(|i| (i * 40503_usize + 7) % 4).collect();
+        let ami = adjusted_mutual_information(&truth, &pred);
+        let ari = adjusted_rand_index(&truth, &pred);
+        assert!(ami.abs() < 0.1, "ami {ami}");
+        assert!(ari.abs() < 0.1, "ari {ari}");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(adjusted_rand_index(&[0], &[0]), 1.0);
+        assert_eq!(rand_index(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn ari_symmetry() {
+        let a = vec![0, 0, 1, 1, 2, 2, 0, 1];
+        let b = vec![0, 1, 1, 1, 2, 0, 0, 1];
+        assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12);
+        assert!(
+            (adjusted_mutual_information(&a, &b) - adjusted_mutual_information(&b, &a)).abs()
+                < 1e-9
+        );
+    }
+}

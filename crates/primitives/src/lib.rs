@@ -1,0 +1,44 @@
+//! Parallel primitives used throughout the parallel filtered-graph algorithms.
+//!
+//! This crate implements the primitives of Table I of *Parallel Filtered
+//! Graphs for Hierarchical Clustering* (Yu & Shun, ICDE 2023):
+//!
+//! * [`par_filter`] — parallel filter preserving input order,
+//! * [`par_sort_by`] / [`par_sort_unstable_by`] — parallel comparison sorts,
+//! * [`par_max_by_key`] / [`par_max_index`] — parallel maximum,
+//! * [`AtomicF64`] with [`AtomicF64::write_min`], [`AtomicF64::write_max`],
+//!   and [`AtomicF64::write_add`] — the `WRITE_MIN` / `WRITE_MAX` /
+//!   `WRITE_ADD` priority concurrent writes,
+//! * [`PriorityCell`] — a keyed priority write cell used for the vertex
+//!   assignment writes of Algorithm 4 (e.g. `WRITE_MAX(v.g, (χ, b))`).
+//!
+//! All parallel operations are built on rayon's fork–join scheduler, which
+//! matches the work–span model used in the paper (randomized work stealing).
+
+pub mod atomic;
+pub mod par;
+
+pub use atomic::{AtomicF64, PriorityCell};
+pub use par::{
+    par_filter, par_max_by_key, par_max_index, par_min_index, par_sort_by, par_sort_unstable_by,
+    par_sum_f64,
+};
+
+/// Re-export of rayon so downstream crates can build thread pools for the
+/// scalability experiments without an extra direct dependency.
+pub use rayon;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_reexports() {
+        let v = vec![3_i64, 1, 4, 1, 5];
+        let evens = par_filter(&v, |x| *x % 2 == 0);
+        assert_eq!(evens, vec![4]);
+        let cell = AtomicF64::new(0.0);
+        cell.write_add(1.5);
+        assert!((cell.load() - 1.5).abs() < 1e-12);
+    }
+}

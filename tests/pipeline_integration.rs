@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: data generation → correlation →
+//! filtered graphs → DBHT → evaluation, plus baseline comparisons.
+
+use par_filtered_graph_clustering::prelude::*;
+use pfg_baselines::kmeans::Seeding;
+
+/// A small but realistic labeled data set shared by the tests.
+fn small_dataset(seed: u64) -> (TimeSeriesDataset, SymmetricMatrix, SymmetricMatrix) {
+    let config = TimeSeriesConfig {
+        num_series: 120,
+        length: 96,
+        num_classes: 4,
+        noise: 0.35,
+        seed,
+    };
+    let dataset = TimeSeriesDataset::generate("integration", &config);
+    let correlation = correlation_matrix(&dataset.series);
+    let dissimilarity = dissimilarity_from_correlation(&correlation);
+    (dataset, correlation, dissimilarity)
+}
+
+#[test]
+fn full_pipeline_beats_random_clustering_comfortably() {
+    let (dataset, correlation, dissimilarity) = small_dataset(3);
+    let k = dataset.num_classes();
+    for prefix in [1, 10] {
+        let result = ParTdbht::with_prefix(prefix)
+            .run(&correlation, &dissimilarity)
+            .unwrap();
+        let labels = result.clusters(k);
+        let ari = adjusted_rand_index(&dataset.labels, &labels);
+        assert!(ari > 0.3, "prefix {prefix}: ARI {ari}");
+    }
+}
+
+#[test]
+fn tmfg_dbht_tracks_or_beats_linkage_baselines() {
+    // The paper's headline quality claim (Figures 1 and 8): TMFG+DBHT
+    // produces clusters at least comparable to complete/average linkage.
+    // We allow a small slack because a single synthetic data set is noisy.
+    let (dataset, correlation, dissimilarity) = small_dataset(11);
+    let k = dataset.num_classes();
+    let dbht_labels = ParTdbht::with_prefix(10)
+        .run(&correlation, &dissimilarity)
+        .unwrap()
+        .clusters(k);
+    let dbht_ari = adjusted_rand_index(&dataset.labels, &dbht_labels);
+
+    let comp_ari = adjusted_rand_index(
+        &dataset.labels,
+        &hac(&dissimilarity, Linkage::Complete).cut_to_clusters(k),
+    );
+    let avg_ari = adjusted_rand_index(
+        &dataset.labels,
+        &hac(&dissimilarity, Linkage::Average).cut_to_clusters(k),
+    );
+    assert!(
+        dbht_ari > comp_ari.min(avg_ari) - 0.1,
+        "DBHT {dbht_ari} vs COMP {comp_ari} / AVG {avg_ari}"
+    );
+}
+
+#[test]
+fn pmfg_and_tmfg_agree_on_quality_and_weight() {
+    // Figure 7: the TMFG keeps almost the same total edge weight as the
+    // PMFG, and DBHT on either gives similar clusters.
+    let config = TimeSeriesConfig {
+        num_series: 60,
+        length: 96,
+        num_classes: 3,
+        noise: 0.3,
+        seed: 5,
+    };
+    let dataset = TimeSeriesDataset::generate("pmfg", &config);
+    let correlation = correlation_matrix(&dataset.series);
+    let dissimilarity = dissimilarity_from_correlation(&correlation);
+    let k = dataset.num_classes();
+
+    let tmfg_result = tmfg(&correlation, TmfgConfig::with_prefix(1)).unwrap();
+    let pmfg_result = pmfg(&correlation).unwrap();
+    let ratio = tmfg_result.edge_weight_sum() / pmfg_result.edge_weight_sum();
+    assert!(ratio > 0.9 && ratio < 1.05, "edge-sum ratio {ratio}");
+
+    let tmfg_labels = dbht_for_tmfg(&tmfg_result, &dissimilarity)
+        .unwrap()
+        .dendrogram
+        .cut_to_clusters(k);
+    let pmfg_labels = dbht_for_planar_graph(&pmfg_result.graph, &dissimilarity)
+        .unwrap()
+        .dendrogram
+        .cut_to_clusters(k);
+    let tmfg_ari = adjusted_rand_index(&dataset.labels, &tmfg_labels);
+    let pmfg_ari = adjusted_rand_index(&dataset.labels, &pmfg_labels);
+    assert!(tmfg_ari > 0.2, "TMFG+DBHT ARI {tmfg_ari}");
+    assert!(pmfg_ari > 0.2, "PMFG+DBHT ARI {pmfg_ari}");
+}
+
+#[test]
+fn kmeans_baseline_runs_on_raw_series() {
+    let (dataset, _, _) = small_dataset(7);
+    let k = dataset.num_classes();
+    let result = kmeans(
+        &dataset.series,
+        &KMeansConfig {
+            k,
+            seeding: Seeding::Scalable,
+            seed: 1,
+            ..KMeansConfig::default()
+        },
+    );
+    let ari = adjusted_rand_index(&dataset.labels, &result.labels);
+    assert!(ari > 0.2, "k-means ARI {ari}");
+}
+
+#[test]
+fn spectral_embedding_feeds_kmeans() {
+    let (dataset, _, _) = small_dataset(9);
+    let k = dataset.num_classes();
+    let embedded = spectral_embedding(
+        &dataset.series,
+        &SpectralConfig {
+            neighbors: 15,
+            dimensions: k,
+            iterations: 150,
+            seed: 2,
+        },
+    );
+    let result = kmeans(
+        &embedded,
+        &KMeansConfig {
+            k,
+            seed: 2,
+            ..KMeansConfig::default()
+        },
+    );
+    let ari = adjusted_rand_index(&dataset.labels, &result.labels);
+    assert!(ari > 0.2, "k-means-s ARI {ari}");
+}
+
+#[test]
+fn stock_market_clusters_align_with_sectors() {
+    let market = StockMarket::generate(&StockMarketConfig {
+        num_stocks: 220,
+        num_days: 300,
+        ..StockMarketConfig::default()
+    });
+    let correlation = correlation_matrix(&market.detrended_returns());
+    let dissimilarity = dissimilarity_from_correlation(&correlation);
+    let result = ParTdbht::with_prefix(30)
+        .run(&correlation, &dissimilarity)
+        .unwrap();
+    let clusters = result.clusters(SECTORS.len());
+    let ari = adjusted_rand_index(&market.sector, &clusters);
+    // The paper reports ARI 0.36 on real stock data; the synthetic factor
+    // model is cleaner, so we only require a clearly-positive alignment.
+    assert!(ari > 0.25, "stock ARI {ari}");
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let (_, correlation, dissimilarity) = small_dataset(13);
+    let a = ParTdbht::with_prefix(10).run(&correlation, &dissimilarity).unwrap();
+    let b = ParTdbht::with_prefix(10).run(&correlation, &dissimilarity).unwrap();
+    assert_eq!(a.clusters(4), b.clusters(4));
+    assert_eq!(a.assignment.group, b.assignment.group);
+    assert_eq!(
+        a.tmfg.graph.edges().collect::<Vec<_>>(),
+        b.tmfg.graph.edges().collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,133 @@
+//! Property-based tests over the core data structures and algorithms:
+//! structural invariants of TMFGs and bubble trees, metric properties of
+//! ARI/AMI, and dendrogram well-formedness, on randomly generated inputs.
+
+use par_filtered_graph_clustering::prelude::*;
+use pfg_core::dbht::direction::direct_tmfg_bubble_tree;
+use proptest::prelude::*;
+
+/// Strategy: a random symmetric similarity matrix with entries in (0, 1).
+fn similarity_matrix(min_n: usize, max_n: usize) -> impl Strategy<Value = SymmetricMatrix> {
+    (min_n..=max_n)
+        .prop_flat_map(|n| {
+            let entries = n * (n - 1) / 2;
+            (
+                Just(n),
+                proptest::collection::vec(0.01f64..0.99, entries),
+            )
+        })
+        .prop_map(|(n, upper)| {
+            let mut iter = upper.into_iter();
+            SymmetricMatrix::from_fn(n, |i, j| if i == j { 1.0 } else { iter.next().unwrap() })
+        })
+}
+
+/// Strategy: a pair of random label vectors of equal length.
+fn label_pairs() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (2usize..60).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0usize..5, n),
+            proptest::collection::vec(0usize..5, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every TMFG is a connected maximal planar graph with 3n − 6 edges and
+    /// a bubble tree with n − 3 nodes, for any prefix size.
+    #[test]
+    fn tmfg_structural_invariants(s in similarity_matrix(5, 28), prefix in 1usize..12) {
+        let result = tmfg(&s, TmfgConfig::with_prefix(prefix)).unwrap();
+        let n = s.n();
+        prop_assert_eq!(result.graph.num_edges(), 3 * n - 6);
+        prop_assert!(result.graph.is_connected());
+        prop_assert!(pfg_graph::is_planar(&result.graph));
+        prop_assert_eq!(result.bubble_tree.len(), n - 3);
+        prop_assert!(result.bubble_tree.check_invariants().is_ok());
+        // Edge weights are exactly the similarities.
+        for (u, v, w) in result.graph.edges() {
+            prop_assert!((w - s.get(u, v)).abs() < 1e-12);
+        }
+    }
+
+    /// The batched TMFG never retains more total edge weight than ... is not
+    /// guaranteed, but it must stay within a sane band of the sequential
+    /// TMFG, and the directed bubble graph must always have at least one
+    /// converging bubble.
+    #[test]
+    fn prefix_tmfg_weight_and_direction_sanity(s in similarity_matrix(8, 24), prefix in 2usize..10) {
+        let sequential = tmfg(&s, TmfgConfig::with_prefix(1)).unwrap();
+        let batched = tmfg(&s, TmfgConfig::with_prefix(prefix)).unwrap();
+        let ratio = batched.edge_weight_sum() / sequential.edge_weight_sum();
+        prop_assert!(ratio > 0.5 && ratio < 1.5, "ratio {}", ratio);
+        let directed = direct_tmfg_bubble_tree(&batched.bubble_tree, &batched.graph);
+        prop_assert!(directed.check_invariants().is_ok());
+        prop_assert!(!directed.converging_bubbles().is_empty());
+    }
+
+    /// The DBHT dendrogram is always complete (covers all vertices),
+    /// monotone, and cutting it to k clusters yields at most k labels.
+    #[test]
+    fn dbht_dendrogram_wellformed(s in similarity_matrix(8, 22), prefix in 1usize..6, k in 1usize..6) {
+        let d = s.map(|p| (2.0 * (1.0 - p)).sqrt());
+        let result = ParTdbht::with_prefix(prefix).run(&s, &d).unwrap();
+        let dend = &result.dendrogram;
+        prop_assert_eq!(dend.num_leaves(), s.n());
+        prop_assert!(dend.root().is_some());
+        prop_assert!(dend.is_monotone());
+        let labels = result.clusters(k);
+        let mut distinct = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert!(distinct.len() <= k.max(1));
+        prop_assert_eq!(labels.len(), s.n());
+    }
+
+    /// ARI and AMI are symmetric, bounded above by 1, and exactly 1 on
+    /// identical labelings (up to renaming).
+    #[test]
+    fn metric_properties((truth, predicted) in label_pairs()) {
+        let ari = adjusted_rand_index(&truth, &predicted);
+        let ari_swapped = adjusted_rand_index(&predicted, &truth);
+        prop_assert!((ari - ari_swapped).abs() < 1e-9);
+        prop_assert!(ari <= 1.0 + 1e-9);
+        let ami = adjusted_mutual_information(&truth, &predicted);
+        prop_assert!((ami - adjusted_mutual_information(&predicted, &truth)).abs() < 1e-9);
+        prop_assert!(ami <= 1.0 + 1e-6);
+        // Renaming labels never changes the scores.
+        let renamed: Vec<usize> = predicted.iter().map(|&l| l + 17).collect();
+        prop_assert!((adjusted_rand_index(&truth, &renamed) - ari).abs() < 1e-12);
+        // Self-comparison is perfect.
+        prop_assert!((adjusted_rand_index(&truth, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    /// HAC dendrograms under any linkage are complete and monotone, and
+    /// cutting them produces the requested number of clusters when possible.
+    #[test]
+    fn hac_dendrogram_wellformed(s in similarity_matrix(4, 30), k in 1usize..5) {
+        let d = s.map(|p| (2.0 * (1.0 - p)).sqrt());
+        for linkage in [Linkage::Complete, Linkage::Average, Linkage::Single] {
+            let dend = hac(&d, linkage);
+            prop_assert!(dend.root().is_some());
+            prop_assert!(dend.is_monotone());
+            let labels = dend.cut_to_clusters(k);
+            let mut distinct = labels;
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), k.min(s.n()));
+        }
+    }
+
+    /// PMFG structural invariants on small random inputs (kept small because
+    /// each candidate edge runs a planarity test).
+    #[test]
+    fn pmfg_structural_invariants(s in similarity_matrix(5, 12)) {
+        let result = pmfg(&s).unwrap();
+        let n = s.n();
+        prop_assert_eq!(result.graph.num_edges(), 3 * n - 6);
+        prop_assert!(pfg_graph::is_planar(&result.graph));
+        prop_assert!(result.graph.is_connected());
+    }
+}
