@@ -63,7 +63,10 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
     assert!(!points.is_empty(), "k-means needs at least one point");
     assert!(config.k >= 1, "k must be at least 1");
     let dim = points[0].len();
-    assert!(points.iter().all(|p| p.len() == dim), "inconsistent dimensions");
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "inconsistent dimensions"
+    );
     let k = config.k.min(points.len());
     let mut rng = StdRng::seed_from_u64(config.seed);
 
@@ -109,7 +112,11 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
                 let (far, _) = assignment
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap_or(std::cmp::Ordering::Equal))
+                    .max_by(|a, b| {
+                        a.1 .1
+                            .partial_cmp(&b.1 .1)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
                     .expect("points exist");
                 centroids[c] = points[far].clone();
             } else {
@@ -133,7 +140,10 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
 
 /// Squared Euclidean distance.
 fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
 }
 
 /// Index of the nearest centroid and the squared distance to it.
@@ -265,7 +275,11 @@ fn weighted_plus_plus(
         .map(|p| squared_distance(p, &centroids[0]))
         .collect();
     while centroids.len() < k {
-        let total: f64 = distances.iter().zip(weights.iter()).map(|(&d, &w)| d * w).sum();
+        let total: f64 = distances
+            .iter()
+            .zip(weights.iter())
+            .map(|(&d, &w)| d * w)
+            .sum();
         let choice = if total <= 0.0 {
             rng.gen_range(0..points.len())
         } else {

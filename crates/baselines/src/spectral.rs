@@ -44,10 +44,16 @@ impl Default for SpectralConfig {
 /// # Panics
 /// Panics if `points` is empty or dimensions are inconsistent.
 pub fn spectral_embedding(points: &[Vec<f64>], config: &SpectralConfig) -> Vec<Vec<f64>> {
-    assert!(!points.is_empty(), "spectral embedding needs at least one point");
+    assert!(
+        !points.is_empty(),
+        "spectral embedding needs at least one point"
+    );
     let n = points.len();
     let dim = points[0].len();
-    assert!(points.iter().all(|p| p.len() == dim), "inconsistent dimensions");
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "inconsistent dimensions"
+    );
     let k = config.neighbors.clamp(1, n.saturating_sub(1).max(1));
     let dims = config.dimensions.max(1).min(n);
 
@@ -101,7 +107,10 @@ pub fn spectral_embedding(points: &[Vec<f64>], config: &SpectralConfig) -> Vec<V
 }
 
 fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
 }
 
 /// `y = D^{-1/2} A D^{-1/2} x` for the unit-weight adjacency lists.
@@ -127,7 +136,11 @@ fn orthonormalise(basis: &mut [Vec<f64>]) {
     let count = basis.len();
     for i in 0..count {
         for j in 0..i {
-            let dot: f64 = basis[i].iter().zip(basis[j].iter()).map(|(&a, &b)| a * b).sum();
+            let dot: f64 = basis[i]
+                .iter()
+                .zip(basis[j].iter())
+                .map(|(&a, &b)| a * b)
+                .sum();
             let (head, tail) = basis.split_at_mut(i);
             let vj = &head[j];
             for (a, &b) in tail[0].iter_mut().zip(vj.iter()) {

@@ -26,17 +26,11 @@ fn bench_tmfg(c: &mut Criterion) {
     let mut group = c.benchmark_group("tmfg");
     group.sample_size(10);
     for prefix in [1usize, 10, 50, 200] {
-        group.bench_with_input(
-            BenchmarkId::new("prefix", prefix),
-            &prefix,
-            |b, &prefix| {
-                b.iter(|| {
-                    black_box(
-                        tmfg(&data.correlation, TmfgConfig::with_prefix(prefix)).expect("valid"),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("prefix", prefix), &prefix, |b, &prefix| {
+            b.iter(|| {
+                black_box(tmfg(&data.correlation, TmfgConfig::with_prefix(prefix)).expect("valid"))
+            })
+        });
     }
     group.finish();
 }

@@ -31,7 +31,9 @@ fn main() {
                 ins.round, ins.vertex, ins.face, ins.gain
             );
         }
-        let result = ParTdbht::with_prefix(prefix).run(&s, &d).expect("valid matrix");
+        let result = ParTdbht::with_prefix(prefix)
+            .run(&s, &d)
+            .expect("valid matrix");
         let labels = result.clusters(2);
         println!(
             "  2-cluster cut: {:?}  ARI vs {{0,1,2}}/{{3,4,5}} = {:.3}",

@@ -4,10 +4,12 @@
 //!
 //! Usage: `cargo run --release -p pfg-bench --bin fig10_stocks [num_stocks] [num_days]`
 
-use pfg_bench::Record;
 use pfg_baselines::{spectral_embedding, SpectralConfig};
+use pfg_bench::Record;
 use pfg_core::ParTdbht;
-use pfg_data::{correlation_matrix, dissimilarity_from_correlation, StockMarket, StockMarketConfig, SECTORS};
+use pfg_data::{
+    correlation_matrix, dissimilarity_from_correlation, StockMarket, StockMarketConfig, SECTORS,
+};
 use pfg_metrics::adjusted_rand_index;
 
 fn main() {

@@ -7,9 +7,11 @@
 
 use pfg_baselines::{spectral_embedding, SpectralConfig};
 use pfg_core::ParTdbht;
-use pfg_data::{correlation_matrix, dissimilarity_from_correlation, StockMarket, StockMarketConfig, SECTORS};
+use pfg_data::{
+    correlation_matrix, dissimilarity_from_correlation, StockMarket, StockMarketConfig, SECTORS,
+};
 
-fn quartiles(values: &mut Vec<f64>) -> (f64, f64, f64) {
+fn quartiles(values: &mut [f64]) -> (f64, f64, f64) {
     values.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let q = |f: f64| values[((values.len() - 1) as f64 * f) as usize];
     (q(0.25), q(0.5), q(0.75))
@@ -17,7 +19,10 @@ fn quartiles(values: &mut Vec<f64>) -> (f64, f64, f64) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let num_stocks = args.first().and_then(|a| a.parse().ok()).unwrap_or(400usize);
+    let num_stocks = args
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(400usize);
     let num_days = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(500usize);
     let market = StockMarket::generate(&StockMarketConfig {
         num_stocks,

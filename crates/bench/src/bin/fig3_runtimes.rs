@@ -55,7 +55,10 @@ fn run_suite(threads: usize, config: &pfg_bench::SuiteConfig) {
 
 fn main() {
     let config = parse_scale_from_args();
-    println!("# Figure 3: runtimes per data set (scale = {})", config.scale);
+    println!(
+        "# Figure 3: runtimes per data set (scale = {})",
+        config.scale
+    );
     run_suite(1, &config);
     run_suite(num_cpus(), &config);
 }

@@ -21,7 +21,7 @@ pub fn secs(d: Duration) -> String {
 
 /// A serialisable experiment record dumped by the harnesses so results can
 /// be collected into EXPERIMENTS.md.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Record {
     /// Experiment id (e.g. "fig6").
     pub experiment: String,
@@ -42,7 +42,93 @@ pub struct Record {
 impl Record {
     /// Prints the record as a single JSON line (one record per line so the
     /// output of every harness can be concatenated and grepped).
+    ///
+    /// The JSON is written by hand — the offline build has no `serde` — and
+    /// the field set is flat strings/numbers, so escaping string values is
+    /// all that is needed.
     pub fn emit(&self) {
-        println!("{}", serde_json::to_string(self).expect("record serialises"));
+        println!("{}", self.to_json());
+    }
+
+    /// The record as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        fn json_str(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn json_f64(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x}")
+            } else {
+                // JSON has no Infinity/NaN literals; null keeps lines parseable.
+                "null".to_string()
+            }
+        }
+        fn json_opt(x: Option<f64>) -> String {
+            x.map_or_else(|| "null".to_string(), json_f64)
+        }
+        format!(
+            "{{\"experiment\":{},\"dataset\":{},\"method\":{},\"params\":{},\"seconds\":{},\"ari\":{},\"value\":{}}}",
+            json_str(&self.experiment),
+            json_str(&self.dataset),
+            json_str(&self.method),
+            json_str(&self.params),
+            json_f64(self.seconds),
+            json_opt(self.ari),
+            json_opt(self.value),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Record;
+
+    #[test]
+    fn record_emits_valid_json_line() {
+        let record = Record {
+            experiment: "fig6".to_string(),
+            dataset: "ucr\"1\"".to_string(),
+            method: "PAR-TDBHT-10".to_string(),
+            params: "prefix=10".to_string(),
+            seconds: 1.25,
+            ari: Some(0.5),
+            value: None,
+        };
+        assert_eq!(
+            record.to_json(),
+            "{\"experiment\":\"fig6\",\"dataset\":\"ucr\\\"1\\\"\",\"method\":\"PAR-TDBHT-10\",\
+             \"params\":\"prefix=10\",\"seconds\":1.25,\"ari\":0.5,\"value\":null}"
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let record = Record {
+            experiment: String::new(),
+            dataset: String::new(),
+            method: String::new(),
+            params: String::new(),
+            seconds: f64::NAN,
+            ari: Some(f64::INFINITY),
+            value: Some(2.0),
+        };
+        let json = record.to_json();
+        assert!(json.contains("\"seconds\":null"));
+        assert!(json.contains("\"ari\":null"));
+        assert!(json.contains("\"value\":2"));
     }
 }

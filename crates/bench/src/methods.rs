@@ -173,6 +173,9 @@ mod tests {
         assert_eq!(Method::SeqTdbht.name(), "SEQ-TDBHT");
         assert_eq!(Method::PmfgDbht.name(), "PMFG-DBHT");
         assert_eq!(Method::CompleteLinkage.name(), "COMP");
-        assert_eq!(Method::KMeansSpectral { neighbors: 5 }.name(), "K-MEANS-S(b=5)");
+        assert_eq!(
+            Method::KMeansSpectral { neighbors: 5 }.name(),
+            "K-MEANS-S(b=5)"
+        );
     }
 }

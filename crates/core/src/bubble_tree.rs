@@ -64,7 +64,13 @@ impl BubbleTree {
     /// `outer_face` must be a face of that clique; the paper chooses
     /// `{v1, v2, v3}` (the choice does not affect the tree's topology).
     pub fn new(initial_clique: [usize; 4], outer_face: Triangle, num_vertices: usize) -> Self {
-        debug_assert!(initial_clique.iter().all(|v| outer_face.contains(*v) || !outer_face.contains(*v)));
+        debug_assert!(
+            outer_face
+                .corners()
+                .iter()
+                .all(|c| initial_clique.contains(c)),
+            "outer face must be a face of the initial clique"
+        );
         let mut vertices = initial_clique;
         vertices.sort_unstable();
         Self {
@@ -135,7 +141,10 @@ impl BubbleTree {
             // Inserting into the outer face: the new bubble becomes the
             // parent of the current root, and the outer face advances to a
             // face of the new 4-clique.
-            debug_assert_eq!(containing_bubble, self.root, "outer face must be in the root bubble");
+            debug_assert_eq!(
+                containing_bubble, self.root,
+                "outer face must be in the root bubble"
+            );
             let new_bubble = Bubble {
                 vertices,
                 parent: None,

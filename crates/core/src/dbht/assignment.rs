@@ -29,7 +29,9 @@ pub struct VertexAssignment {
 impl VertexAssignment {
     /// The vertices assigned to group `g`, in increasing order.
     pub fn vertices_in_group(&self, g: usize) -> Vec<usize> {
-        (0..self.group.len()).filter(|&v| self.group[v] == g).collect()
+        (0..self.group.len())
+            .filter(|&v| self.group[v] == g)
+            .collect()
     }
 
     /// The number of distinct groups.
@@ -102,7 +104,8 @@ pub fn assign_vertices(
     });
 
     // V0_b: vertices already assigned to each converging bubble.
-    let mut assigned_to: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    let mut assigned_to: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
     let mut group = vec![usize::MAX; n];
     for v in 0..n {
         let (score, b) = group_cells[v].load();
@@ -133,16 +136,11 @@ pub fn assign_vertices(
                     // distance to the bubble's own vertices instead.
                     _ => bubble_graph.bubble(b),
                 };
-                let mean: f64 = basis
-                    .iter()
-                    .map(|&u| shortest_paths.get(u, v))
-                    .sum::<f64>()
+                let mean: f64 = basis.iter().map(|&u| shortest_paths.get(u, v)).sum::<f64>()
                     / basis.len() as f64;
                 match best {
                     None => best = Some((mean, b)),
-                    Some((bm, bb)) if mean < bm || (mean == bm && b < bb) => {
-                        best = Some((mean, b))
-                    }
+                    Some((bm, bb)) if mean < bm || (mean == bm && b < bb) => best = Some((mean, b)),
                     _ => {}
                 }
             }
@@ -159,13 +157,15 @@ pub fn assign_vertices(
 
     // ---- Second level: assign every vertex to a bubble by χ′ -------------
     let bubble_cells: Vec<PriorityCell> = (0..n).map(|_| PriorityCell::neg_infinity()).collect();
-    (0..bubble_graph.num_bubbles()).into_par_iter().for_each(|b| {
-        let bubble = bubble_graph.bubble(b);
-        for &v in bubble {
-            let score = chi_prime(graph, bubble, v);
-            bubble_cells[v].write_max(score, b);
-        }
-    });
+    (0..bubble_graph.num_bubbles())
+        .into_par_iter()
+        .for_each(|b| {
+            let bubble = bubble_graph.bubble(b);
+            for &v in bubble {
+                let score = chi_prime(graph, bubble, v);
+                bubble_cells[v].write_max(score, b);
+            }
+        });
     let bubble: Vec<usize> = (0..n)
         .map(|v| {
             let (_, b) = bubble_cells[v].load();
@@ -211,7 +211,10 @@ mod tests {
         s.map(|p| (2.0 * (1.0 - p)).sqrt())
     }
 
-    fn run_assignment(s: &SymmetricMatrix, prefix: usize) -> (VertexAssignment, DirectedBubbleGraph) {
+    fn run_assignment(
+        s: &SymmetricMatrix,
+        prefix: usize,
+    ) -> (VertexAssignment, DirectedBubbleGraph) {
         let t = tmfg(s, TmfgConfig::with_prefix(prefix)).unwrap();
         let directed = direct_tmfg_bubble_tree(&t.bubble_tree, &t.graph);
         let d = dissimilarity_of(s);
@@ -275,13 +278,17 @@ mod tests {
         let (assignment, directed) = run_assignment(&s, 1);
         let membership = directed.bubbles_of_vertices();
         let reachable = directed.reachable_converging_bubbles();
-        for v in 0..n {
+        for (v, bubbles) in membership.iter().enumerate() {
             // The group of v must be a converging bubble reachable from at
             // least one bubble containing v (Algorithm 4: v ⇀ b).
-            let ok = membership[v]
+            let ok = bubbles
                 .iter()
                 .any(|&b| reachable[b].contains(&assignment.group[v]));
-            assert!(ok, "vertex {v} assigned to unreachable group {}", assignment.group[v]);
+            assert!(
+                ok,
+                "vertex {v} assigned to unreachable group {}",
+                assignment.group[v]
+            );
         }
         // Every group is non-empty and vertices_in_group partitions 0..n.
         let total: usize = assignment

@@ -56,7 +56,13 @@ pub fn direct_tmfg_bubble_tree(tree: &BubbleTree, graph: &WeightedGraph) -> Dire
     // b's separating triangle from b's children (the WRITE_ADDs of
     // Algorithm 3, lines 9–11).
     let accum: Vec<[AtomicF64; 3]> = (0..nb)
-        .map(|_| [AtomicF64::new(0.0), AtomicF64::new(0.0), AtomicF64::new(0.0)])
+        .map(|_| {
+            [
+                AtomicF64::new(0.0),
+                AtomicF64::new(0.0),
+                AtomicF64::new(0.0),
+            ]
+        })
         .collect();
 
     // directed_to_child[b] = true iff the edge (parent(b), b) is directed
@@ -103,10 +109,10 @@ pub fn direct_tmfg_bubble_tree(tree: &BubbleTree, graph: &WeightedGraph) -> Dire
     // Assemble the directed bubble graph with the same bubble ids.
     let bubbles: Vec<Vec<usize>> = (0..nb).map(|b| tree.bubble(b).vertices.to_vec()).collect();
     let mut edges = Vec::with_capacity(nb.saturating_sub(1));
-    for b in 0..nb {
+    for (b, cell) in directed_to_child.iter().enumerate() {
         let bubble = tree.bubble(b);
         if let (Some(parent), Some(triangle)) = (bubble.parent, bubble.parent_triangle) {
-            let to_child = directed_to_child[b].load() > 0.5;
+            let to_child = cell.load() > 0.5;
             let (from, to) = if to_child { (parent, b) } else { (b, parent) };
             edges.push(DirectedBubbleEdge { from, to, triangle });
         }
@@ -210,7 +216,13 @@ mod tests {
 
     fn random_similarity(n: usize, seed: u64) -> SymmetricMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
-        SymmetricMatrix::from_fn(n, |i, j| if i == j { 1.0 } else { rng.gen_range(0.01..1.0) })
+        SymmetricMatrix::from_fn(n, |i, j| {
+            if i == j {
+                1.0
+            } else {
+                rng.gen_range(0.01..1.0)
+            }
+        })
     }
 
     #[test]
@@ -249,8 +261,7 @@ mod tests {
             };
             let reference = direct_generic(&decomposition, &t.graph);
             let canon = |g: &DirectedBubbleGraph| {
-                let mut e: Vec<(usize, usize)> =
-                    g.edges().iter().map(|e| (e.from, e.to)).collect();
+                let mut e: Vec<(usize, usize)> = g.edges().iter().map(|e| (e.from, e.to)).collect();
                 e.sort_unstable();
                 e
             };

@@ -97,7 +97,10 @@ pub fn build_hierarchy(
                 |node, distance, records: &mut Vec<MergeRecord>| {
                     records.push(MergeRecord {
                         node,
-                        kind: MergeKind::IntraBubble { group: g, bubble: b },
+                        kind: MergeKind::IntraBubble {
+                            group: g,
+                            bubble: b,
+                        },
                         distance,
                     });
                 },
@@ -260,27 +263,27 @@ fn assign_heights(
     // Inter-group nodes: height = number of converging bubbles (groups)
     // among the node's descendants. Group roots count 1; leaves of the
     // inter-group level are exactly the group roots.
-    let group_root_set: std::collections::HashSet<usize> = group_root_nodes.iter().copied().collect();
+    let group_root_set: std::collections::HashSet<usize> =
+        group_root_nodes.iter().copied().collect();
     let mut groups_below: HashMap<usize, usize> = HashMap::new();
-    let count_groups = |dendrogram: &Dendrogram,
-                            node: usize,
-                            groups_below: &mut HashMap<usize, usize>| {
-        // Children of inter-group nodes are either group roots or earlier
-        // inter-group nodes (already counted, since records are in creation
-        // order).
-        let n = dendrogram.node(node);
-        let child_count = |c: usize, groups_below: &HashMap<usize, usize>| {
-            if group_root_set.contains(&c) {
-                1
-            } else {
-                *groups_below.get(&c).unwrap_or(&1)
-            }
+    let count_groups =
+        |dendrogram: &Dendrogram, node: usize, groups_below: &mut HashMap<usize, usize>| {
+            // Children of inter-group nodes are either group roots or earlier
+            // inter-group nodes (already counted, since records are in creation
+            // order).
+            let n = dendrogram.node(node);
+            let child_count = |c: usize, groups_below: &HashMap<usize, usize>| {
+                if group_root_set.contains(&c) {
+                    1
+                } else {
+                    *groups_below.get(&c).unwrap_or(&1)
+                }
+            };
+            let total = child_count(n.left.expect("internal"), groups_below)
+                + child_count(n.right.expect("internal"), groups_below);
+            groups_below.insert(node, total);
+            total
         };
-        let total = child_count(n.left.expect("internal"), groups_below)
-            + child_count(n.right.expect("internal"), groups_below);
-        groups_below.insert(node, total);
-        total
-    };
     for record in records {
         if record.kind == MergeKind::InterGroup {
             let total = count_groups(dendrogram, record.node, &mut groups_below);
@@ -313,7 +316,11 @@ fn assign_heights(
             };
             key(a)
                 .cmp(&key(b))
-                .then(a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal))
+                .then(
+                    a.distance
+                        .partial_cmp(&b.distance)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
                 .then(a.node.cmp(&b.node))
         });
         // Ladder 1/(nb−1), 1/(nb−2), …, 1/2, 1.
@@ -332,7 +339,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn blocks_matrix(n: usize, blocks: usize, strong: f64, weak: f64, seed: u64) -> SymmetricMatrix {
+    fn blocks_matrix(
+        n: usize,
+        blocks: usize,
+        strong: f64,
+        weak: f64,
+        seed: u64,
+    ) -> SymmetricMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
         SymmetricMatrix::from_fn(n, |i, j| {
             if i == j {
@@ -443,13 +456,19 @@ mod tests {
             })
             .collect();
         let mut records = Vec::new();
-        let root = complete_linkage(&mut dend, clusters, &spd, |node, dist, recs| {
-            recs.push(MergeRecord {
-                node,
-                kind: MergeKind::InterGroup,
-                distance: dist,
-            });
-        }, &mut records);
+        let root = complete_linkage(
+            &mut dend,
+            clusters,
+            &spd,
+            |node, dist, recs| {
+                recs.push(MergeRecord {
+                    node,
+                    kind: MergeKind::InterGroup,
+                    distance: dist,
+                });
+            },
+            &mut records,
+        );
         assert_eq!(root.members, vec![0, 1, 2, 3]);
         assert_eq!(records.len(), 3);
         // First two merges are the tight pairs at distance 1.

@@ -170,7 +170,13 @@ mod tests {
 
     fn random_similarity(n: usize, seed: u64) -> SymmetricMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
-        SymmetricMatrix::from_fn(n, |i, j| if i == j { 1.0 } else { rng.gen_range(0.01..1.0) })
+        SymmetricMatrix::from_fn(n, |i, j| {
+            if i == j {
+                1.0
+            } else {
+                rng.gen_range(0.01..1.0)
+            }
+        })
     }
 
     #[test]
@@ -265,7 +271,7 @@ mod tests {
         assert!(!d.bubbles.is_empty());
         assert_eq!(d.edges.len(), d.bubbles.len() - 1);
         // Every vertex is covered by at least one bubble.
-        let mut covered = vec![false; 15];
+        let mut covered = [false; 15];
         for b in &d.bubbles {
             for &v in b {
                 covered[v] = true;

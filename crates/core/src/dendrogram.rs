@@ -116,7 +116,11 @@ impl Dendrogram {
     /// dendrogram is fully merged. Returns `None` if more than one subtree
     /// remains (or the dendrogram is empty).
     pub fn root(&self) -> Option<usize> {
-        let mut roots = self.nodes.iter().enumerate().filter(|(_, n)| n.parent.is_none());
+        let mut roots = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.parent.is_none());
         match (roots.next(), roots.next()) {
             (Some((id, _)), None) => Some(id),
             _ => None,
@@ -183,19 +187,7 @@ impl Dendrogram {
         }
         // Any applied-parent chain links leaves transitively; unapplied
         // merges leave their children in separate clusters.
-        let mut labels = vec![usize::MAX; n];
-        let mut next = 0;
-        let mut label_of_root = std::collections::HashMap::new();
-        for leaf in 0..n {
-            let root = uf.find(leaf);
-            let label = *label_of_root.entry(root).or_insert_with(|| {
-                let l = next;
-                next += 1;
-                l
-            });
-            labels[leaf] = label;
-        }
-        labels
+        leaf_labels(&mut uf, n)
     }
 
     /// Cuts the dendrogram at `height`: merges with height strictly greater
@@ -210,19 +202,7 @@ impl Dendrogram {
                 uf.union(id, node.right.expect("internal"));
             }
         }
-        let mut labels = vec![usize::MAX; n];
-        let mut next = 0;
-        let mut label_of_root = std::collections::HashMap::new();
-        for leaf in 0..n {
-            let root = uf.find(leaf);
-            let label = *label_of_root.entry(root).or_insert_with(|| {
-                let l = next;
-                next += 1;
-                l
-            });
-            labels[leaf] = label;
-        }
-        labels
+        leaf_labels(&mut uf, n)
     }
 
     /// Number of clusters produced by [`Dendrogram::cut_at_height`].
@@ -233,6 +213,16 @@ impl Dendrogram {
         distinct.dedup();
         distinct.len()
     }
+}
+
+/// Compact first-appearance labels for the `n` leaves of a dendrogram-node
+/// union-find. Leaves occupy indices `0..n`, so truncating
+/// [`UnionFind::labels`] (which visits elements in index order) to `n`
+/// yields exactly the per-leaf labels.
+fn leaf_labels(uf: &mut UnionFind, n: usize) -> Vec<usize> {
+    let mut labels = uf.labels();
+    labels.truncate(n);
+    labels
 }
 
 #[cfg(test)]

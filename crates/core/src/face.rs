@@ -14,7 +14,10 @@ impl Triangle {
     /// # Panics
     /// Panics if the three vertices are not distinct.
     pub fn new(a: usize, b: usize, c: usize) -> Self {
-        assert!(a != b && b != c && a != c, "triangle corners must be distinct");
+        assert!(
+            a != b && b != c && a != c,
+            "triangle corners must be distinct"
+        );
         let mut corners = [a, b, c];
         corners.sort_unstable();
         Self { corners }
@@ -66,7 +69,11 @@ impl Triangle {
 
 impl std::fmt::Display for Triangle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{{{}, {}, {}}}", self.corners[0], self.corners[1], self.corners[2])
+        write!(
+            f,
+            "{{{}, {}, {}}}",
+            self.corners[0], self.corners[1], self.corners[2]
+        )
     }
 }
 

@@ -3,11 +3,11 @@
 //! This crate is the primary contribution of *Parallel Filtered Graphs for
 //! Hierarchical Clustering* (Yu & Shun, ICDE 2023):
 //!
-//! * [`tmfg`] — the parallel Triangulated Maximally Filtered Graph
+//! * [`mod@tmfg`] — the parallel Triangulated Maximally Filtered Graph
 //!   construction (Algorithm 1), including the prefix-batched variant that
 //!   inserts multiple vertices per round, and the sequential TMFG as the
 //!   `prefix = 1` special case;
-//! * [`pmfg`] — the Planar Maximally Filtered Graph baseline;
+//! * [`mod@pmfg`] — the Planar Maximally Filtered Graph baseline;
 //! * [`bubble_tree`] — the bubble tree built on the fly during TMFG
 //!   construction (Algorithm 2);
 //! * [`dbht`] — the parallel Directed Bubble Hierarchy Tree optimized for

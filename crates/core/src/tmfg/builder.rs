@@ -189,7 +189,10 @@ impl<'a> Builder<'a> {
         while self.num_remaining > 0 {
             self.rounds += 1;
             let selected = self.select_batch();
-            debug_assert!(!selected.is_empty(), "a round must insert at least one vertex");
+            debug_assert!(
+                !selected.is_empty(),
+                "a round must insert at least one vertex"
+            );
             self.apply_batch(&selected);
         }
         debug_assert!(self.graph.has_maximal_planar_edge_count());

@@ -68,6 +68,9 @@ pub fn correlation_matrix(series: &[Vec<f64>]) -> SymmetricMatrix {
         })
         .collect();
     let mut m = SymmetricMatrix::zeros(n);
+    // Indexing two different rows (`rows[i][j]` and `rows[j][i]`) per
+    // iteration — the iterator rewrite clippy suggests does not apply.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..n {
         for j in i..n {
             // Average the two symmetric entries to wash out rounding noise.

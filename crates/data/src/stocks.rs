@@ -107,7 +107,9 @@ impl StockMarket {
             let beta_m = config.market_beta * rng.gen_range(0.7..1.3);
             let beta_s = config.sector_beta * rng.gen_range(0.7..1.3);
             let series: Vec<f64> = (0..config.num_days)
-                .map(|t| beta_m * market[t] + beta_s * sector_factors[s][t] + idio * gaussian(&mut rng))
+                .map(|t| {
+                    beta_m * market[t] + beta_s * sector_factors[s][t] + idio * gaussian(&mut rng)
+                })
                 .collect();
             returns.push(series);
             market_cap.push(cap);

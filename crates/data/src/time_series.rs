@@ -109,9 +109,9 @@ fn archetype(length: usize, rng: &mut StdRng) -> Vec<f64> {
     let components: Vec<(f64, f64, f64)> = (0..num_components)
         .map(|_| {
             (
-                rng.gen_range(0.5..1.5),                       // amplitude
-                rng.gen_range(1.0..8.0),                       // frequency (cycles)
-                rng.gen_range(0.0..std::f64::consts::TAU),     // phase
+                rng.gen_range(0.5..1.5),                   // amplitude
+                rng.gen_range(1.0..8.0),                   // frequency (cycles)
+                rng.gen_range(0.0..std::f64::consts::TAU), // phase
             )
         })
         .collect();
@@ -134,8 +134,8 @@ fn archetype(length: usize, rng: &mut StdRng) -> Vec<f64> {
 fn sample_from_archetype(archetype: &[f64], noise: f64, rng: &mut StdRng) -> Vec<f64> {
     let length = archetype.len();
     let amplitude = rng.gen_range(0.8..1.2);
-    let shift = rng.gen_range(0..=(length / 32).max(1)) as i64
-        * if rng.gen_bool(0.5) { 1 } else { -1 };
+    let shift =
+        rng.gen_range(0..=(length / 32).max(1)) as i64 * if rng.gen_bool(0.5) { 1 } else { -1 };
     (0..length)
         .map(|t| {
             let src = (t as i64 + shift).rem_euclid(length as i64) as usize;

@@ -53,24 +53,132 @@ impl UcrDatasetSpec {
 /// The 18 data sets of Table II.
 pub fn ucr_catalogue() -> Vec<UcrDatasetSpec> {
     vec![
-        UcrDatasetSpec { id: 1, name: "Mallat", n: 2400, length: 1024, num_classes: 8 },
-        UcrDatasetSpec { id: 2, name: "UWaveGestureLibraryAll", n: 4478, length: 945, num_classes: 8 },
-        UcrDatasetSpec { id: 3, name: "NonInvasiveFetalECGThorax2", n: 3765, length: 750, num_classes: 42 },
-        UcrDatasetSpec { id: 4, name: "MixedShapesRegularTrain", n: 2925, length: 1024, num_classes: 5 },
-        UcrDatasetSpec { id: 5, name: "MixedShapesSmallTrain", n: 2525, length: 1024, num_classes: 5 },
-        UcrDatasetSpec { id: 6, name: "ECG5000", n: 5000, length: 140, num_classes: 5 },
-        UcrDatasetSpec { id: 7, name: "NonInvasiveFetalECGThorax1", n: 3765, length: 750, num_classes: 42 },
-        UcrDatasetSpec { id: 8, name: "StarLightCurves", n: 9236, length: 84, num_classes: 2 },
-        UcrDatasetSpec { id: 9, name: "HandOutlines", n: 1370, length: 2709, num_classes: 2 },
-        UcrDatasetSpec { id: 10, name: "UWaveGestureLibraryX", n: 4478, length: 315, num_classes: 8 },
-        UcrDatasetSpec { id: 11, name: "CBF", n: 930, length: 128, num_classes: 3 },
-        UcrDatasetSpec { id: 12, name: "InsectWingbeatSound", n: 2200, length: 256, num_classes: 11 },
-        UcrDatasetSpec { id: 13, name: "UWaveGestureLibraryY", n: 4478, length: 315, num_classes: 8 },
-        UcrDatasetSpec { id: 14, name: "ShapesAll", n: 1200, length: 512, num_classes: 60 },
-        UcrDatasetSpec { id: 15, name: "SonyAIBORobotSurface2", n: 980, length: 65, num_classes: 2 },
-        UcrDatasetSpec { id: 16, name: "FreezerSmallTrain", n: 2878, length: 301, num_classes: 2 },
-        UcrDatasetSpec { id: 17, name: "Crop", n: 19412, length: 46, num_classes: 24 },
-        UcrDatasetSpec { id: 18, name: "ElectricDevices", n: 16160, length: 96, num_classes: 7 },
+        UcrDatasetSpec {
+            id: 1,
+            name: "Mallat",
+            n: 2400,
+            length: 1024,
+            num_classes: 8,
+        },
+        UcrDatasetSpec {
+            id: 2,
+            name: "UWaveGestureLibraryAll",
+            n: 4478,
+            length: 945,
+            num_classes: 8,
+        },
+        UcrDatasetSpec {
+            id: 3,
+            name: "NonInvasiveFetalECGThorax2",
+            n: 3765,
+            length: 750,
+            num_classes: 42,
+        },
+        UcrDatasetSpec {
+            id: 4,
+            name: "MixedShapesRegularTrain",
+            n: 2925,
+            length: 1024,
+            num_classes: 5,
+        },
+        UcrDatasetSpec {
+            id: 5,
+            name: "MixedShapesSmallTrain",
+            n: 2525,
+            length: 1024,
+            num_classes: 5,
+        },
+        UcrDatasetSpec {
+            id: 6,
+            name: "ECG5000",
+            n: 5000,
+            length: 140,
+            num_classes: 5,
+        },
+        UcrDatasetSpec {
+            id: 7,
+            name: "NonInvasiveFetalECGThorax1",
+            n: 3765,
+            length: 750,
+            num_classes: 42,
+        },
+        UcrDatasetSpec {
+            id: 8,
+            name: "StarLightCurves",
+            n: 9236,
+            length: 84,
+            num_classes: 2,
+        },
+        UcrDatasetSpec {
+            id: 9,
+            name: "HandOutlines",
+            n: 1370,
+            length: 2709,
+            num_classes: 2,
+        },
+        UcrDatasetSpec {
+            id: 10,
+            name: "UWaveGestureLibraryX",
+            n: 4478,
+            length: 315,
+            num_classes: 8,
+        },
+        UcrDatasetSpec {
+            id: 11,
+            name: "CBF",
+            n: 930,
+            length: 128,
+            num_classes: 3,
+        },
+        UcrDatasetSpec {
+            id: 12,
+            name: "InsectWingbeatSound",
+            n: 2200,
+            length: 256,
+            num_classes: 11,
+        },
+        UcrDatasetSpec {
+            id: 13,
+            name: "UWaveGestureLibraryY",
+            n: 4478,
+            length: 315,
+            num_classes: 8,
+        },
+        UcrDatasetSpec {
+            id: 14,
+            name: "ShapesAll",
+            n: 1200,
+            length: 512,
+            num_classes: 60,
+        },
+        UcrDatasetSpec {
+            id: 15,
+            name: "SonyAIBORobotSurface2",
+            n: 980,
+            length: 65,
+            num_classes: 2,
+        },
+        UcrDatasetSpec {
+            id: 16,
+            name: "FreezerSmallTrain",
+            n: 2878,
+            length: 301,
+            num_classes: 2,
+        },
+        UcrDatasetSpec {
+            id: 17,
+            name: "Crop",
+            n: 19412,
+            length: 46,
+            num_classes: 24,
+        },
+        UcrDatasetSpec {
+            id: 18,
+            name: "ElectricDevices",
+            n: 16160,
+            length: 96,
+            num_classes: 7,
+        },
     ]
 }
 
@@ -84,10 +192,19 @@ mod tests {
         assert_eq!(catalogue.len(), 18);
         // Spot-check a few rows against Table II.
         let ecg = catalogue.iter().find(|d| d.name == "ECG5000").unwrap();
-        assert_eq!((ecg.id, ecg.n, ecg.length, ecg.num_classes), (6, 5000, 140, 5));
+        assert_eq!(
+            (ecg.id, ecg.n, ecg.length, ecg.num_classes),
+            (6, 5000, 140, 5)
+        );
         let crop = catalogue.iter().find(|d| d.name == "Crop").unwrap();
-        assert_eq!((crop.id, crop.n, crop.length, crop.num_classes), (17, 19412, 46, 24));
-        let star = catalogue.iter().find(|d| d.name == "StarLightCurves").unwrap();
+        assert_eq!(
+            (crop.id, crop.n, crop.length, crop.num_classes),
+            (17, 19412, 46, 24)
+        );
+        let star = catalogue
+            .iter()
+            .find(|d| d.name == "StarLightCurves")
+            .unwrap();
         assert_eq!((star.id, star.n, star.num_classes), (8, 9236, 2));
         // Ids are 1..=18 and unique.
         let mut ids: Vec<usize> = catalogue.iter().map(|d| d.id).collect();

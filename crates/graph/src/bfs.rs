@@ -39,11 +39,7 @@ pub fn bfs_reachable(graph: &WeightedGraph, source: usize) -> Vec<bool> {
 /// from `source` (which must be allowed). Used by the quadratic reference
 /// implementation of the bubble-tree direction computation: removing a
 /// separating triangle and flooding from one side yields its interior.
-pub fn bfs_reachable_within(
-    graph: &WeightedGraph,
-    source: usize,
-    allowed: &[bool],
-) -> Vec<bool> {
+pub fn bfs_reachable_within(graph: &WeightedGraph, source: usize, allowed: &[bool]) -> Vec<bool> {
     let n = graph.num_vertices();
     debug_assert_eq!(allowed.len(), n);
     debug_assert!(allowed[source]);

@@ -201,11 +201,7 @@ impl LrState {
         let bottom = *self.stack_bottom.get(&ei).unwrap_or(&0);
         let mut p = ConflictPair::default();
         // merge return edges of ei into p.right
-        loop {
-            let mut q = match self.stack.pop() {
-                Some(q) => q,
-                None => break,
-            };
+        while let Some(mut q) = self.stack.pop() {
             if !q.left.is_empty() {
                 q.swap();
             }
@@ -554,7 +550,10 @@ mod tests {
         for n in [5, 10, 30, 80] {
             let g = triangulation(n);
             assert_eq!(g.num_edges(), 3 * n - 6);
-            assert!(is_planar(&g), "triangulation on {n} vertices must be planar");
+            assert!(
+                is_planar(&g),
+                "triangulation on {n} vertices must be planar"
+            );
         }
     }
 

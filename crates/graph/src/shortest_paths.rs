@@ -108,10 +108,7 @@ mod tests {
         // 4     1
         // |     |
         // 3 -1- 2
-        WeightedGraph::from_edges(
-            4,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 4.0)],
-        )
+        WeightedGraph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 4.0)])
     }
 
     #[test]
@@ -138,8 +135,8 @@ mod tests {
         let apsp = all_pairs_shortest_paths(&g);
         for s in 0..4 {
             let d = dijkstra(&g, s);
-            for t in 0..4 {
-                assert!((apsp.get(s, t) - d[t]).abs() < 1e-12);
+            for (t, &dt) in d.iter().enumerate() {
+                assert!((apsp.get(s, t) - dt).abs() < 1e-12);
             }
         }
     }

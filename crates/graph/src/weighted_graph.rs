@@ -52,7 +52,10 @@ impl WeightedGraph {
     /// Panics on self loops, out-of-range endpoints, or duplicate edges.
     pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
         assert!(u != v, "self loops are not allowed");
-        assert!(u < self.adj.len() && v < self.adj.len(), "vertex out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "vertex out of range"
+        );
         assert!(!self.has_edge(u, v), "duplicate edge ({u}, {v})");
         self.adj[u].push((v, w));
         self.adj[v].push((u, w));

@@ -10,7 +10,9 @@ pub mod contingency;
 pub mod scores;
 
 pub use contingency::ContingencyTable;
-pub use scores::{adjusted_mutual_information, adjusted_rand_index, normalized_mutual_information, rand_index};
+pub use scores::{
+    adjusted_mutual_information, adjusted_rand_index, normalized_mutual_information, rand_index,
+};
 
 #[cfg(test)]
 mod tests {

@@ -35,7 +35,11 @@ pub fn adjusted_rand_index(truth: &[usize], predicted: &[usize]) -> f64 {
     if (max_index - expected).abs() < 1e-15 {
         // Both clusterings are trivial (all singletons or a single cluster):
         // they agree perfectly iff the index equals the expectation.
-        return if (index - expected).abs() < 1e-15 { 1.0 } else { 0.0 };
+        return if (index - expected).abs() < 1e-15 {
+            1.0
+        } else {
+            0.0
+        };
     }
     (index - expected) / (max_index - expected)
 }

@@ -4,10 +4,10 @@
 //! [`AtomicF64`] provides them for plain `f64` values via compare-and-swap
 //! loops on the underlying bit pattern; [`PriorityCell`] provides them for
 //! `(key, payload)` pairs (used for vertex assignments, where the payload is
-//! the bubble identifier), backed by a light-weight `parking_lot` mutex.
+//! the bubble identifier), backed by a short-critical-section `std` mutex.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// An `f64` cell supporting concurrent `write_min` / `write_max` /
 /// `write_add` operations.
@@ -149,12 +149,12 @@ impl PriorityCell {
 
     /// Returns the current `(key, payload)` pair.
     pub fn load(&self) -> (f64, usize) {
-        *self.inner.lock()
+        *self.inner.lock().expect("PriorityCell lock poisoned")
     }
 
     /// Unconditionally stores `(key, payload)`.
     pub fn store(&self, key: f64, payload: usize) {
-        *self.inner.lock() = (key, payload);
+        *self.inner.lock().expect("PriorityCell lock poisoned") = (key, payload);
     }
 
     /// `WRITE_MAX` on the key; ties broken towards the smaller payload.
@@ -163,7 +163,7 @@ impl PriorityCell {
         if key.is_nan() {
             return false;
         }
-        let mut guard = self.inner.lock();
+        let mut guard = self.inner.lock().expect("PriorityCell lock poisoned");
         if key > guard.0 || (key == guard.0 && payload < guard.1) {
             *guard = (key, payload);
             true
@@ -178,7 +178,7 @@ impl PriorityCell {
         if key.is_nan() {
             return false;
         }
-        let mut guard = self.inner.lock();
+        let mut guard = self.inner.lock().expect("PriorityCell lock poisoned");
         if key < guard.0 || (key == guard.0 && payload < guard.1) {
             *guard = (key, payload);
             true

@@ -197,9 +197,6 @@ mod tests {
     #[test]
     fn max_by_key_matches_std() {
         let v: Vec<u64> = (0..30_000).map(|i| (i * 48271) % 65_537).collect();
-        assert_eq!(
-            par_max_by_key(&v, |x| *x).copied(),
-            v.iter().max().copied()
-        );
+        assert_eq!(par_max_by_key(&v, |x| *x).copied(), v.iter().max().copied());
     }
 }

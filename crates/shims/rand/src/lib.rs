@@ -1,0 +1,242 @@
+//! Offline stand-in for the `rand` crate (0.8-era API).
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of `rand` the workspace uses: [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over half-open and inclusive integer/float ranges,
+//! [`Rng::gen_bool`], and [`rngs::StdRng`].
+//!
+//! [`rngs::StdRng`] here is **not** the ChaCha12 generator of the real
+//! crate — it is xoshiro256++ seeded via SplitMix64 (the seeding scheme
+//! recommended by the xoshiro authors). It is deterministic for a given
+//! seed, passes the statistical needs of the synthetic data generators, and
+//! is *not* cryptographically secure. Streams therefore differ from real
+//! `rand`; all quality thresholds in the workspace's tests were calibrated
+//! against this generator.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable random number generator, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, expanding it with SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`],
+/// mirroring `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from `self` using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// The raw 64-bit generator interface, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`. Implemented for
+/// every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open (`a..b`) or inclusive (`a..=b`)
+    /// range. Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool: p must be in [0, 1], got {p}"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)` using the top 53 bits.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform integer in `[0, bound)` by widening multiply (Lemire's method,
+/// without the rejection step — the bias is ≤ 2⁻⁶⁴·bound, irrelevant for
+/// the synthetic-data use here).
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded_u64(rng, span) as i128) as $ty
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = end as i128 - start as i128 + 1;
+                if span > u64::MAX as i128 {
+                    // Full-width range (e.g. 0..=u64::MAX): every bit
+                    // pattern is a valid sample, no bounding needed.
+                    return (start as i128 + rng.next_u64() as i128) as $ty;
+                }
+                (start as i128 + bounded_u64(rng, span as u64) as i128) as $ty
+            }
+        }
+    )*};
+}
+impl_int_sample_range!(usize, u32, u64, i32, i64);
+
+// Only `f64` on purpose: a second float impl would leave `{float}` literal
+// ranges ambiguous under inference (real rand leans on its `SampleUniform`
+// machinery here), and the workspace samples no `f32`.
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let v = self.start + unit_f64(rng.next_u64()) * (self.end - self.start);
+        // `unit < 1` but the multiply-add can round up to `end` (e.g.
+        // 0.8 + ((2⁵³−1)/2⁵³)·0.4 == 1.2 exactly); keep the documented
+        // half-open contract by clamping to the largest value below `end`.
+        if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v
+        }
+    }
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// seeded via SplitMix64. See the crate docs for how this differs from
+    /// real `rand`'s `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    /// SplitMix64 step, used to expand the 64-bit seed into generator state.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut s = seed;
+            let state = [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ];
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ by Blackman & Vigna (public domain reference
+            // implementation, transcribed).
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.state = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.gen_range(0..1_000_000usize),
+                b.gen_range(0..1_000_000usize)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(2..=4usize);
+            assert!((2..=4).contains(&y));
+            let f = rng.gen_range(-1.5..2.5f64);
+            assert!((-1.5..2.5).contains(&f));
+            let n = rng.gen_range(-10..10i64);
+            assert!((-10..10).contains(&n));
+        }
+    }
+
+    #[test]
+    fn integer_range_hits_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits = {hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn full_width_inclusive_ranges_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut any_large = false;
+        for _ in 0..100 {
+            let x = rng.gen_range(0..=u64::MAX);
+            any_large |= x > u64::MAX / 2;
+            let y = rng.gen_range(i64::MIN..=i64::MAX);
+            any_large |= y > 0;
+        }
+        // A full-width sample must not collapse to the range start.
+        assert!(any_large);
+    }
+
+    #[test]
+    fn unit_floats_are_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(0.0..1.0f64);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,544 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this shim provides the *subset* of the rayon 1.x API that the workspace
+//! actually uses, implemented on `std::thread::scope`. Parallelism is real:
+//! eager combinators (`map`, `filter`, `for_each`, `fold`, `sum`) split
+//! their input into one contiguous chunk per worker thread and evaluate the
+//! user closure concurrently. The fork–join work-stealing scheduler of real
+//! rayon is *not* reproduced — each adapter is a single fork–join round —
+//! but the observable semantics (ordering, determinism of `collect`, the
+//! `fold`/`reduce` contract) match rayon for the associative operations the
+//! algorithms rely on.
+//!
+//! Supported surface:
+//!
+//! * [`prelude`] — [`IntoParallelIterator`], [`IntoParallelRefIterator`]
+//!   (`par_iter`), [`ParallelSliceMut`] (`par_sort_by`,
+//!   `par_sort_unstable_by`);
+//! * [`ParIter`] — `map`, `filter`, `enumerate`, `zip`, `cloned`,
+//!   `for_each`, `fold`, `reduce`, `sum`, `min`, `max`, `min_by_key`,
+//!   `max_by_key`, `count`, `collect`;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool`] — `num_threads`, `build`,
+//!   `install` (install scopes an override of the worker count via a
+//!   thread-local, which the eager adapters consult when splitting);
+//! * [`current_num_threads`].
+//!
+//! When the swap to the real crates-io rayon happens, delete this crate and
+//! point the `[workspace.dependencies]` entry at the registry version; no
+//! downstream source changes should be needed.
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+
+/// Minimum number of items before an eager adapter bothers spawning worker
+/// threads; below this the per-thread spawn cost dominates.
+const MIN_PAR_LEN: usize = 512;
+
+thread_local! {
+    /// Per-thread override of the worker count, set by [`ThreadPool::install`].
+    static NUM_THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel adapters will split across: the
+/// innermost [`ThreadPool::install`] override if one is active, otherwise
+/// the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    NUM_THREADS_OVERRIDE.with(|o| match o.get() {
+        Some(n) => n,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    })
+}
+
+/// Splits `items` into one contiguous chunk per worker and runs `work` on
+/// each chunk on its own scoped thread, returning one result per chunk in
+/// input order. Small inputs run as a single sequential `work` call. The
+/// calling thread's worker-count override (from [`ThreadPool::install`]) is
+/// propagated into the workers, so nested adapter calls respect the
+/// enclosing pool instead of falling back to machine parallelism.
+fn run_chunked<T, R, W>(items: Vec<T>, work: W) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    W: Fn(Vec<T>) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n < MIN_PAR_LEN {
+        return vec![work(items)];
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let inherited = NUM_THREADS_OVERRIDE.with(|o| o.get());
+    let work = &work;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    // Fresh thread, dies with the scope: set, never restore.
+                    NUM_THREADS_OVERRIDE.with(|o| o.set(inherited));
+                    work(chunk)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect()
+    })
+}
+
+/// Applies `f` to every element concurrently, preserving input order.
+fn par_apply<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let f = &f;
+    let per_chunk = run_chunked(items, move |chunk| {
+        chunk.into_iter().map(f).collect::<Vec<U>>()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in per_chunk {
+        out.extend(part);
+    }
+    out
+}
+
+/// Folds each worker chunk with its own accumulator, mirroring rayon's
+/// `fold` contract (one accumulator per split, to be combined with an
+/// associative `reduce`).
+fn par_fold_chunks<T, Acc, ID, F>(items: Vec<T>, identity: ID, fold_op: F) -> Vec<Acc>
+where
+    T: Send,
+    Acc: Send,
+    ID: Fn() -> Acc + Sync,
+    F: Fn(Acc, T) -> Acc + Sync,
+{
+    let identity = &identity;
+    let fold_op = &fold_op;
+    run_chunked(items, move |chunk| {
+        chunk.into_iter().fold(identity(), fold_op)
+    })
+}
+
+/// An eagerly evaluated parallel iterator over an in-memory sequence.
+///
+/// Unlike rayon's lazy adapters, every combinator that takes a user closure
+/// runs it immediately (in parallel) and materialises the result, so chains
+/// of adapters cost one pass each. This is a deliberate simplicity/perf
+/// trade-off for the shim; see the crate docs.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map, preserving input order.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: par_apply(self.items, f),
+        }
+    }
+
+    /// Parallel filter, preserving input order.
+    pub fn filter<P: Fn(&T) -> bool + Sync>(self, pred: P) -> ParIter<T> {
+        let flagged = par_apply(self.items, |x| {
+            let keep = pred(&x);
+            (x, keep)
+        });
+        ParIter {
+            items: flagged
+                .into_iter()
+                .filter_map(|(x, keep)| keep.then_some(x))
+                .collect(),
+        }
+    }
+
+    /// Parallel filter-map, preserving input order.
+    pub fn filter_map<U: Send, F: Fn(T) -> Option<U> + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: par_apply(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    /// Pairs every element with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Zips with another parallel iterator, truncating to the shorter one.
+    pub fn zip<B: Send>(self, other: ParIter<B>) -> ParIter<(T, B)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Runs `f` on every element concurrently.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_apply(self.items, f);
+    }
+
+    /// Rayon-style fold: one accumulator per parallel chunk. Combine the
+    /// resulting accumulators with [`ParIter::reduce`].
+    pub fn fold<Acc, ID, F>(self, identity: ID, fold_op: F) -> ParIter<Acc>
+    where
+        Acc: Send,
+        ID: Fn() -> Acc + Sync,
+        F: Fn(Acc, T) -> Acc + Sync,
+    {
+        ParIter {
+            items: par_fold_chunks(self.items, identity, fold_op),
+        }
+    }
+
+    /// Reduces all elements with `op`, starting from `identity()`.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> T
+    where
+        ID: Fn() -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Sums the elements. Sequential in the shim: summation is
+    /// memory-bandwidth bound, so the win from splitting it is negligible
+    /// next to the parallel `map` that typically precedes it.
+    pub fn sum<S>(self) -> S
+    where
+        S: Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// Minimum element (`None` when empty). Ties resolve like `Iterator::min`.
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().min()
+    }
+
+    /// Maximum element (`None` when empty). Ties resolve like `Iterator::max`.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    /// Element minimising `key` (`None` when empty).
+    pub fn min_by_key<K: Ord, F: Fn(&T) -> K + Sync>(self, key: F) -> Option<T> {
+        self.items.into_iter().min_by_key(|x| key(x))
+    }
+
+    /// Element maximising `key` (`None` when empty).
+    pub fn max_by_key<K: Ord, F: Fn(&T) -> K + Sync>(self, key: F) -> Option<T> {
+        self.items.into_iter().max_by_key(|x| key(x))
+    }
+
+    /// Number of elements.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Collects into any `FromIterator` container, in input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+impl<T: Clone + Send + Sync> ParIter<&T> {
+    /// Clones each referenced element, like `Iterator::cloned`.
+    pub fn cloned(self) -> ParIter<T> {
+        ParIter {
+            items: self.items.into_iter().cloned().collect(),
+        }
+    }
+}
+
+impl<T: Copy + Send + Sync> ParIter<&T> {
+    /// Copies each referenced element, like `Iterator::copied`.
+    pub fn copied(self) -> ParIter<T> {
+        ParIter {
+            items: self.items.into_iter().copied().collect(),
+        }
+    }
+}
+
+/// Conversion into a [`ParIter`], mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Element type of the resulting iterator.
+    type Item: Send;
+    /// Converts `self` into an eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_into_par_iter {
+    ($($ty:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$ty> {
+            type Item = $ty;
+            fn into_par_iter(self) -> ParIter<$ty> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_into_par_iter!(usize, u32, u64, i32, i64);
+
+/// Borrowing conversion, mirroring `rayon::iter::IntoParallelRefIterator`
+/// (the trait behind `.par_iter()` on slices and `Vec`s).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type of the resulting iterator (a shared reference).
+    type Item: Send;
+    /// Iterates the elements of `self` by reference.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Parallel sorting on mutable slices, mirroring `rayon::slice::ParallelSliceMut`.
+///
+/// The shim sorts sequentially — `std`'s sorts are already highly optimised
+/// and the workspace gates its calls behind a size threshold. Replacing this
+/// with a parallel merge sort is tracked on the ROADMAP.
+pub trait ParallelSliceMut<T: Send> {
+    /// Stable sort by comparator (sequential in the shim).
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync;
+    /// Unstable sort by comparator (sequential in the shim).
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        self.sort_by(cmp);
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        self.sort_unstable_by(cmp);
+    }
+}
+
+/// The traits needed for `.par_iter()`, `.into_par_iter()` and
+/// `.par_sort_by(...)` method syntax.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The shim cannot actually
+/// fail to build a pool, so this is never constructed, but the type keeps
+/// `Result`-based call sites source-compatible with real rayon.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count. `0` means "use available parallelism", as in
+    /// real rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool. Infallible in the shim, but kept `Result`-typed for
+    /// source compatibility.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A scoped worker-count context, mirroring `rayon::ThreadPool`.
+///
+/// The shim has no persistent workers; [`ThreadPool::install`] simply runs
+/// the closure on the calling thread with [`current_num_threads`] overridden
+/// to this pool's size, which the eager adapters consult when splitting.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count as the parallelism level.
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        // Restore the previous override even if `op` unwinds, so a caught
+        // panic cannot leave a stale worker count on this thread.
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                NUM_THREADS_OVERRIDE.with(|o| o.set(self.0));
+            }
+        }
+        let _restore = Restore(NUM_THREADS_OVERRIDE.with(|o| o.replace(Some(self.num_threads))));
+        op()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_preserves_order() {
+        let v: Vec<usize> = (0..5_000).collect();
+        let kept: Vec<usize> = v.into_par_iter().filter(|&x| x % 3 == 0).collect();
+        assert_eq!(kept, (0..5_000).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_reduce_matches_sequential_sum() {
+        let v: Vec<u64> = (0..100_000).collect();
+        let total = v
+            .par_iter()
+            .fold(|| 0u64, |acc, &x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, (0..100_000u64).sum());
+    }
+
+    #[test]
+    fn sum_and_zip() {
+        let a: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..10_000).map(|i| (i * 2) as f64).collect();
+        let dot: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+        let expected: f64 = (0..10_000).map(|i| (i * i * 2) as f64).sum();
+        assert!((dot - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn for_each_visits_every_element() {
+        let counter = AtomicUsize::new(0);
+        (0..20_000usize).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, AtomicOrdering::Relaxed);
+        });
+        assert_eq!(counter.load(AtomicOrdering::Relaxed), 20_000);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let nested = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            assert_eq!(nested.install(current_num_threads), 2);
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn install_override_propagates_into_worker_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        // Large enough to force the chunked parallel path.
+        let observed: Vec<usize> = pool.install(|| {
+            (0..10_000usize)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert!(observed.iter().all(|&t| t == 3), "workers saw {:?}", {
+            let mut distinct = observed.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            distinct
+        });
+    }
+
+    #[test]
+    fn install_restores_override_after_panic() {
+        let outside = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let caught = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn par_sort_matches_std() {
+        let mut v: Vec<i64> = (0..10_000).map(|i| (i * 7919) % 1000).collect();
+        let mut expected = v.clone();
+        expected.sort();
+        v.par_sort_by(|a, b| a.cmp(b));
+        assert_eq!(v, expected);
+    }
+}

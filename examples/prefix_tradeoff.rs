@@ -42,7 +42,9 @@ fn main() {
     let k = dataset.num_classes();
     let correlation = correlation_matrix(&dataset.series);
     let dissimilarity = dissimilarity_from_correlation(&correlation);
-    let sequential = ParTdbht::with_prefix(1).run(&correlation, &dissimilarity).unwrap();
+    let sequential = ParTdbht::with_prefix(1)
+        .run(&correlation, &dissimilarity)
+        .unwrap();
     let seq_weight = sequential.tmfg.edge_weight_sum();
     println!(
         "\nprefix sweep on {} (n = {}, k = {}):",
@@ -50,10 +52,15 @@ fn main() {
         dataset.len(),
         k
     );
-    println!("{:>8} {:>10} {:>12} {:>8} {:>8}", "prefix", "rounds", "time", "ratio", "ARI");
+    println!(
+        "{:>8} {:>10} {:>12} {:>8} {:>8}",
+        "prefix", "rounds", "time", "ratio", "ARI"
+    );
     for prefix in [1usize, 2, 5, 10, 30, 50, 200] {
         let start = std::time::Instant::now();
-        let result = ParTdbht::with_prefix(prefix).run(&correlation, &dissimilarity).unwrap();
+        let result = ParTdbht::with_prefix(prefix)
+            .run(&correlation, &dissimilarity)
+            .unwrap();
         let elapsed = start.elapsed();
         let labels = result.clusters(k);
         println!(

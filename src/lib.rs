@@ -48,7 +48,9 @@ pub use pfg_primitives as primitives;
 
 /// Commonly used items, importable with a single `use`.
 pub mod prelude {
-    pub use pfg_baselines::{hac, kmeans, spectral_embedding, KMeansConfig, Linkage, SpectralConfig};
+    pub use pfg_baselines::{
+        hac, kmeans, spectral_embedding, KMeansConfig, Linkage, SpectralConfig,
+    };
     pub use pfg_core::dbht::{dbht_for_planar_graph, dbht_for_tmfg};
     pub use pfg_core::{
         pmfg, tmfg, Dendrogram, ParTdbht, ParTdbhtConfig, ParTdbhtResult, Tmfg, TmfgConfig,

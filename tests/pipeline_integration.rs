@@ -37,26 +37,36 @@ fn full_pipeline_beats_random_clustering_comfortably() {
 fn tmfg_dbht_tracks_or_beats_linkage_baselines() {
     // The paper's headline quality claim (Figures 1 and 8): TMFG+DBHT
     // produces clusters at least comparable to complete/average linkage.
-    // We allow a small slack because a single synthetic data set is noisy.
-    let (dataset, correlation, dissimilarity) = small_dataset(11);
-    let k = dataset.num_classes();
-    let dbht_labels = ParTdbht::with_prefix(10)
-        .run(&correlation, &dissimilarity)
-        .unwrap()
-        .clusters(k);
-    let dbht_ari = adjusted_rand_index(&dataset.labels, &dbht_labels);
-
-    let comp_ari = adjusted_rand_index(
-        &dataset.labels,
-        &hac(&dissimilarity, Linkage::Complete).cut_to_clusters(k),
-    );
-    let avg_ari = adjusted_rand_index(
-        &dataset.labels,
-        &hac(&dissimilarity, Linkage::Average).cut_to_clusters(k),
-    );
+    // A single synthetic data set is noisy — especially at n = 120, where a
+    // prefix-10 batch is a large fraction of a round — so the comparison is
+    // averaged over several seeds, with slack for the remaining variance.
+    let seeds = [1u64, 3, 5, 7];
+    let mut dbht_total = 0.0;
+    let mut comp_total = 0.0;
+    let mut avg_total = 0.0;
+    for &seed in &seeds {
+        let (dataset, correlation, dissimilarity) = small_dataset(seed);
+        let k = dataset.num_classes();
+        let dbht_labels = ParTdbht::with_prefix(10)
+            .run(&correlation, &dissimilarity)
+            .unwrap()
+            .clusters(k);
+        dbht_total += adjusted_rand_index(&dataset.labels, &dbht_labels);
+        comp_total += adjusted_rand_index(
+            &dataset.labels,
+            &hac(&dissimilarity, Linkage::Complete).cut_to_clusters(k),
+        );
+        avg_total += adjusted_rand_index(
+            &dataset.labels,
+            &hac(&dissimilarity, Linkage::Average).cut_to_clusters(k),
+        );
+    }
+    let n = seeds.len() as f64;
+    let (dbht_ari, comp_ari, avg_ari) = (dbht_total / n, comp_total / n, avg_total / n);
     assert!(
         dbht_ari > comp_ari.min(avg_ari) - 0.1,
-        "DBHT {dbht_ari} vs COMP {comp_ari} / AVG {avg_ari}"
+        "mean over {} seeds: DBHT {dbht_ari} vs COMP {comp_ari} / AVG {avg_ari}",
+        seeds.len()
     );
 }
 
@@ -159,8 +169,12 @@ fn stock_market_clusters_align_with_sectors() {
 #[test]
 fn deterministic_end_to_end() {
     let (_, correlation, dissimilarity) = small_dataset(13);
-    let a = ParTdbht::with_prefix(10).run(&correlation, &dissimilarity).unwrap();
-    let b = ParTdbht::with_prefix(10).run(&correlation, &dissimilarity).unwrap();
+    let a = ParTdbht::with_prefix(10)
+        .run(&correlation, &dissimilarity)
+        .unwrap();
+    let b = ParTdbht::with_prefix(10)
+        .run(&correlation, &dissimilarity)
+        .unwrap();
     assert_eq!(a.clusters(4), b.clusters(4));
     assert_eq!(a.assignment.group, b.assignment.group);
     assert_eq!(

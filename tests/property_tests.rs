@@ -1,133 +1,173 @@
-//! Property-based tests over the core data structures and algorithms:
+//! Randomized property tests over the core data structures and algorithms:
 //! structural invariants of TMFGs and bubble trees, metric properties of
 //! ARI/AMI, and dendrogram well-formedness, on randomly generated inputs.
+//!
+//! Originally written against `proptest`; the offline build has no access
+//! to crates.io, so the same properties are exercised with hand-rolled
+//! generators over a seeded [`StdRng`] (fixed seeds, 24 cases per property,
+//! no shrinking). Each case reports its parameters on failure so it can be
+//! reproduced by seed.
 
 use par_filtered_graph_clustering::prelude::*;
 use pfg_core::dbht::direction::direct_tmfg_bubble_tree;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random symmetric similarity matrix with entries in (0, 1).
-fn similarity_matrix(min_n: usize, max_n: usize) -> impl Strategy<Value = SymmetricMatrix> {
-    (min_n..=max_n)
-        .prop_flat_map(|n| {
-            let entries = n * (n - 1) / 2;
-            (
-                Just(n),
-                proptest::collection::vec(0.01f64..0.99, entries),
-            )
-        })
-        .prop_map(|(n, upper)| {
-            let mut iter = upper.into_iter();
-            SymmetricMatrix::from_fn(n, |i, j| if i == j { 1.0 } else { iter.next().unwrap() })
-        })
+const CASES: u64 = 24;
+
+/// A random symmetric similarity matrix with off-diagonal entries in
+/// (0.01, 0.99) and a unit diagonal.
+fn similarity_matrix(rng: &mut StdRng, min_n: usize, max_n: usize) -> SymmetricMatrix {
+    let n = rng.gen_range(min_n..=max_n);
+    let entries = n * (n - 1) / 2;
+    let upper: Vec<f64> = (0..entries).map(|_| rng.gen_range(0.01f64..0.99)).collect();
+    let mut iter = upper.into_iter();
+    SymmetricMatrix::from_fn(n, |i, j| if i == j { 1.0 } else { iter.next().unwrap() })
 }
 
-/// Strategy: a pair of random label vectors of equal length.
-fn label_pairs() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
-    (2usize..60).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(0usize..5, n),
-            proptest::collection::vec(0usize..5, n),
-        )
-    })
+/// A pair of random label vectors of equal length with up to 5 classes.
+fn label_pairs(rng: &mut StdRng) -> (Vec<usize>, Vec<usize>) {
+    let n = rng.gen_range(2usize..60);
+    let truth = (0..n).map(|_| rng.gen_range(0usize..5)).collect();
+    let predicted = (0..n).map(|_| rng.gen_range(0usize..5)).collect();
+    (truth, predicted)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every TMFG is a connected maximal planar graph with 3n − 6 edges and
-    /// a bubble tree with n − 3 nodes, for any prefix size.
-    #[test]
-    fn tmfg_structural_invariants(s in similarity_matrix(5, 28), prefix in 1usize..12) {
-        let result = tmfg(&s, TmfgConfig::with_prefix(prefix)).unwrap();
+/// Every TMFG is a connected maximal planar graph with 3n − 6 edges and
+/// a bubble tree with n − 3 nodes, for any prefix size.
+#[test]
+fn tmfg_structural_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7100 + case);
+        let s = similarity_matrix(&mut rng, 5, 28);
+        let prefix = rng.gen_range(1usize..12);
         let n = s.n();
-        prop_assert_eq!(result.graph.num_edges(), 3 * n - 6);
-        prop_assert!(result.graph.is_connected());
-        prop_assert!(pfg_graph::is_planar(&result.graph));
-        prop_assert_eq!(result.bubble_tree.len(), n - 3);
-        prop_assert!(result.bubble_tree.check_invariants().is_ok());
+        let result = tmfg(&s, TmfgConfig::with_prefix(prefix)).unwrap();
+        let ctx = format!("case {case}: n={n}, prefix={prefix}");
+        assert_eq!(result.graph.num_edges(), 3 * n - 6, "{ctx}");
+        assert!(result.graph.is_connected(), "{ctx}");
+        assert!(pfg_graph::is_planar(&result.graph), "{ctx}");
+        assert_eq!(result.bubble_tree.len(), n - 3, "{ctx}");
+        assert!(result.bubble_tree.check_invariants().is_ok(), "{ctx}");
         // Edge weights are exactly the similarities.
         for (u, v, w) in result.graph.edges() {
-            prop_assert!((w - s.get(u, v)).abs() < 1e-12);
+            assert!((w - s.get(u, v)).abs() < 1e-12, "{ctx}: edge ({u}, {v})");
         }
     }
+}
 
-    /// The batched TMFG never retains more total edge weight than ... is not
-    /// guaranteed, but it must stay within a sane band of the sequential
-    /// TMFG, and the directed bubble graph must always have at least one
-    /// converging bubble.
-    #[test]
-    fn prefix_tmfg_weight_and_direction_sanity(s in similarity_matrix(8, 24), prefix in 2usize..10) {
+/// The batched TMFG is not guaranteed to retain more total edge weight than
+/// the sequential TMFG, but it must stay within a sane band of it, and the
+/// directed bubble graph must always have at least one converging bubble.
+#[test]
+fn prefix_tmfg_weight_and_direction_sanity() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7200 + case);
+        let s = similarity_matrix(&mut rng, 8, 24);
+        let prefix = rng.gen_range(2usize..10);
+        let ctx = format!("case {case}: n={}, prefix={prefix}", s.n());
         let sequential = tmfg(&s, TmfgConfig::with_prefix(1)).unwrap();
         let batched = tmfg(&s, TmfgConfig::with_prefix(prefix)).unwrap();
         let ratio = batched.edge_weight_sum() / sequential.edge_weight_sum();
-        prop_assert!(ratio > 0.5 && ratio < 1.5, "ratio {}", ratio);
+        assert!(ratio > 0.5 && ratio < 1.5, "{ctx}: ratio {ratio}");
         let directed = direct_tmfg_bubble_tree(&batched.bubble_tree, &batched.graph);
-        prop_assert!(directed.check_invariants().is_ok());
-        prop_assert!(!directed.converging_bubbles().is_empty());
+        assert!(directed.check_invariants().is_ok(), "{ctx}");
+        assert!(!directed.converging_bubbles().is_empty(), "{ctx}");
     }
+}
 
-    /// The DBHT dendrogram is always complete (covers all vertices),
-    /// monotone, and cutting it to k clusters yields at most k labels.
-    #[test]
-    fn dbht_dendrogram_wellformed(s in similarity_matrix(8, 22), prefix in 1usize..6, k in 1usize..6) {
+/// The DBHT dendrogram is always complete (covers all vertices), monotone,
+/// and cutting it to k clusters yields at most k labels.
+#[test]
+fn dbht_dendrogram_wellformed() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7300 + case);
+        let s = similarity_matrix(&mut rng, 8, 22);
+        let prefix = rng.gen_range(1usize..6);
+        let k = rng.gen_range(1usize..6);
+        let ctx = format!("case {case}: n={}, prefix={prefix}, k={k}", s.n());
         let d = s.map(|p| (2.0 * (1.0 - p)).sqrt());
         let result = ParTdbht::with_prefix(prefix).run(&s, &d).unwrap();
         let dend = &result.dendrogram;
-        prop_assert_eq!(dend.num_leaves(), s.n());
-        prop_assert!(dend.root().is_some());
-        prop_assert!(dend.is_monotone());
+        assert_eq!(dend.num_leaves(), s.n(), "{ctx}");
+        assert!(dend.root().is_some(), "{ctx}");
+        assert!(dend.is_monotone(), "{ctx}");
         let labels = result.clusters(k);
         let mut distinct = labels.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        prop_assert!(distinct.len() <= k.max(1));
-        prop_assert_eq!(labels.len(), s.n());
+        assert!(distinct.len() <= k.max(1), "{ctx}");
+        assert_eq!(labels.len(), s.n(), "{ctx}");
     }
+}
 
-    /// ARI and AMI are symmetric, bounded above by 1, and exactly 1 on
-    /// identical labelings (up to renaming).
-    #[test]
-    fn metric_properties((truth, predicted) in label_pairs()) {
+/// ARI and AMI are symmetric, bounded above by 1, and exactly 1 on
+/// identical labelings (up to renaming).
+#[test]
+fn metric_properties() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7400 + case);
+        let (truth, predicted) = label_pairs(&mut rng);
+        let ctx = format!("case {case}: n={}", truth.len());
         let ari = adjusted_rand_index(&truth, &predicted);
         let ari_swapped = adjusted_rand_index(&predicted, &truth);
-        prop_assert!((ari - ari_swapped).abs() < 1e-9);
-        prop_assert!(ari <= 1.0 + 1e-9);
+        assert!((ari - ari_swapped).abs() < 1e-9, "{ctx}");
+        assert!(ari <= 1.0 + 1e-9, "{ctx}");
         let ami = adjusted_mutual_information(&truth, &predicted);
-        prop_assert!((ami - adjusted_mutual_information(&predicted, &truth)).abs() < 1e-9);
-        prop_assert!(ami <= 1.0 + 1e-6);
+        assert!(
+            (ami - adjusted_mutual_information(&predicted, &truth)).abs() < 1e-9,
+            "{ctx}"
+        );
+        assert!(ami <= 1.0 + 1e-6, "{ctx}");
         // Renaming labels never changes the scores.
         let renamed: Vec<usize> = predicted.iter().map(|&l| l + 17).collect();
-        prop_assert!((adjusted_rand_index(&truth, &renamed) - ari).abs() < 1e-12);
+        assert!(
+            (adjusted_rand_index(&truth, &renamed) - ari).abs() < 1e-12,
+            "{ctx}"
+        );
         // Self-comparison is perfect.
-        prop_assert!((adjusted_rand_index(&truth, &truth) - 1.0).abs() < 1e-12);
+        assert!(
+            (adjusted_rand_index(&truth, &truth) - 1.0).abs() < 1e-12,
+            "{ctx}"
+        );
     }
+}
 
-    /// HAC dendrograms under any linkage are complete and monotone, and
-    /// cutting them produces the requested number of clusters when possible.
-    #[test]
-    fn hac_dendrogram_wellformed(s in similarity_matrix(4, 30), k in 1usize..5) {
+/// HAC dendrograms under any linkage are complete and monotone, and
+/// cutting them produces the requested number of clusters when possible.
+#[test]
+fn hac_dendrogram_wellformed() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7500 + case);
+        let s = similarity_matrix(&mut rng, 4, 30);
+        let k = rng.gen_range(1usize..5);
+        let ctx = format!("case {case}: n={}, k={k}", s.n());
         let d = s.map(|p| (2.0 * (1.0 - p)).sqrt());
         for linkage in [Linkage::Complete, Linkage::Average, Linkage::Single] {
             let dend = hac(&d, linkage);
-            prop_assert!(dend.root().is_some());
-            prop_assert!(dend.is_monotone());
+            assert!(dend.root().is_some(), "{ctx}, linkage {linkage:?}");
+            assert!(dend.is_monotone(), "{ctx}, linkage {linkage:?}");
             let labels = dend.cut_to_clusters(k);
             let mut distinct = labels;
             distinct.sort_unstable();
             distinct.dedup();
-            prop_assert_eq!(distinct.len(), k.min(s.n()));
+            assert_eq!(distinct.len(), k.min(s.n()), "{ctx}, linkage {linkage:?}");
         }
     }
+}
 
-    /// PMFG structural invariants on small random inputs (kept small because
-    /// each candidate edge runs a planarity test).
-    #[test]
-    fn pmfg_structural_invariants(s in similarity_matrix(5, 12)) {
-        let result = pmfg(&s).unwrap();
+/// PMFG structural invariants on small random inputs (kept small because
+/// each candidate edge runs a planarity test).
+#[test]
+fn pmfg_structural_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7600 + case);
+        let s = similarity_matrix(&mut rng, 5, 12);
         let n = s.n();
-        prop_assert_eq!(result.graph.num_edges(), 3 * n - 6);
-        prop_assert!(pfg_graph::is_planar(&result.graph));
-        prop_assert!(result.graph.is_connected());
+        let ctx = format!("case {case}: n={n}");
+        let result = pmfg(&s).unwrap();
+        assert_eq!(result.graph.num_edges(), 3 * n - 6, "{ctx}");
+        assert!(pfg_graph::is_planar(&result.graph), "{ctx}");
+        assert!(result.graph.is_connected(), "{ctx}");
     }
 }

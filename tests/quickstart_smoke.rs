@@ -1,0 +1,31 @@
+//! Smoke test: the `quickstart` example must run end-to-end successfully.
+//!
+//! `cargo test` only checks that examples *compile*; this test actually
+//! executes one via the same `cargo` binary that is running the test suite
+//! (the `CARGO` environment variable), so a clean checkout is known to have
+//! a working example before anyone reads the README.
+
+use std::process::Command;
+
+#[test]
+fn quickstart_example_runs_successfully() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .args(["run", "--example", "quickstart"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("failed to spawn cargo run --example quickstart");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "quickstart example failed with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status
+    );
+    // The example ends by reporting clustering quality; require the marker
+    // so a silently truncated run cannot pass.
+    assert!(
+        stdout.contains("ARI"),
+        "quickstart output missing the final quality report:\n{stdout}"
+    );
+}
