@@ -1,5 +1,6 @@
 //! Table I microbenchmarks: parallel filter, sort, maximum, and the
-//! priority concurrent writes.
+//! priority concurrent writes — plus executor microbenchmarks comparing
+//! the persistent pool against the old spawn-per-call design.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pfg_primitives::{par_filter, par_max_index, par_sort_unstable_by, AtomicF64};
@@ -7,6 +8,110 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::hint::black_box;
+
+/// Worker count for the executor comparison. Fixed (rather than detected)
+/// so the numbers are comparable across machines; oversubscription on
+/// small boxes still measures exactly what we care about — per-round
+/// scheduling overhead.
+const EXECUTOR_THREADS: usize = 4;
+
+/// One fork–join round the way the old shim executor ran it: spawn one
+/// scoped thread per contiguous chunk, join them all, rebuild the result.
+/// Kept here as the measurement baseline for the persistent pool.
+fn spawn_per_call_map_sum(data: &[f64], threads: usize) -> f64 {
+    let chunk_len = data.len().div_ceil(threads);
+    let partials: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = data
+            .chunks(chunk_len)
+            .map(|chunk| s.spawn(move || chunk.iter().map(|&x| x * 1.000_1 + 0.5).sum::<f64>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    partials.iter().sum()
+}
+
+/// The same round on the shim's persistent pool (the pool is built once by
+/// the caller; each call is one fork–join dispatch).
+fn pool_map_sum(data: &[f64]) -> f64 {
+    data.par_iter().map(|&x| x * 1.000_1 + 0.5).sum()
+}
+
+/// Executor round-trip overhead: many fine-grained fork–join rounds, the
+/// pattern of TMFG gain recomputation and per-source shortest paths. The
+/// `spawn_per_call` series is the old executor (fresh scoped threads per
+/// round); `persistent_pool` is the new one (parked workers, chunk
+/// dealing). Also reports parallel-sort throughput against the std sort.
+fn bench_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(7);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(EXECUTOR_THREADS)
+        .build()
+        .expect("executor bench pool");
+    // `rounds` small fork–join rounds per iteration: round-trip overhead
+    // dominates, which is exactly the regime the persistent pool targets.
+    for &(n, rounds) in &[(2_048usize, 64usize), (16_384, 16)] {
+        let data: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("round_trip/spawn_per_call", n),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for _ in 0..rounds {
+                        acc += spawn_per_call_map_sum(data, EXECUTOR_THREADS);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("round_trip/persistent_pool", n),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    pool.install(|| {
+                        let mut acc = 0.0;
+                        for _ in 0..rounds {
+                            acc += pool_map_sum(data);
+                        }
+                        black_box(acc)
+                    })
+                })
+            },
+        );
+    }
+    for &n in &[50_000usize, 200_000] {
+        let data: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("sort/std_unstable", n),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut v = data.clone();
+                    v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+                    black_box(v)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sort/par_merge_sort", n),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut v = data.clone();
+                    pool.install(|| v.par_sort_unstable_by(|a, b| a.partial_cmp(b).unwrap()));
+                    black_box(v)
+                })
+            },
+        );
+    }
+    group.finish();
+}
 
 fn bench_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("primitives");
@@ -49,5 +154,5 @@ fn bench_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_primitives);
+criterion_group!(benches, bench_primitives, bench_executor);
 criterion_main!(benches);

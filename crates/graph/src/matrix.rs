@@ -121,7 +121,8 @@ impl SymmetricMatrix {
     }
 
     /// Applies `f` to every entry, returning a new matrix. Used e.g. to turn
-    /// a correlation matrix into the dissimilarity `sqrt(2(1 − p))`.
+    /// a correlation matrix into the dissimilarity `sqrt(2(1 − p))`. The
+    /// parallel map and the collect fuse into a single pass over the data.
     pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Self {
         let data: Vec<f64> = self.data.par_iter().map(|&x| f(x)).collect();
         Self { n: self.n, data }

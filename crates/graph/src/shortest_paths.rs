@@ -4,7 +4,10 @@
 //! APSP over the dissimilarity-weighted TMFG is the dominant cost of the
 //! DBHT (§VI): the paper runs Dijkstra from every source in parallel, which
 //! is exactly what [`all_pairs_shortest_paths`] does (one rayon task per
-//! source over a binary-heap Dijkstra).
+//! source over a binary-heap Dijkstra). Per-source tasks are dealt to the
+//! shim's persistent worker pool, so the per-round dispatch cost stays
+//! negligible even when the per-source work is small (sparse graphs,
+//! small `n`).
 
 use crate::matrix::SymmetricMatrix;
 use crate::weighted_graph::WeightedGraph;

@@ -12,8 +12,12 @@
 //! * [`PriorityCell`] — a keyed priority write cell used for the vertex
 //!   assignment writes of Algorithm 4 (e.g. `WRITE_MAX(v.g, (χ, b))`).
 //!
-//! All parallel operations are built on rayon's fork–join scheduler, which
-//! matches the work–span model used in the paper (randomized work stealing).
+//! All parallel operations are built on rayon's fork–join API, which
+//! matches the work–span model used in the paper. Under the offline shim
+//! this means a persistent worker pool with lazily fused adapters (one
+//! fork–join round per primitive call, no per-call thread spawning); with
+//! registry rayon it is the randomized work-stealing scheduler — the
+//! primitives are source-compatible with both.
 
 pub mod atomic;
 pub mod par;
@@ -26,6 +30,8 @@ pub use par::{
 
 /// Re-export of rayon so downstream crates can build thread pools for the
 /// scalability experiments without an extra direct dependency.
+/// `rayon::ThreadPool::install` scopes all parallel work of a closure —
+/// including the primitives in this crate — onto a caller-owned pool.
 pub use rayon;
 
 #[cfg(test)]

@@ -1,8 +1,10 @@
 //! Parallel filter, sort, maximum and reduction helpers (Table I).
 //!
 //! Thin, well-tested wrappers over rayon that match the interfaces used in
-//! the paper's pseudocode. They fall back to sequential execution for small
-//! inputs to avoid fork–join overheads dominating tiny work items.
+//! the paper's pseudocode. The rayon adapters are lazy and fused, so each
+//! helper is a single parallel pass on the persistent pool; the helpers
+//! additionally fall back to plain sequential execution for small inputs,
+//! where even one pool round trip would dominate the work.
 
 use rayon::prelude::*;
 use std::cmp::Ordering;
@@ -13,6 +15,7 @@ pub const SEQ_THRESHOLD: usize = 2048;
 
 /// Parallel filter: returns the elements of `items` for which `pred` holds,
 /// preserving their input order (as required by the paper's `Filter`).
+/// The filter and the clone fuse into one parallel pass.
 pub fn par_filter<T, F>(items: &[T], pred: F) -> Vec<T>
 where
     T: Clone + Send + Sync,
@@ -25,10 +28,13 @@ where
     }
 }
 
-/// Parallel stable sort by a comparison function.
+/// Parallel stable sort by a comparison function. Above the threshold this
+/// delegates to rayon's `par_sort_by` (under the shim, a parallel merge
+/// sort that itself uses std sorts below ~4k elements or on a
+/// single-threaded pool).
 pub fn par_sort_by<T, F>(items: &mut [T], cmp: F)
 where
-    T: Send,
+    T: Send + Sync,
     F: Fn(&T, &T) -> Ordering + Send + Sync,
 {
     if items.len() < SEQ_THRESHOLD {
@@ -38,10 +44,13 @@ where
     }
 }
 
-/// Parallel unstable sort by a comparison function.
+/// Parallel unstable sort by a comparison function. Above the threshold
+/// this delegates to rayon's `par_sort_unstable_by` (under the shim, the
+/// same parallel merge sort with unstable per-run sorts and the same
+/// ~4k/single-thread fallback).
 pub fn par_sort_unstable_by<T, F>(items: &mut [T], cmp: F)
 where
-    T: Send,
+    T: Send + Sync,
     F: Fn(&T, &T) -> Ordering + Send + Sync,
 {
     if items.len() < SEQ_THRESHOLD {

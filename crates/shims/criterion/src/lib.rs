@@ -8,27 +8,57 @@
 //! `Instant`-based timer instead of criterion's statistical machinery.
 //!
 //! Each benchmark warms up once, then runs `sample_size` timed iterations
-//! (clamped so a single benchmark stays under roughly a second) and prints
-//! mean / min / max wall-clock times in a `group/function/param` line
-//! compatible with `grep`-based result collection. There is no outlier
-//! rejection, bootstrap CI, or HTML report.
+//! (clamped so a single benchmark stays under a per-benchmark time budget)
+//! and prints mean / median ± stddev / min / max wall-clock times plus an
+//! IQR outlier count in a `group/function/param` line compatible with
+//! `grep`-based result collection. There is no bootstrap CI or HTML report.
+//!
+//! Two reporting extras beyond plain printing:
+//!
+//! * **Machine-readable records** — every run appends its stats to
+//!   `target/bench-records/BENCH_<binary>.json` (override the directory
+//!   with `BENCH_RECORD_DIR`), a JSON array with one object per benchmark,
+//!   so the perf trajectory can be collected across commits.
+//! * **Quick mode** — passing `--quick` to the bench binary (i.e.
+//!   `cargo bench --bench primitives -- --quick`) caps every benchmark at
+//!   a handful of samples and a tenth of the time budget, for CI smoke
+//!   jobs where only "does it run and report" matters.
 
 use std::fmt;
+use std::io::Write as _;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// Cap on the total measured time per benchmark, so shim runs of the full
+/// suite stay interactive even when a single iteration is slow.
+const TIME_BUDGET: Duration = Duration::from_secs(1);
+
+/// Sample cap applied in `--quick` mode.
+const QUICK_SAMPLE_CAP: usize = 5;
+
 /// Top-level benchmark driver, mirroring `criterion::Criterion`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Criterion {
-    _private: (),
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            quick: std::env::args().any(|a| a == "--quick"),
+        }
+    }
 }
 
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let quick = self.quick;
         BenchmarkGroup {
             _criterion: self,
             name: name.into(),
             sample_size: 100,
+            quick,
         }
     }
 
@@ -37,7 +67,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(&format!("{id}"), 100, &mut f);
+        run_benchmark(&format!("{id}"), 100, self.quick, &mut f);
         self
     }
 }
@@ -48,6 +78,7 @@ pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    quick: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -62,7 +93,12 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.quick,
+            &mut f,
+        );
         self
     }
 
@@ -79,6 +115,7 @@ impl BenchmarkGroup<'_> {
         run_benchmark(
             &format!("{}/{}", self.name, id),
             self.sample_size,
+            self.quick,
             &mut |b| f(b, input),
         );
         self
@@ -115,11 +152,8 @@ impl fmt::Display for BenchmarkId {
 pub struct Bencher {
     samples: Vec<Duration>,
     requested_samples: usize,
+    time_budget: Duration,
 }
-
-/// Cap on the total measured time per benchmark, so shim runs of the full
-/// suite stay interactive even when a single iteration is slow.
-const TIME_BUDGET: Duration = Duration::from_secs(1);
 
 impl Bencher {
     /// Runs `routine` once to warm up, then repeatedly with timing until
@@ -131,34 +165,190 @@ impl Bencher {
             let start = Instant::now();
             std::hint::black_box(routine());
             self.samples.push(start.elapsed());
-            if budget_start.elapsed() > TIME_BUDGET {
+            if budget_start.elapsed() > self.time_budget {
                 break;
             }
         }
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+/// Summary statistics over one benchmark's samples.
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    samples: usize,
+    mean: Duration,
+    median: Duration,
+    stddev: Duration,
+    min: Duration,
+    max: Duration,
+    /// Samples outside `[q1 - 1.5·IQR, q3 + 1.5·IQR]`.
+    iqr_outliers: usize,
+}
+
+/// The p-th (0..=100) percentile of ascending `sorted`, by linear
+/// interpolation between closest ranks.
+fn percentile_ns(sorted: &[u128], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0] as f64;
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let low = rank.floor() as usize;
+    let high = rank.ceil() as usize;
+    let fraction = rank - low as f64;
+    sorted[low] as f64 + (sorted[high] as f64 - sorted[low] as f64) * fraction
+}
+
+fn compute_stats(samples: &[Duration]) -> Stats {
+    debug_assert!(!samples.is_empty());
+    let mut ns: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+    ns.sort_unstable();
+    let count = ns.len();
+    let total: u128 = ns.iter().sum();
+    let mean_ns = total as f64 / count as f64;
+    let variance = ns
+        .iter()
+        .map(|&x| {
+            let d = x as f64 - mean_ns;
+            d * d
+        })
+        .sum::<f64>()
+        / count as f64;
+    let q1 = percentile_ns(&ns, 25.0);
+    let q3 = percentile_ns(&ns, 75.0);
+    let iqr = q3 - q1;
+    let (low_fence, high_fence) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let iqr_outliers = ns
+        .iter()
+        .filter(|&&x| (x as f64) < low_fence || (x as f64) > high_fence)
+        .count();
+    let from_ns = |x: f64| Duration::from_nanos(x.max(0.0).round() as u64);
+    Stats {
+        samples: count,
+        mean: from_ns(mean_ns),
+        median: from_ns(percentile_ns(&ns, 50.0)),
+        stddev: from_ns(variance.sqrt()),
+        min: Duration::from_nanos(ns[0] as u64),
+        max: Duration::from_nanos(ns[count - 1] as u64),
+        iqr_outliers,
+    }
+}
+
+/// One benchmark's stats as a single-line JSON object. Hand-rolled — the
+/// offline build has no `serde` — with the label as the only string field.
+fn stats_to_json(bench: &str, label: &str, stats: &Stats) -> String {
+    fn json_str(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+    format!(
+        "{{\"bench\":{},\"label\":{},\"samples\":{},\"mean_ns\":{},\"median_ns\":{},\"stddev_ns\":{},\"min_ns\":{},\"max_ns\":{},\"iqr_outliers\":{}}}",
+        json_str(bench),
+        json_str(label),
+        stats.samples,
+        stats.mean.as_nanos(),
+        stats.median.as_nanos(),
+        stats.stddev.as_nanos(),
+        stats.min.as_nanos(),
+        stats.max.as_nanos(),
+        stats.iqr_outliers,
+    )
+}
+
+/// Strips cargo's trailing `-<16 hex>` dedup hash from a binary stem, if
+/// present.
+fn strip_cargo_hash(name: &str) -> &str {
+    match name.rsplit_once('-') {
+        Some((stem, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            stem
+        }
+        _ => name,
+    }
+}
+
+/// The bench binary's stem with cargo's dedup hash removed.
+fn bench_binary_name() -> String {
+    let name = std::env::args()
+        .next()
+        .as_deref()
+        .map(std::path::Path::new)
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "unknown".to_string());
+    strip_cargo_hash(&name).to_string()
+}
+
+/// Accumulated records for this process, rewritten to disk after each
+/// benchmark so a partial run still leaves a valid JSON file.
+static RECORDS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Default record directory: `<target>/bench-records`, derived from the
+/// bench executable's location (`<target>/<profile>/deps/<bin>`), because
+/// cargo runs benches with the *package* directory as CWD, which for a
+/// workspace member is not where `target/` lives.
+fn default_record_dir() -> std::path::PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.ancestors().nth(3).map(std::path::Path::to_path_buf))
+        .unwrap_or_else(|| std::path::PathBuf::from("target"))
+        .join("bench-records")
+}
+
+fn append_record(json_line: String) {
+    let mut records = RECORDS.lock().expect("bench records lock");
+    records.push(json_line);
+    let dir = std::env::var_os("BENCH_RECORD_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(default_record_dir);
+    let path = dir.join(format!("BENCH_{}.json", bench_binary_name()));
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(&dir)?;
+        let mut file = std::fs::File::create(&path)?;
+        writeln!(file, "[")?;
+        for (i, record) in records.iter().enumerate() {
+            let comma = if i + 1 < records.len() { "," } else { "" };
+            writeln!(file, "  {record}{comma}")?;
+        }
+        writeln!(file, "]")
+    };
+    if let Err(err) = write() {
+        eprintln!(
+            "warning: could not write bench record {}: {err}",
+            path.display()
+        );
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, quick: bool, f: &mut F) {
     let mut bencher = Bencher {
         samples: Vec::new(),
-        requested_samples: sample_size,
+        requested_samples: if quick {
+            sample_size.min(QUICK_SAMPLE_CAP)
+        } else {
+            sample_size
+        },
+        time_budget: if quick { TIME_BUDGET / 10 } else { TIME_BUDGET },
     };
     f(&mut bencher);
     if bencher.samples.is_empty() {
         println!("{label:<50} no samples recorded");
         return;
     }
-    let total: Duration = bencher.samples.iter().sum();
-    let mean = total / bencher.samples.len() as u32;
-    let min = bencher.samples.iter().min().expect("non-empty");
-    let max = bencher.samples.iter().max().expect("non-empty");
+    let stats = compute_stats(&bencher.samples);
     println!(
-        "{label:<50} mean {:>12?} min {:>12?} max {:>12?} ({} samples)",
-        mean,
-        min,
-        max,
-        bencher.samples.len()
+        "{label:<50} mean {:>11?} median {:>11?} ± {:>9?} min {:>11?} max {:>11?} ({} samples, {} outliers)",
+        stats.mean, stats.median, stats.stddev, stats.min, stats.max, stats.samples, stats.iqr_outliers,
     );
+    append_record(stats_to_json(&bench_binary_name(), label, &stats));
 }
 
 /// Declares a function running a list of benchmark targets, mirroring
@@ -188,6 +378,12 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    // The record-writing tests deliberately do not override
+    // `BENCH_RECORD_DIR`: `std::env::set_var` from concurrent libtest
+    // threads races `getenv` elsewhere in the process (UB on glibc).
+    // Records land in the default `<target>/bench-records/`, which is
+    // harmless.
+
     #[test]
     fn group_runs_and_records_samples() {
         let mut c = Criterion::default();
@@ -216,5 +412,64 @@ mod tests {
     #[test]
     fn benchmark_id_formats_as_function_slash_parameter() {
         assert_eq!(format!("{}", BenchmarkId::new("sort", 100)), "sort/100");
+    }
+
+    #[test]
+    fn stats_median_stddev_and_outliers() {
+        // Nine 10µs samples and one wild 1ms outlier.
+        let mut samples = vec![Duration::from_micros(10); 9];
+        samples.push(Duration::from_millis(1));
+        let stats = compute_stats(&samples);
+        assert_eq!(stats.samples, 10);
+        assert_eq!(stats.median, Duration::from_micros(10));
+        assert_eq!(stats.min, Duration::from_micros(10));
+        assert_eq!(stats.max, Duration::from_millis(1));
+        assert_eq!(stats.iqr_outliers, 1);
+        // mean = (9·10µs + 1000µs) / 10 = 109µs.
+        assert_eq!(stats.mean, Duration::from_micros(109));
+        // stddev of [10×9, 1000] µs is 297µs.
+        assert_eq!(stats.stddev.as_micros(), 297);
+    }
+
+    #[test]
+    fn stats_uniform_samples_have_no_spread() {
+        let samples = vec![Duration::from_micros(50); 7];
+        let stats = compute_stats(&samples);
+        assert_eq!(stats.mean, Duration::from_micros(50));
+        assert_eq!(stats.median, Duration::from_micros(50));
+        assert_eq!(stats.stddev, Duration::ZERO);
+        assert_eq!(stats.iqr_outliers, 0);
+    }
+
+    #[test]
+    fn json_record_is_well_formed() {
+        let samples = vec![Duration::from_nanos(100), Duration::from_nanos(200)];
+        let stats = compute_stats(&samples);
+        let json = stats_to_json("primitives", "group/\"fn\"/10", &stats);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"bench\":\"primitives\""));
+        assert!(json.contains("\"label\":\"group/\\\"fn\\\"/10\""));
+        assert!(json.contains("\"samples\":2"));
+        assert!(json.contains("\"mean_ns\":150"));
+        assert!(json.contains("\"median_ns\":150"));
+        assert!(json.contains("\"min_ns\":100"));
+        assert!(json.contains("\"max_ns\":200"));
+        assert!(json.contains("\"iqr_outliers\":0"));
+    }
+
+    #[test]
+    fn binary_name_strips_cargo_hash() {
+        // A 16-hex suffix is cargo's dedup hash; anything else is part of
+        // the name.
+        assert_eq!(
+            strip_cargo_hash("primitives-15361f11535712a4"),
+            "primitives"
+        );
+        assert_eq!(strip_cargo_hash("primitives"), "primitives");
+        assert_eq!(strip_cargo_hash("end-to-end"), "end-to-end");
+        assert_eq!(
+            strip_cargo_hash("bench-15361f11535712aZ"),
+            "bench-15361f11535712aZ"
+        );
     }
 }

@@ -1,0 +1,916 @@
+//! Lazy, fused parallel iterators.
+//!
+//! The old shim evaluated every adapter eagerly, materialising a `Vec`
+//! between `map`, `filter`, and friends — a chain of k adapters cost k
+//! fork–join rounds and k allocations. This module replaces that with
+//! rayon-style lazy adapters fused through a consumer chain:
+//!
+//! * A pipeline is only executed when a terminal operation
+//!   ([`ParallelIterator::collect`], [`ParallelIterator::for_each`],
+//!   [`ParallelIterator::reduce`], …) calls [`ParallelIterator::drive`]
+//!   with a [`Consumer`].
+//! * Each adapter implements `drive` by *wrapping the consumer* (a
+//!   [`Map`] wraps it in a consumer that maps each element before
+//!   forwarding) and delegating to its base, so by the time execution
+//!   reaches the base source the whole chain has collapsed into one
+//!   composed sequential closure.
+//! * The base source (a slice, a `Vec`, or a range) splits its index space
+//!   into contiguous pieces, deals them to the persistent pool
+//!   (`crate::pool`), and runs the fused closure once per piece — a
+//!   chain of k adapters costs **one** fork–join round and no intermediate
+//!   allocation.
+//!
+//! Ordering guarantees match the old shim (and rayon): pieces are
+//! contiguous and combined in input order, so `collect` preserves order
+//! and `fold`/`reduce` see chunk accumulators left to right.
+//!
+//! [`IndexedParallelIterator`] marks pipelines whose elements still have
+//! known positions (sources, [`Zip`], [`Enumerate`]); only those can be
+//! zipped or enumerated, mirroring rayon's indexed requirement.
+
+use std::iter::Sum;
+
+use crate::pool;
+
+/// A sequential reducer for one piece of a parallel pipeline. Adapters wrap
+/// consumers; base sources call [`Consumer::consume`] once per piece, on
+/// worker threads, through a shared reference.
+pub trait Consumer<T>: Sync {
+    /// Per-piece result, combined by the terminal operation in piece order.
+    type Result: Send;
+    /// Reduces one piece's elements.
+    fn consume<I: Iterator<Item = T>>(&self, iter: I) -> Self::Result;
+}
+
+/// A lazy parallel iterator: a pipeline description that executes on the
+/// persistent pool when a terminal operation is called.
+pub trait ParallelIterator: Sized {
+    /// Element type of the pipeline.
+    type Item: Send;
+
+    /// Executes the pipeline: splits the underlying source into pieces,
+    /// runs `consumer` over each piece on the pool, and returns the
+    /// per-piece results in input order. This is the only method adapters
+    /// implement; everything else is derived.
+    fn drive<C: Consumer<Self::Item>>(self, consumer: C) -> Vec<C::Result>;
+
+    /// Lazy parallel map.
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Lazy parallel filter, preserving input order.
+    fn filter<P>(self, pred: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { base: self, pred }
+    }
+
+    /// Lazy parallel filter-map, preserving input order.
+    fn filter_map<U, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> Option<U> + Sync + Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Rayon-style fold: one accumulator per piece, to be combined with
+    /// [`ParallelIterator::reduce`].
+    fn fold<Acc, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        Acc: Send,
+        ID: Fn() -> Acc + Sync + Send,
+        F: Fn(Acc, Self::Item) -> Acc + Sync + Send,
+    {
+        Fold {
+            base: self,
+            identity,
+            fold_op,
+        }
+    }
+
+    /// Clones each referenced element, like `Iterator::cloned`.
+    fn cloned<'a, T>(self) -> Cloned<Self>
+    where
+        T: 'a + Clone + Send + Sync,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        Cloned { base: self }
+    }
+
+    /// Copies each referenced element, like `Iterator::copied`.
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        T: 'a + Copy + Send + Sync,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        Copied { base: self }
+    }
+
+    /// Pairs every element with its index. Requires an indexed pipeline,
+    /// as in rayon.
+    fn enumerate(self) -> Enumerate<Self>
+    where
+        Self: IndexedParallelIterator,
+    {
+        Enumerate { base: self }
+    }
+
+    /// Zips with another indexed pipeline, truncating to the shorter one.
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        Self: IndexedParallelIterator,
+        B: IndexedParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Runs `f` on every element, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.drive(ForEachConsumer { f });
+    }
+
+    /// Reduces all elements with `op`, starting each piece from
+    /// `identity()`. `op` must be associative for a deterministic result,
+    /// as in rayon.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        let partials = self.drive(ReduceConsumer {
+            identity: &identity,
+            op: &op,
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Sums the elements piece-wise, then sums the piece totals.
+    fn sum<S>(self) -> S
+    where
+        S: Send + Sum<Self::Item> + Sum<S>,
+    {
+        self.drive(SumConsumer::<S> {
+            _marker: std::marker::PhantomData,
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Minimum element (`None` when empty). Ties resolve to the first
+    /// minimum, like `Iterator::min`.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.drive(MinConsumer)
+            .into_iter()
+            .flatten()
+            .reduce(|best, candidate| if candidate < best { candidate } else { best })
+    }
+
+    /// Maximum element (`None` when empty). Ties resolve to the last
+    /// maximum, like `Iterator::max`.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.drive(MaxConsumer)
+            .into_iter()
+            .flatten()
+            .reduce(|best, candidate| if candidate >= best { candidate } else { best })
+    }
+
+    /// Element minimising `key` (`None` when empty); first minimum wins
+    /// ties, like `Iterator::min_by_key`.
+    fn min_by_key<K, F>(self, key: F) -> Option<Self::Item>
+    where
+        K: Ord + Send,
+        F: Fn(&Self::Item) -> K + Sync + Send,
+    {
+        self.drive(KeyedExtremumConsumer {
+            key: &key,
+            min: true,
+        })
+        .into_iter()
+        .flatten()
+        .reduce(|best, candidate| {
+            if candidate.0 < best.0 {
+                candidate
+            } else {
+                best
+            }
+        })
+        .map(|(_, item)| item)
+    }
+
+    /// Element maximising `key` (`None` when empty); last maximum wins
+    /// ties, like `Iterator::max_by_key`.
+    fn max_by_key<K, F>(self, key: F) -> Option<Self::Item>
+    where
+        K: Ord + Send,
+        F: Fn(&Self::Item) -> K + Sync + Send,
+    {
+        self.drive(KeyedExtremumConsumer {
+            key: &key,
+            min: false,
+        })
+        .into_iter()
+        .flatten()
+        .reduce(|best, candidate| {
+            if candidate.0 >= best.0 {
+                candidate
+            } else {
+                best
+            }
+        })
+        .map(|(_, item)| item)
+    }
+
+    /// Number of elements that survive the pipeline.
+    fn count(self) -> usize {
+        self.drive(CountConsumer).into_iter().sum()
+    }
+
+    /// Collects into any `FromIterator` container, in input order.
+    fn collect<B: FromIterator<Self::Item>>(self) -> B {
+        self.drive(CollectConsumer).into_iter().flatten().collect()
+    }
+}
+
+/// A pipeline whose elements still have known positions: only these can be
+/// split at aligned boundaries, which `zip` and `enumerate` require.
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// The sequential iterator driving one piece.
+    type SeqIter: Iterator<Item = Self::Item> + Send;
+
+    /// Exact number of elements.
+    fn len(&self) -> usize;
+
+    /// `true` when the pipeline has no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits the first `len` elements (`len <= self.len()`) into exactly
+    /// `pieces` contiguous iterators: piece `i` covers
+    /// `[i * ceil(len / pieces), min((i + 1) * ceil(len / pieces), len))`.
+    /// Every implementation uses the same boundary formula so zipped sides
+    /// stay aligned.
+    fn split_into(self, len: usize, pieces: usize) -> Vec<Self::SeqIter>;
+}
+
+/// Piece boundaries shared by every `split_into` implementation.
+pub(crate) fn piece_bounds(len: usize, pieces: usize) -> impl Iterator<Item = (usize, usize)> {
+    let piece_len = len.div_ceil(pieces.max(1)).max(1);
+    (0..pieces).map(move |i| {
+        let start = (i * piece_len).min(len);
+        let end = ((i + 1) * piece_len).min(len);
+        (start, end)
+    })
+}
+
+/// Executes an indexed pipeline: decide the piece count, split, and deal
+/// the pieces to the pool.
+fn drive_indexed<S, C>(source: S, consumer: C) -> Vec<C::Result>
+where
+    S: IndexedParallelIterator,
+    C: Consumer<S::Item>,
+{
+    let len = source.len();
+    let pieces = pool::decide_pieces(len);
+    let iters = source.split_into(len, pieces);
+    consume_pieces(iters, consumer)
+}
+
+/// Runs `consumer` over each piece on the pool, results in piece order.
+fn consume_pieces<I, C>(pieces: Vec<I>, consumer: C) -> Vec<C::Result>
+where
+    I: Iterator + Send,
+    I::Item: Send,
+    C: Consumer<I::Item>,
+{
+    let consumer = &consumer;
+    pool::run_batch_owned(pieces, move |iter| consumer.consume(iter))
+}
+
+// ---------------------------------------------------------------------------
+// Base sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over a borrowed slice (`.par_iter()`).
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn drive<C: Consumer<Self::Item>>(self, consumer: C) -> Vec<C::Result> {
+        drive_indexed(self, consumer)
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for SliceSource<'a, T> {
+    type SeqIter = std::slice::Iter<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_into(self, len: usize, pieces: usize) -> Vec<Self::SeqIter> {
+        piece_bounds(len, pieces)
+            .map(|(start, end)| self.slice[start..end].iter())
+            .collect()
+    }
+}
+
+/// Parallel iterator over an owned `Vec` (`.into_par_iter()`).
+pub struct VecSource<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecSource<T> {
+    type Item = T;
+    fn drive<C: Consumer<Self::Item>>(self, consumer: C) -> Vec<C::Result> {
+        drive_indexed(self, consumer)
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for VecSource<T> {
+    type SeqIter = std::vec::IntoIter<T>;
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+    fn split_into(mut self, len: usize, pieces: usize) -> Vec<Self::SeqIter> {
+        // One pass of moves at the source; the rest of the pipeline is
+        // fused, so this is the only materialisation.
+        self.vec.truncate(len);
+        if pieces <= 1 {
+            return vec![self.vec.into_iter()];
+        }
+        let piece_len = len.div_ceil(pieces).max(1);
+        let mut out = Vec::with_capacity(pieces);
+        let mut items = self.vec.into_iter();
+        for _ in 0..pieces {
+            let piece: Vec<T> = items.by_ref().take(piece_len).collect();
+            out.push(piece.into_iter());
+        }
+        out
+    }
+}
+
+/// Parallel iterator over an integer range (`(a..b).into_par_iter()`).
+///
+/// A wrapper rather than an impl on `std::ops::Range` itself, so that
+/// importing the prelude never makes sequential `.map()`/`.zip()` calls on
+/// ranges ambiguous (real rayon wraps for the same reason).
+pub struct RangeSource<T> {
+    range: std::ops::Range<T>,
+}
+
+macro_rules! impl_range_source {
+    ($($ty:ty),*) => {$(
+        impl ParallelIterator for RangeSource<$ty> {
+            type Item = $ty;
+            fn drive<C: Consumer<Self::Item>>(self, consumer: C) -> Vec<C::Result> {
+                drive_indexed(self, consumer)
+            }
+        }
+
+        impl IndexedParallelIterator for RangeSource<$ty> {
+            type SeqIter = std::ops::Range<$ty>;
+            fn len(&self) -> usize {
+                if self.range.end > self.range.start {
+                    (self.range.end - self.range.start) as usize
+                } else {
+                    0
+                }
+            }
+            fn split_into(self, len: usize, pieces: usize) -> Vec<Self::SeqIter> {
+                piece_bounds(len, pieces)
+                    .map(|(start, end)| {
+                        (self.range.start + start as $ty)..(self.range.start + end as $ty)
+                    })
+                    .collect()
+            }
+        }
+    )*};
+}
+impl_range_source!(usize, u32, u64, i32, i64);
+
+// ---------------------------------------------------------------------------
+// Indexed adapters: enumerate, zip
+// ---------------------------------------------------------------------------
+
+/// Lazy `enumerate`: pairs elements with their global indices.
+pub struct Enumerate<S> {
+    base: S,
+}
+
+impl<S: IndexedParallelIterator> ParallelIterator for Enumerate<S> {
+    type Item = (usize, S::Item);
+    fn drive<C: Consumer<Self::Item>>(self, consumer: C) -> Vec<C::Result> {
+        drive_indexed(self, consumer)
+    }
+}
+
+impl<S: IndexedParallelIterator> IndexedParallelIterator for Enumerate<S> {
+    type SeqIter = std::iter::Zip<std::ops::Range<usize>, S::SeqIter>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_into(self, len: usize, pieces: usize) -> Vec<Self::SeqIter> {
+        let bounds: Vec<(usize, usize)> = piece_bounds(len, pieces).collect();
+        self.base
+            .split_into(len, pieces)
+            .into_iter()
+            .zip(bounds)
+            .map(|(iter, (start, end))| (start..end).zip(iter))
+            .collect()
+    }
+}
+
+/// Lazy `zip`: pairs two indexed pipelines element-wise, truncated to the
+/// shorter side. Both sides split at the same boundaries, so pieces stay
+/// aligned.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    fn drive<C: Consumer<Self::Item>>(self, consumer: C) -> Vec<C::Result> {
+        drive_indexed(self, consumer)
+    }
+}
+
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    type SeqIter = std::iter::Zip<A::SeqIter, B::SeqIter>;
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn split_into(self, len: usize, pieces: usize) -> Vec<Self::SeqIter> {
+        self.a
+            .split_into(len, pieces)
+            .into_iter()
+            .zip(self.b.split_into(len, pieces))
+            .map(|(a, b)| a.zip(b))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused adapters: implemented by wrapping the downstream consumer
+// ---------------------------------------------------------------------------
+
+/// Lazy `map` adapter.
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+struct MapConsumer<F, C> {
+    f: F,
+    inner: C,
+}
+
+impl<T, U, F, C> Consumer<T> for MapConsumer<F, C>
+where
+    U: Send,
+    F: Fn(T) -> U + Sync,
+    C: Consumer<U>,
+{
+    type Result = C::Result;
+    fn consume<I: Iterator<Item = T>>(&self, iter: I) -> C::Result {
+        self.inner.consume(iter.map(|x| (self.f)(x)))
+    }
+}
+
+impl<S, U, F> ParallelIterator for Map<S, F>
+where
+    S: ParallelIterator,
+    U: Send,
+    F: Fn(S::Item) -> U + Sync + Send,
+{
+    type Item = U;
+    fn drive<C: Consumer<U>>(self, consumer: C) -> Vec<C::Result> {
+        self.base.drive(MapConsumer {
+            f: self.f,
+            inner: consumer,
+        })
+    }
+}
+
+/// Lazy `filter` adapter.
+pub struct Filter<S, P> {
+    base: S,
+    pred: P,
+}
+
+struct FilterConsumer<P, C> {
+    pred: P,
+    inner: C,
+}
+
+impl<T, P, C> Consumer<T> for FilterConsumer<P, C>
+where
+    P: Fn(&T) -> bool + Sync,
+    C: Consumer<T>,
+{
+    type Result = C::Result;
+    fn consume<I: Iterator<Item = T>>(&self, iter: I) -> C::Result {
+        self.inner.consume(iter.filter(|x| (self.pred)(x)))
+    }
+}
+
+impl<S, P> ParallelIterator for Filter<S, P>
+where
+    S: ParallelIterator,
+    P: Fn(&S::Item) -> bool + Sync + Send,
+{
+    type Item = S::Item;
+    fn drive<C: Consumer<S::Item>>(self, consumer: C) -> Vec<C::Result> {
+        self.base.drive(FilterConsumer {
+            pred: self.pred,
+            inner: consumer,
+        })
+    }
+}
+
+/// Lazy `filter_map` adapter.
+pub struct FilterMap<S, F> {
+    base: S,
+    f: F,
+}
+
+struct FilterMapConsumer<F, C> {
+    f: F,
+    inner: C,
+}
+
+impl<T, U, F, C> Consumer<T> for FilterMapConsumer<F, C>
+where
+    U: Send,
+    F: Fn(T) -> Option<U> + Sync,
+    C: Consumer<U>,
+{
+    type Result = C::Result;
+    fn consume<I: Iterator<Item = T>>(&self, iter: I) -> C::Result {
+        self.inner.consume(iter.filter_map(|x| (self.f)(x)))
+    }
+}
+
+impl<S, U, F> ParallelIterator for FilterMap<S, F>
+where
+    S: ParallelIterator,
+    U: Send,
+    F: Fn(S::Item) -> Option<U> + Sync + Send,
+{
+    type Item = U;
+    fn drive<C: Consumer<U>>(self, consumer: C) -> Vec<C::Result> {
+        self.base.drive(FilterMapConsumer {
+            f: self.f,
+            inner: consumer,
+        })
+    }
+}
+
+/// Lazy rayon-style `fold` adapter: yields one accumulator per piece.
+pub struct Fold<S, ID, F> {
+    base: S,
+    identity: ID,
+    fold_op: F,
+}
+
+struct FoldConsumer<ID, F, C> {
+    identity: ID,
+    fold_op: F,
+    inner: C,
+}
+
+impl<T, Acc, ID, F, C> Consumer<T> for FoldConsumer<ID, F, C>
+where
+    Acc: Send,
+    ID: Fn() -> Acc + Sync,
+    F: Fn(Acc, T) -> Acc + Sync,
+    C: Consumer<Acc>,
+{
+    type Result = C::Result;
+    fn consume<I: Iterator<Item = T>>(&self, iter: I) -> C::Result {
+        let acc = iter.fold((self.identity)(), |acc, x| (self.fold_op)(acc, x));
+        self.inner.consume(std::iter::once(acc))
+    }
+}
+
+impl<S, Acc, ID, F> ParallelIterator for Fold<S, ID, F>
+where
+    S: ParallelIterator,
+    Acc: Send,
+    ID: Fn() -> Acc + Sync + Send,
+    F: Fn(Acc, S::Item) -> Acc + Sync + Send,
+{
+    type Item = Acc;
+    fn drive<C: Consumer<Acc>>(self, consumer: C) -> Vec<C::Result> {
+        self.base.drive(FoldConsumer {
+            identity: self.identity,
+            fold_op: self.fold_op,
+            inner: consumer,
+        })
+    }
+}
+
+/// Lazy `cloned` adapter.
+pub struct Cloned<S> {
+    base: S,
+}
+
+struct ClonedConsumer<C> {
+    inner: C,
+}
+
+impl<'a, T, C> Consumer<&'a T> for ClonedConsumer<C>
+where
+    T: 'a + Clone + Send + Sync,
+    C: Consumer<T>,
+{
+    type Result = C::Result;
+    fn consume<I: Iterator<Item = &'a T>>(&self, iter: I) -> C::Result {
+        self.inner.consume(iter.cloned())
+    }
+}
+
+impl<'a, T, S> ParallelIterator for Cloned<S>
+where
+    T: 'a + Clone + Send + Sync,
+    S: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+    fn drive<C: Consumer<T>>(self, consumer: C) -> Vec<C::Result> {
+        self.base.drive(ClonedConsumer { inner: consumer })
+    }
+}
+
+impl<'a, T, S> IndexedParallelIterator for Cloned<S>
+where
+    T: 'a + Clone + Send + Sync,
+    S: IndexedParallelIterator<Item = &'a T>,
+{
+    type SeqIter = std::iter::Cloned<S::SeqIter>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_into(self, len: usize, pieces: usize) -> Vec<Self::SeqIter> {
+        self.base
+            .split_into(len, pieces)
+            .into_iter()
+            .map(Iterator::cloned)
+            .collect()
+    }
+}
+
+/// Lazy `copied` adapter.
+pub struct Copied<S> {
+    base: S,
+}
+
+struct CopiedConsumer<C> {
+    inner: C,
+}
+
+impl<'a, T, C> Consumer<&'a T> for CopiedConsumer<C>
+where
+    T: 'a + Copy + Send + Sync,
+    C: Consumer<T>,
+{
+    type Result = C::Result;
+    fn consume<I: Iterator<Item = &'a T>>(&self, iter: I) -> C::Result {
+        self.inner.consume(iter.copied())
+    }
+}
+
+impl<'a, T, S> ParallelIterator for Copied<S>
+where
+    T: 'a + Copy + Send + Sync,
+    S: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+    fn drive<C: Consumer<T>>(self, consumer: C) -> Vec<C::Result> {
+        self.base.drive(CopiedConsumer { inner: consumer })
+    }
+}
+
+impl<'a, T, S> IndexedParallelIterator for Copied<S>
+where
+    T: 'a + Copy + Send + Sync,
+    S: IndexedParallelIterator<Item = &'a T>,
+{
+    type SeqIter = std::iter::Copied<S::SeqIter>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_into(self, len: usize, pieces: usize) -> Vec<Self::SeqIter> {
+        self.base
+            .split_into(len, pieces)
+            .into_iter()
+            .map(Iterator::copied)
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Terminal consumers
+// ---------------------------------------------------------------------------
+
+struct ForEachConsumer<F> {
+    f: F,
+}
+
+impl<T, F: Fn(T) + Sync> Consumer<T> for ForEachConsumer<F> {
+    type Result = ();
+    fn consume<I: Iterator<Item = T>>(&self, iter: I) {
+        iter.for_each(|x| (self.f)(x));
+    }
+}
+
+struct ReduceConsumer<'a, ID, OP> {
+    identity: &'a ID,
+    op: &'a OP,
+}
+
+impl<T, ID, OP> Consumer<T> for ReduceConsumer<'_, ID, OP>
+where
+    T: Send,
+    ID: Fn() -> T + Sync,
+    OP: Fn(T, T) -> T + Sync,
+{
+    type Result = T;
+    fn consume<I: Iterator<Item = T>>(&self, iter: I) -> T {
+        iter.fold((self.identity)(), |a, b| (self.op)(a, b))
+    }
+}
+
+struct SumConsumer<S> {
+    // `fn() -> S` keeps the consumer `Sync` without requiring `S: Sync`.
+    _marker: std::marker::PhantomData<fn() -> S>,
+}
+
+impl<T, S> Consumer<T> for SumConsumer<S>
+where
+    S: Send + Sum<T>,
+{
+    type Result = S;
+    fn consume<I: Iterator<Item = T>>(&self, iter: I) -> S {
+        iter.sum()
+    }
+}
+
+struct MinConsumer;
+
+impl<T: Ord + Send> Consumer<T> for MinConsumer {
+    type Result = Option<T>;
+    fn consume<I: Iterator<Item = T>>(&self, iter: I) -> Option<T> {
+        iter.min()
+    }
+}
+
+struct MaxConsumer;
+
+impl<T: Ord + Send> Consumer<T> for MaxConsumer {
+    type Result = Option<T>;
+    fn consume<I: Iterator<Item = T>>(&self, iter: I) -> Option<T> {
+        iter.max()
+    }
+}
+
+struct KeyedExtremumConsumer<'a, F> {
+    key: &'a F,
+    min: bool,
+}
+
+impl<T, K, F> Consumer<T> for KeyedExtremumConsumer<'_, F>
+where
+    T: Send,
+    K: Ord + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    type Result = Option<(K, T)>;
+    fn consume<I: Iterator<Item = T>>(&self, iter: I) -> Option<(K, T)> {
+        let keyed = iter.map(|x| ((self.key)(&x), x));
+        if self.min {
+            // First minimum wins, like `Iterator::min_by_key`.
+            keyed.reduce(|best, candidate| {
+                if candidate.0 < best.0 {
+                    candidate
+                } else {
+                    best
+                }
+            })
+        } else {
+            // Last maximum wins, like `Iterator::max_by_key`.
+            keyed.reduce(|best, candidate| {
+                if candidate.0 >= best.0 {
+                    candidate
+                } else {
+                    best
+                }
+            })
+        }
+    }
+}
+
+struct CountConsumer;
+
+impl<T> Consumer<T> for CountConsumer {
+    type Result = usize;
+    fn consume<I: Iterator<Item = T>>(&self, iter: I) -> usize {
+        iter.count()
+    }
+}
+
+struct CollectConsumer;
+
+impl<T: Send> Consumer<T> for CollectConsumer {
+    type Result = Vec<T>;
+    fn consume<I: Iterator<Item = T>>(&self, iter: I) -> Vec<T> {
+        iter.collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Element type of the resulting iterator.
+    type Item: Send;
+    /// The pipeline source type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a lazy parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecSource<T>;
+    fn into_par_iter(self) -> VecSource<T> {
+        VecSource { vec: self }
+    }
+}
+
+macro_rules! impl_range_into_par_iter {
+    ($($ty:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$ty> {
+            type Item = $ty;
+            type Iter = RangeSource<$ty>;
+            fn into_par_iter(self) -> Self::Iter {
+                RangeSource { range: self }
+            }
+        }
+    )*};
+}
+impl_range_into_par_iter!(usize, u32, u64, i32, i64);
+
+/// Borrowing conversion, mirroring `rayon::iter::IntoParallelRefIterator`
+/// (the trait behind `.par_iter()` on slices and `Vec`s).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type of the resulting iterator (a shared reference).
+    type Item: Send;
+    /// The pipeline source type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Iterates the elements of `self` by reference.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceSource<'a, T>;
+    fn par_iter(&'a self) -> SliceSource<'a, T> {
+        SliceSource { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceSource<'a, T>;
+    fn par_iter(&'a self) -> SliceSource<'a, T> {
+        SliceSource { slice: self }
+    }
+}

@@ -2,374 +2,105 @@
 //!
 //! The build environment for this workspace has no access to crates.io, so
 //! this shim provides the *subset* of the rayon 1.x API that the workspace
-//! actually uses, implemented on `std::thread::scope`. Parallelism is real:
-//! eager combinators (`map`, `filter`, `for_each`, `fold`, `sum`) split
-//! their input into one contiguous chunk per worker thread and evaluate the
-//! user closure concurrently. The fork–join work-stealing scheduler of real
-//! rayon is *not* reproduced — each adapter is a single fork–join round —
-//! but the observable semantics (ordering, determinism of `collect`, the
-//! `fold`/`reduce` contract) match rayon for the associative operations the
-//! algorithms rely on.
+//! actually uses. Since PR 2 it is built on a **persistent thread pool**
+//! with **lazy, fused adapters**:
+//!
+//! * `pool` (internal) — a lazily-initialized global pool of workers
+//!   parked on a condvar. A fork–join round costs a queue push and
+//!   wake-ups instead of per-call thread spawn/teardown; tasks are dealt
+//!   through an atomic claim counter so uneven pieces load-balance.
+//!   Worker panics are caught and re-raised on the caller after the round
+//!   completes, and the workers survive. `RAYON_NUM_THREADS` pins the
+//!   global worker count (as in real rayon).
+//! * [`iter`] — rayon-style lazy adapters. `map`/`filter`/`filter_map`/
+//!   `enumerate`/`zip`/`cloned`/`copied`/`fold` fuse into a single
+//!   parallel pass executed when a terminal operation (`collect`,
+//!   `for_each`, `reduce`, `sum`, `min`/`max`(`_by_key`), `count`) runs —
+//!   a chain of k adapters costs one fork–join round and no intermediate
+//!   allocations (the old shim materialised a `Vec` per adapter).
+//! * `sort` (internal) — a parallel merge sort behind
+//!   [`ParallelSliceMut::par_sort_by`] / `par_sort_unstable_by`: parallel
+//!   per-run std sorts, parallel pairwise index merges, and an in-place
+//!   permutation apply. Taken only when both the pool and the hardware
+//!   offer parallelism (oversubscription cannot win at sorting); requires
+//!   `T: Send + Sync` (real rayon needs only `T: Send`; the shim's merge
+//!   phase shares the slice immutably across workers).
+//!
+//! Observable semantics match rayon for the operations the algorithms rely
+//! on: `collect` preserves input order, `fold`/`reduce` see one
+//! accumulator per contiguous piece combined left to right, `par_sort_by`
+//! is stable, and results are deterministic for a fixed worker count.
 //!
 //! Supported surface:
 //!
 //! * [`prelude`] — [`IntoParallelIterator`], [`IntoParallelRefIterator`]
-//!   (`par_iter`), [`ParallelSliceMut`] (`par_sort_by`,
-//!   `par_sort_unstable_by`);
-//! * [`ParIter`] — `map`, `filter`, `enumerate`, `zip`, `cloned`,
-//!   `for_each`, `fold`, `reduce`, `sum`, `min`, `max`, `min_by_key`,
-//!   `max_by_key`, `count`, `collect`;
+//!   (`par_iter`), [`ParallelIterator`], [`IndexedParallelIterator`],
+//!   [`ParallelSliceMut`] (`par_sort_by`, `par_sort_unstable_by`);
 //! * [`ThreadPoolBuilder`] / [`ThreadPool`] — `num_threads`, `build`,
-//!   `install` (install scopes an override of the worker count via a
-//!   thread-local, which the eager adapters consult when splitting);
+//!   `install` (scopes all parallel work of the closure — including
+//!   nested work on the pool's own workers — onto a caller-owned pool);
 //! * [`current_num_threads`].
 //!
 //! When the swap to the real crates-io rayon happens, delete this crate and
 //! point the `[workspace.dependencies]` entry at the registry version; no
 //! downstream source changes should be needed.
 
-use std::cell::Cell;
 use std::cmp::Ordering;
 use std::fmt;
-use std::iter::Sum;
 
-/// Minimum number of items before an eager adapter bothers spawning worker
-/// threads; below this the per-thread spawn cost dominates.
-const MIN_PAR_LEN: usize = 512;
+pub mod iter;
+mod pool;
+mod sort;
 
-thread_local! {
-    /// Per-thread override of the worker count, set by [`ThreadPool::install`].
-    static NUM_THREADS_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
-}
+pub use iter::{
+    IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+};
 
-/// Number of worker threads parallel adapters will split across: the
-/// innermost [`ThreadPool::install`] override if one is active, otherwise
-/// the machine's available parallelism.
+/// Number of worker threads parallel operations split across on the current
+/// thread: the innermost [`ThreadPool::install`] pool's size if one is
+/// active (or if running on one of its workers), otherwise the global
+/// pool's size (`RAYON_NUM_THREADS` when set, else the machine's available
+/// parallelism).
 pub fn current_num_threads() -> usize {
-    NUM_THREADS_OVERRIDE.with(|o| match o.get() {
-        Some(n) => n,
-        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    })
+    pool::effective_parallelism()
 }
 
-/// Splits `items` into one contiguous chunk per worker and runs `work` on
-/// each chunk on its own scoped thread, returning one result per chunk in
-/// input order. Small inputs run as a single sequential `work` call. The
-/// calling thread's worker-count override (from [`ThreadPool::install`]) is
-/// propagated into the workers, so nested adapter calls respect the
-/// enclosing pool instead of falling back to machine parallelism.
-fn run_chunked<T, R, W>(items: Vec<T>, work: W) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    W: Fn(Vec<T>) -> R + Sync,
-{
-    let n = items.len();
-    let threads = current_num_threads().min(n.max(1));
-    if threads <= 1 || n < MIN_PAR_LEN {
-        return vec![work(items)];
-    }
-    let chunk_len = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
-    let mut it = items.into_iter();
-    loop {
-        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
-        if chunk.is_empty() {
-            break;
-        }
-        chunks.push(chunk);
-    }
-    let inherited = NUM_THREADS_OVERRIDE.with(|o| o.get());
-    let work = &work;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                s.spawn(move || {
-                    // Fresh thread, dies with the scope: set, never restore.
-                    NUM_THREADS_OVERRIDE.with(|o| o.set(inherited));
-                    work(chunk)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rayon-shim worker panicked"))
-            .collect()
-    })
-}
-
-/// Applies `f` to every element concurrently, preserving input order.
-fn par_apply<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
-where
-    T: Send,
-    U: Send,
-    F: Fn(T) -> U + Sync,
-{
-    let n = items.len();
-    let f = &f;
-    let per_chunk = run_chunked(items, move |chunk| {
-        chunk.into_iter().map(f).collect::<Vec<U>>()
-    });
-    let mut out = Vec::with_capacity(n);
-    for part in per_chunk {
-        out.extend(part);
-    }
-    out
-}
-
-/// Folds each worker chunk with its own accumulator, mirroring rayon's
-/// `fold` contract (one accumulator per split, to be combined with an
-/// associative `reduce`).
-fn par_fold_chunks<T, Acc, ID, F>(items: Vec<T>, identity: ID, fold_op: F) -> Vec<Acc>
-where
-    T: Send,
-    Acc: Send,
-    ID: Fn() -> Acc + Sync,
-    F: Fn(Acc, T) -> Acc + Sync,
-{
-    let identity = &identity;
-    let fold_op = &fold_op;
-    run_chunked(items, move |chunk| {
-        chunk.into_iter().fold(identity(), fold_op)
-    })
-}
-
-/// An eagerly evaluated parallel iterator over an in-memory sequence.
-///
-/// Unlike rayon's lazy adapters, every combinator that takes a user closure
-/// runs it immediately (in parallel) and materialises the result, so chains
-/// of adapters cost one pass each. This is a deliberate simplicity/perf
-/// trade-off for the shim; see the crate docs.
-pub struct ParIter<T> {
-    items: Vec<T>,
-}
-
-impl<T: Send> ParIter<T> {
-    /// Parallel map, preserving input order.
-    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
-        ParIter {
-            items: par_apply(self.items, f),
-        }
-    }
-
-    /// Parallel filter, preserving input order.
-    pub fn filter<P: Fn(&T) -> bool + Sync>(self, pred: P) -> ParIter<T> {
-        let flagged = par_apply(self.items, |x| {
-            let keep = pred(&x);
-            (x, keep)
-        });
-        ParIter {
-            items: flagged
-                .into_iter()
-                .filter_map(|(x, keep)| keep.then_some(x))
-                .collect(),
-        }
-    }
-
-    /// Parallel filter-map, preserving input order.
-    pub fn filter_map<U: Send, F: Fn(T) -> Option<U> + Sync>(self, f: F) -> ParIter<U> {
-        ParIter {
-            items: par_apply(self.items, f).into_iter().flatten().collect(),
-        }
-    }
-
-    /// Pairs every element with its index.
-    pub fn enumerate(self) -> ParIter<(usize, T)> {
-        ParIter {
-            items: self.items.into_iter().enumerate().collect(),
-        }
-    }
-
-    /// Zips with another parallel iterator, truncating to the shorter one.
-    pub fn zip<B: Send>(self, other: ParIter<B>) -> ParIter<(T, B)> {
-        ParIter {
-            items: self.items.into_iter().zip(other.items).collect(),
-        }
-    }
-
-    /// Runs `f` on every element concurrently.
-    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
-        par_apply(self.items, f);
-    }
-
-    /// Rayon-style fold: one accumulator per parallel chunk. Combine the
-    /// resulting accumulators with [`ParIter::reduce`].
-    pub fn fold<Acc, ID, F>(self, identity: ID, fold_op: F) -> ParIter<Acc>
-    where
-        Acc: Send,
-        ID: Fn() -> Acc + Sync,
-        F: Fn(Acc, T) -> Acc + Sync,
-    {
-        ParIter {
-            items: par_fold_chunks(self.items, identity, fold_op),
-        }
-    }
-
-    /// Reduces all elements with `op`, starting from `identity()`.
-    pub fn reduce<ID, F>(self, identity: ID, op: F) -> T
-    where
-        ID: Fn() -> T + Sync,
-        F: Fn(T, T) -> T + Sync,
-    {
-        self.items.into_iter().fold(identity(), op)
-    }
-
-    /// Sums the elements. Sequential in the shim: summation is
-    /// memory-bandwidth bound, so the win from splitting it is negligible
-    /// next to the parallel `map` that typically precedes it.
-    pub fn sum<S>(self) -> S
-    where
-        S: Sum<T>,
-    {
-        self.items.into_iter().sum()
-    }
-
-    /// Minimum element (`None` when empty). Ties resolve like `Iterator::min`.
-    pub fn min(self) -> Option<T>
-    where
-        T: Ord,
-    {
-        self.items.into_iter().min()
-    }
-
-    /// Maximum element (`None` when empty). Ties resolve like `Iterator::max`.
-    pub fn max(self) -> Option<T>
-    where
-        T: Ord,
-    {
-        self.items.into_iter().max()
-    }
-
-    /// Element minimising `key` (`None` when empty).
-    pub fn min_by_key<K: Ord, F: Fn(&T) -> K + Sync>(self, key: F) -> Option<T> {
-        self.items.into_iter().min_by_key(|x| key(x))
-    }
-
-    /// Element maximising `key` (`None` when empty).
-    pub fn max_by_key<K: Ord, F: Fn(&T) -> K + Sync>(self, key: F) -> Option<T> {
-        self.items.into_iter().max_by_key(|x| key(x))
-    }
-
-    /// Number of elements.
-    pub fn count(self) -> usize {
-        self.items.len()
-    }
-
-    /// Collects into any `FromIterator` container, in input order.
-    pub fn collect<C: FromIterator<T>>(self) -> C {
-        self.items.into_iter().collect()
-    }
-}
-
-impl<T: Clone + Send + Sync> ParIter<&T> {
-    /// Clones each referenced element, like `Iterator::cloned`.
-    pub fn cloned(self) -> ParIter<T> {
-        ParIter {
-            items: self.items.into_iter().cloned().collect(),
-        }
-    }
-}
-
-impl<T: Copy + Send + Sync> ParIter<&T> {
-    /// Copies each referenced element, like `Iterator::copied`.
-    pub fn copied(self) -> ParIter<T> {
-        ParIter {
-            items: self.items.into_iter().copied().collect(),
-        }
-    }
-}
-
-/// Conversion into a [`ParIter`], mirroring `rayon::iter::IntoParallelIterator`.
-pub trait IntoParallelIterator {
-    /// Element type of the resulting iterator.
-    type Item: Send;
-    /// Converts `self` into an eager parallel iterator.
-    fn into_par_iter(self) -> ParIter<Self::Item>;
-}
-
-impl<T: Send> IntoParallelIterator for Vec<T> {
-    type Item = T;
-    fn into_par_iter(self) -> ParIter<T> {
-        ParIter { items: self }
-    }
-}
-
-macro_rules! impl_range_into_par_iter {
-    ($($ty:ty),*) => {$(
-        impl IntoParallelIterator for std::ops::Range<$ty> {
-            type Item = $ty;
-            fn into_par_iter(self) -> ParIter<$ty> {
-                ParIter { items: self.collect() }
-            }
-        }
-    )*};
-}
-impl_range_into_par_iter!(usize, u32, u64, i32, i64);
-
-/// Borrowing conversion, mirroring `rayon::iter::IntoParallelRefIterator`
-/// (the trait behind `.par_iter()` on slices and `Vec`s).
-pub trait IntoParallelRefIterator<'a> {
-    /// Element type of the resulting iterator (a shared reference).
-    type Item: Send;
-    /// Iterates the elements of `self` by reference.
-    fn par_iter(&'a self) -> ParIter<Self::Item>;
-}
-
-impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
-    type Item = &'a T;
-    fn par_iter(&'a self) -> ParIter<&'a T> {
-        ParIter {
-            items: self.iter().collect(),
-        }
-    }
-}
-
-impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
-    type Item = &'a T;
-    fn par_iter(&'a self) -> ParIter<&'a T> {
-        ParIter {
-            items: self.iter().collect(),
-        }
-    }
-}
-
-/// Parallel sorting on mutable slices, mirroring `rayon::slice::ParallelSliceMut`.
-///
-/// The shim sorts sequentially — `std`'s sorts are already highly optimised
-/// and the workspace gates its calls behind a size threshold. Replacing this
-/// with a parallel merge sort is tracked on the ROADMAP.
+/// Parallel sorting on mutable slices, mirroring
+/// `rayon::slice::ParallelSliceMut`.
 pub trait ParallelSliceMut<T: Send> {
-    /// Stable sort by comparator (sequential in the shim).
+    /// Parallel stable sort by comparator.
     fn par_sort_by<F>(&mut self, cmp: F)
     where
         F: Fn(&T, &T) -> Ordering + Sync;
-    /// Unstable sort by comparator (sequential in the shim).
+    /// Parallel unstable sort by comparator.
     fn par_sort_unstable_by<F>(&mut self, cmp: F)
     where
         F: Fn(&T, &T) -> Ordering + Sync;
 }
 
-impl<T: Send> ParallelSliceMut<T> for [T] {
+impl<T: Send + Sync> ParallelSliceMut<T> for [T] {
     fn par_sort_by<F>(&mut self, cmp: F)
     where
         F: Fn(&T, &T) -> Ordering + Sync,
     {
-        self.sort_by(cmp);
+        sort::par_merge_sort_by(self, &cmp, true);
     }
 
     fn par_sort_unstable_by<F>(&mut self, cmp: F)
     where
         F: Fn(&T, &T) -> Ordering + Sync,
     {
-        self.sort_unstable_by(cmp);
+        sort::par_merge_sort_by(self, &cmp, false);
     }
 }
 
-/// The traits needed for `.par_iter()`, `.into_par_iter()` and
-/// `.par_sort_by(...)` method syntax.
+/// The traits needed for `.par_iter()`, `.into_par_iter()`, the adapter
+/// methods and `.par_sort_by(...)` method syntax.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+    pub use crate::iter::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+    pub use crate::ParallelSliceMut;
 }
 
 /// Error returned by [`ThreadPoolBuilder::build`]. The shim cannot actually
@@ -398,52 +129,67 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Sets the worker count. `0` means "use available parallelism", as in
+    /// Sets the worker count. `0` means "use the default" (the
+    /// `RAYON_NUM_THREADS` override or the available parallelism), as in
     /// real rayon.
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = Some(n);
         self
     }
 
-    /// Builds the pool. Infallible in the shim, but kept `Result`-typed for
-    /// source compatibility.
+    /// Builds the pool, spawning its workers. Infallible in the shim, but
+    /// kept `Result`-typed for source compatibility.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = match self.num_threads {
-            Some(0) | None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            Some(0) | None => pool::global_size(),
             Some(n) => n,
         };
-        Ok(ThreadPool { num_threads: n })
+        let (state, workers) = pool::PoolState::spawn(n);
+        Ok(ThreadPool { state, workers })
     }
 }
 
-/// A scoped worker-count context, mirroring `rayon::ThreadPool`.
+/// A caller-owned pool of persistent workers, mirroring `rayon::ThreadPool`.
 ///
-/// The shim has no persistent workers; [`ThreadPool::install`] simply runs
-/// the closure on the calling thread with [`current_num_threads`] overridden
-/// to this pool's size, which the eager adapters consult when splitting.
-#[derive(Debug)]
+/// Workers are spawned by [`ThreadPoolBuilder::build`], park on the pool's
+/// condvar while idle, and are joined when the pool is dropped.
 pub struct ThreadPool {
-    num_threads: usize,
+    state: std::sync::Arc<pool::PoolState>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.state.num_threads)
+            .finish()
+    }
 }
 
 impl ThreadPool {
-    /// Runs `op` with this pool's worker count as the parallelism level.
+    /// Runs `op` with this pool as the dispatch target: every parallel
+    /// operation started by `op` on this thread (and nested operations on
+    /// this pool's workers) executes on this pool's workers, with the
+    /// calling thread helping. The previous dispatch target is restored
+    /// when `op` returns, even by unwinding.
     pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
-        // Restore the previous override even if `op` unwinds, so a caught
-        // panic cannot leave a stale worker count on this thread.
-        struct Restore(Option<usize>);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                NUM_THREADS_OVERRIDE.with(|o| o.set(self.0));
-            }
-        }
-        let _restore = Restore(NUM_THREADS_OVERRIDE.with(|o| o.replace(Some(self.num_threads))));
-        op()
+        pool::with_pool(&self.state, op)
     }
 
     /// This pool's worker count.
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.state.num_threads
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.state.shut_down();
+        for worker in self.workers.drain(..) {
+            // A worker that panicked outside a task (a shim bug, not a user
+            // panic — those are caught) surfaces here at the latest.
+            worker.join().expect("rayon-shim worker exited cleanly");
+        }
     }
 }
 
@@ -453,27 +199,67 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 
+    /// A pool large enough to exercise real parallelism even on the
+    /// single-core CI machine (oversubscription is fine for correctness
+    /// tests).
+    fn test_pool() -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(4).build().unwrap()
+    }
+
     #[test]
     fn map_collect_preserves_order() {
         let v: Vec<usize> = (0..10_000).collect();
-        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        let doubled: Vec<usize> = test_pool().install(|| v.par_iter().map(|&x| x * 2).collect());
         assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn adapter_chain_fuses_and_preserves_order() {
+        let v: Vec<usize> = (0..20_000).collect();
+        let got: Vec<(usize, usize)> = test_pool().install(|| {
+            v.par_iter()
+                .copied()
+                .filter(|&x| x % 3 == 0)
+                .map(|x| (x, x * x))
+                .collect()
+        });
+        let expected: Vec<(usize, usize)> = (0..20_000)
+            .filter(|&x| x % 3 == 0)
+            .map(|x| (x, x * x))
+            .collect();
+        assert_eq!(got, expected);
     }
 
     #[test]
     fn filter_preserves_order() {
         let v: Vec<usize> = (0..5_000).collect();
-        let kept: Vec<usize> = v.into_par_iter().filter(|&x| x % 3 == 0).collect();
+        let kept: Vec<usize> =
+            test_pool().install(|| v.into_par_iter().filter(|&x| x % 3 == 0).collect());
         assert_eq!(kept, (0..5_000).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_matches_sequential() {
+        let got: Vec<usize> = test_pool().install(|| {
+            (0..30_000usize)
+                .into_par_iter()
+                .filter_map(|x| (x % 7 == 0).then_some(x / 7))
+                .collect()
+        });
+        let expected: Vec<usize> = (0..30_000)
+            .filter_map(|x| (x % 7 == 0).then_some(x / 7))
+            .collect();
+        assert_eq!(got, expected);
     }
 
     #[test]
     fn fold_reduce_matches_sequential_sum() {
         let v: Vec<u64> = (0..100_000).collect();
-        let total = v
-            .par_iter()
-            .fold(|| 0u64, |acc, &x| acc + x)
-            .reduce(|| 0, |a, b| a + b);
+        let total = test_pool().install(|| {
+            v.par_iter()
+                .fold(|| 0u64, |acc, &x| acc + x)
+                .reduce(|| 0, |a, b| a + b)
+        });
         assert_eq!(total, (0..100_000u64).sum());
     }
 
@@ -481,16 +267,79 @@ mod tests {
     fn sum_and_zip() {
         let a: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
         let b: Vec<f64> = (0..10_000).map(|i| (i * 2) as f64).collect();
-        let dot: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+        let dot: f64 =
+            test_pool().install(|| a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum());
         let expected: f64 = (0..10_000).map(|i| (i * i * 2) as f64).sum();
         assert!((dot - expected).abs() < 1e-6);
     }
 
     #[test]
+    fn zip_truncates_to_shorter_side() {
+        let a: Vec<u32> = (0..10_000).collect();
+        let b: Vec<u32> = (0..7_531).collect();
+        let pairs: Vec<(u32, u32)> =
+            test_pool().install(|| a.par_iter().copied().zip(b.par_iter().copied()).collect());
+        assert_eq!(pairs.len(), 7_531);
+        assert!(pairs.iter().all(|&(x, y)| x == y));
+    }
+
+    #[test]
+    fn enumerate_yields_global_indices() {
+        let v: Vec<u32> = (0..25_000).map(|i| i * 3).collect();
+        let ok = test_pool().install(|| {
+            v.par_iter()
+                .enumerate()
+                .map(|(i, &x)| x as usize == i * 3)
+                .fold(|| true, |a, b| a && b)
+                .reduce(|| true, |a, b| a && b)
+        });
+        assert!(ok);
+    }
+
+    #[test]
+    fn min_max_and_keyed_variants() {
+        let v: Vec<i64> = (0..40_000).map(|i| (i * 48_271) % 65_537).collect();
+        let pool = test_pool();
+        assert_eq!(
+            pool.install(|| v.par_iter().copied().min()),
+            v.iter().copied().min()
+        );
+        assert_eq!(
+            pool.install(|| v.par_iter().copied().max()),
+            v.iter().copied().max()
+        );
+        assert_eq!(
+            pool.install(|| v.par_iter().max_by_key(|&&x| x)),
+            v.iter().max_by_key(|&&x| x)
+        );
+        assert_eq!(
+            pool.install(|| v.par_iter().min_by_key(|&&x| x)),
+            v.iter().min_by_key(|&&x| x)
+        );
+        assert_eq!(
+            pool.install(|| v.par_iter().filter(|&&x| x % 2 == 0).count()),
+            v.iter().filter(|&&x| x % 2 == 0).count()
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_pipelines() {
+        let empty: Vec<u64> = Vec::new();
+        let collected: Vec<u64> = empty.par_iter().copied().collect();
+        assert!(collected.is_empty());
+        assert_eq!(empty.par_iter().copied().min(), None);
+        assert_eq!(empty.par_iter().count(), 0);
+        let one = [42u64];
+        assert_eq!(one.par_iter().copied().sum::<u64>(), 42);
+    }
+
+    #[test]
     fn for_each_visits_every_element() {
         let counter = AtomicUsize::new(0);
-        (0..20_000usize).into_par_iter().for_each(|_| {
-            counter.fetch_add(1, AtomicOrdering::Relaxed);
+        test_pool().install(|| {
+            (0..20_000usize).into_par_iter().for_each(|_| {
+                counter.fetch_add(1, AtomicOrdering::Relaxed);
+            });
         });
         assert_eq!(counter.load(AtomicOrdering::Relaxed), 20_000);
     }
@@ -509,7 +358,7 @@ mod tests {
     #[test]
     fn install_override_propagates_into_worker_threads() {
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
-        // Large enough to force the chunked parallel path.
+        // Large enough to force the parallel path.
         let observed: Vec<usize> = pool.install(|| {
             (0..10_000usize)
                 .into_par_iter()
@@ -528,17 +377,135 @@ mod tests {
     fn install_restores_override_after_panic() {
         let outside = current_num_threads();
         let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
-        let caught = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("boom"))
+        }));
         assert!(caught.is_err());
         assert_eq!(current_num_threads(), outside);
     }
 
     #[test]
+    fn panic_in_worker_task_propagates_and_pool_survives() {
+        let pool = test_pool();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..10_000usize).into_par_iter().for_each(|i| {
+                    if i == 7_777 {
+                        panic!("task panic");
+                    }
+                });
+            })
+        }));
+        assert!(caught.is_err());
+        // The pool keeps serving after a propagated panic.
+        let sum: usize = pool.install(|| (0..10_000usize).into_par_iter().sum());
+        assert_eq!(sum, (0..10_000).sum());
+    }
+
+    #[test]
+    fn nested_parallelism_completes_and_matches_sequential() {
+        let pool = test_pool();
+        let totals: Vec<u64> = pool.install(|| {
+            (0..4u64)
+                .into_par_iter()
+                .map(|block| {
+                    (0..50_000u64)
+                        .into_par_iter()
+                        .map(|x| x + block)
+                        .sum::<u64>()
+                })
+                .collect()
+        });
+        let expected: Vec<u64> = (0..4u64)
+            .map(|block| (0..50_000u64).map(|x| x + block).sum())
+            .collect();
+        assert_eq!(totals, expected);
+    }
+
+    #[test]
+    fn concurrent_installs_from_multiple_threads() {
+        let handles: Vec<_> = (0..3)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let pool = ThreadPoolBuilder::new().num_threads(t + 2).build().unwrap();
+                    pool.install(|| {
+                        assert_eq!(current_num_threads(), t + 2);
+                        (0..60_000u64).into_par_iter().map(|x| x * 2).sum::<u64>()
+                    })
+                })
+            })
+            .collect();
+        let expected: u64 = (0..60_000u64).map(|x| x * 2).sum();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), expected);
+        }
+    }
+
+    #[test]
     fn par_sort_matches_std() {
-        let mut v: Vec<i64> = (0..10_000).map(|i| (i * 7919) % 1000).collect();
+        let mut v: Vec<i64> = (0..10_000).map(|i| (i * 7_919) % 1_000).collect();
         let mut expected = v.clone();
         expected.sort();
-        v.par_sort_by(|a, b| a.cmp(b));
+        test_pool().install(|| v.par_sort_by(|a, b| a.cmp(b)));
         assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn par_sort_unstable_matches_std_large() {
+        let mut v: Vec<i64> = (0..50_000)
+            .map(|i| (i * 2_654_435_761_i64) % 10_007)
+            .collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        test_pool().install(|| v.par_sort_unstable_by(|a, b| a.cmp(b)));
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn par_sort_is_stable() {
+        // Many duplicate keys; payloads record the original order.
+        let mut v: Vec<(i64, usize)> = (0..30_000).map(|i| ((i as i64 * 31) % 10, i)).collect();
+        test_pool().install(|| v.par_sort_by(|a, b| a.0.cmp(&b.0)));
+        for pair in v.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+            if pair[0].0 == pair[1].0 {
+                assert!(pair[0].1 < pair[1].1, "stability violated: {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_sort_empty_and_single_element() {
+        let mut empty: Vec<i64> = Vec::new();
+        empty.par_sort_by(|a, b| a.cmp(b));
+        assert!(empty.is_empty());
+        empty.par_sort_unstable_by(|a, b| a.cmp(b));
+        assert!(empty.is_empty());
+        let mut one = vec![9i64];
+        one.par_sort_by(|a, b| a.cmp(b));
+        assert_eq!(one, vec![9]);
+        one.par_sort_unstable_by(|a, b| a.cmp(b));
+        assert_eq!(one, vec![9]);
+    }
+
+    #[test]
+    fn par_sort_propagates_comparator_panic() {
+        let pool = test_pool();
+        let mut v: Vec<i64> = (0..20_000).rev().collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                v.par_sort_unstable_by(|a, b| {
+                    if *a == 13 && *b != 13 {
+                        panic!("comparator panic");
+                    }
+                    a.cmp(b)
+                })
+            })
+        }));
+        assert!(caught.is_err());
+        // The slice still holds a permutation of the original elements.
+        let mut recovered = v.clone();
+        recovered.sort_unstable();
+        assert_eq!(recovered, (0..20_000).collect::<Vec<_>>());
     }
 }

@@ -1,0 +1,360 @@
+//! The persistent thread-pool executor behind every parallel operation.
+//!
+//! The shim used to spawn fresh scoped threads on every adapter call (one
+//! `std::thread::scope` round per `map`/`for_each`), which taxed fine-grained
+//! fork–join hot loops such as TMFG gain recomputation. This module replaces
+//! that with pools of long-lived workers that park on a condvar between
+//! rounds, so a fork–join round costs a queue push plus wake-ups instead of
+//! thread creation and teardown.
+//!
+//! # Architecture
+//!
+//! * [`PoolState`] — the shared state of one pool: a FIFO of [`Batch`]es,
+//!   a condvar workers park on, and the worker count.
+//! * A **batch** is one fork–join round: `total` tasks indexed `0..total`,
+//!   dealt to whichever threads show up via an atomic claim counter
+//!   (chunked task dealing — tasks are claimed one at a time, so a slow
+//!   task does not stall the siblings behind a static partition).
+//! * The **caller always helps**: after enqueueing a batch it claims and
+//!   runs tasks itself until none are left unclaimed, then blocks on the
+//!   batch's completion condvar for stragglers still running on workers.
+//!   This makes every batch complete even with zero pool workers, which is
+//!   what makes nested parallelism (a task running a nested batch on the
+//!   same pool) deadlock-free: waiting only ever happens on strictly
+//!   deeper batches.
+//! * **Panic propagation**: worker-side panics are caught, the first
+//!   payload is stashed, and the batch still counts down to completion;
+//!   the caller re-raises the payload with `resume_unwind` once the batch
+//!   is done, mirroring the old scoped-thread `join().expect(..)` behavior
+//!   without poisoning the pool (workers survive and keep serving).
+//! * The **global pool** is built lazily on first use, sized by the
+//!   `RAYON_NUM_THREADS` environment variable when set (like real rayon),
+//!   otherwise by `std::thread::available_parallelism`.
+//! * [`install`](crate::ThreadPool::install) scopes a *caller-owned* pool
+//!   onto the current thread via a thread-local: while the closure runs,
+//!   every parallel operation on this thread (and, transitively, on that
+//!   pool's workers) dispatches to that pool instead of the global one.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Minimum number of items before a parallel operation bothers dispatching
+/// to the pool; below this the round-trip cost dominates the work.
+pub(crate) const MIN_PAR_LEN: usize = 512;
+
+/// Tasks dealt per worker in one batch. More pieces than workers gives the
+/// claim counter room to load-balance uneven tasks; the piece count stays a
+/// deterministic function of input length and worker count, so chunk-local
+/// results (e.g. `fold` accumulators) are reproducible run to run.
+const PIECES_PER_WORKER: usize = 4;
+
+/// Minimum items per dealt piece, so piece bookkeeping never outweighs the
+/// per-piece work.
+const MIN_PIECE_LEN: usize = 128;
+
+thread_local! {
+    /// The pool that parallel operations on this thread dispatch to.
+    /// `Some` inside [`crate::ThreadPool::install`] and on pool workers;
+    /// `None` means "use the global pool".
+    static CURRENT_POOL: RefCell<Option<Arc<PoolState>>> = const { RefCell::new(None) };
+}
+
+/// Shared state of one thread pool.
+pub(crate) struct PoolState {
+    /// Pending fork–join rounds, oldest first. Exhausted batches (all tasks
+    /// claimed) are popped lazily by whoever finds them at the front.
+    queue: Mutex<VecDeque<Arc<Batch>>>,
+    /// Parks idle workers; notified on every batch push and on shutdown.
+    work_cv: Condvar,
+    /// Parallelism this pool was built for. Only `num_threads - 1` worker
+    /// threads exist — the batch caller always helps, taking the last
+    /// slot, so `num_threads` threads compute concurrently.
+    pub(crate) num_threads: usize,
+    /// Set by [`ThreadPool`](crate::ThreadPool) drop; workers exit once the
+    /// queue is drained.
+    shutdown: AtomicBool,
+}
+
+/// One fork–join round: `total` tasks dealt through an atomic claim counter.
+struct Batch {
+    /// Type-erased task runner; `runner(i)` runs task `i` and never unwinds
+    /// (panics are caught and stashed inside the typed closure).
+    ///
+    /// The pointee lives on the stack frame of [`run_batch`], which blocks
+    /// until `done == total`, so the pointer never dangles while reachable:
+    /// a worker only dereferences it between a successful claim and the
+    /// matching `done` increment.
+    runner: RunnerPtr,
+    total: usize,
+    /// Next unclaimed task index; claims at or past `total` fail.
+    next: AtomicUsize,
+    /// Completed task count, paired with `done_cv` for the caller's wait.
+    done: Mutex<usize>,
+    done_cv: Condvar,
+}
+
+struct RunnerPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is a `Sync` closure shared for the duration of the
+// batch; `run_batch` keeps it alive until every task has completed (see the
+// field docs on `Batch::runner`).
+unsafe impl Send for RunnerPtr {}
+unsafe impl Sync for RunnerPtr {}
+
+impl Batch {
+    /// Claims the next task index, or `None` when all are claimed.
+    fn claim(&self) -> Option<usize> {
+        // Opportunistic check so exhausted batches don't keep bumping the
+        // counter from every worker that peeks at them.
+        if self.next.load(Ordering::Relaxed) >= self.total {
+            return None;
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.total).then_some(i)
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.total
+    }
+
+    /// Runs one claimed task and counts it done, waking the caller when it
+    /// was the last one.
+    fn run_one(&self, i: usize) {
+        // SAFETY: `i` was claimed, so the batch is not yet complete and
+        // `run_batch` is still pinning the pointee (see `runner` docs).
+        unsafe { (*self.runner.0)(i) };
+        let mut done = self.done.lock().expect("batch done lock");
+        *done += 1;
+        if *done == self.total {
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+impl PoolState {
+    /// Creates a pool advertising `num_threads` of parallelism, spawning
+    /// `num_threads - 1` parked workers: the batch caller always helps, so
+    /// it occupies the remaining slot and the number of threads computing
+    /// concurrently equals `num_threads` (not `num_threads + 1`).
+    pub(crate) fn spawn(num_threads: usize) -> (Arc<Self>, Vec<std::thread::JoinHandle<()>>) {
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            num_threads,
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..num_threads.saturating_sub(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name("rayon-shim-worker".into())
+                    .spawn(move || worker_loop(state))
+                    .expect("spawn rayon-shim worker")
+            })
+            .collect();
+        (state, workers)
+    }
+
+    /// Tells workers to exit once the queue is drained and wakes them.
+    /// The flag is stored while holding the queue mutex: a worker holds
+    /// that mutex from its last shutdown check until it parks on the
+    /// condvar, so the store either happens-before the check or the
+    /// notify finds the worker already parked — no missed wakeup.
+    pub(crate) fn shut_down(&self) {
+        let _queue = self.queue.lock().expect("pool queue lock");
+        self.shutdown.store(true, Ordering::Release);
+        self.work_cv.notify_all();
+    }
+}
+
+fn worker_loop(state: Arc<PoolState>) {
+    // Nested parallel operations inside tasks dispatch back to this pool.
+    CURRENT_POOL.with(|c| *c.borrow_mut() = Some(Arc::clone(&state)));
+    loop {
+        let batch = {
+            let mut queue = state.queue.lock().expect("pool queue lock");
+            loop {
+                // Drop exhausted batches from the front; their tasks may
+                // still be finishing on other threads, but there is nothing
+                // left to claim.
+                while queue.front().is_some_and(|b| b.exhausted()) {
+                    queue.pop_front();
+                }
+                if let Some(batch) = queue.front() {
+                    break Arc::clone(batch);
+                }
+                if state.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = state.work_cv.wait(queue).expect("pool queue wait");
+            }
+        };
+        while let Some(i) = batch.claim() {
+            batch.run_one(i);
+        }
+    }
+}
+
+/// The pool the current thread's parallel operations dispatch to: the
+/// innermost installed pool if any, otherwise the lazily-built global pool.
+/// `None` means "run inline" (single-threaded configuration).
+fn dispatch_pool() -> Option<Arc<PoolState>> {
+    if let Some(pool) = CURRENT_POOL.with(|c| c.borrow().clone()) {
+        return (pool.num_threads > 1).then_some(pool);
+    }
+    if global_size() <= 1 {
+        return None;
+    }
+    Some(Arc::clone(global_pool()))
+}
+
+/// Worker count parallel operations split across on this thread.
+pub(crate) fn effective_parallelism() -> usize {
+    CURRENT_POOL
+        .with(|c| c.borrow().as_ref().map(|p| p.num_threads))
+        .unwrap_or_else(global_size)
+}
+
+/// Sets `pool` as the current thread's dispatch target for the duration of
+/// `op`, restoring the previous target even if `op` unwinds.
+pub(crate) fn with_pool<R>(pool: &Arc<PoolState>, op: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<PoolState>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_POOL.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let _restore = Restore(CURRENT_POOL.with(|c| c.borrow_mut().replace(Arc::clone(pool))));
+    op()
+}
+
+/// The default worker count: `RAYON_NUM_THREADS` when set to a positive
+/// integer (as in real rayon, `0` and garbage fall back to the detected
+/// parallelism), otherwise `available_parallelism`.
+pub(crate) fn global_size() -> usize {
+    static SIZE: OnceLock<usize> = OnceLock::new();
+    *SIZE.get_or_init(|| resolve_num_threads(std::env::var("RAYON_NUM_THREADS").ok().as_deref()))
+}
+
+/// Resolves a `RAYON_NUM_THREADS`-style override against the machine's
+/// available parallelism. Factored out of [`global_size`] so the parsing is
+/// unit-testable without racing the process-wide cache.
+pub(crate) fn resolve_num_threads(env_value: Option<&str>) -> usize {
+    match env_value.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// The process-wide pool used when no [`crate::ThreadPool`] is installed.
+/// Its workers are detached and live for the rest of the process.
+fn global_pool() -> &'static Arc<PoolState> {
+    static GLOBAL: OnceLock<Arc<PoolState>> = OnceLock::new();
+    GLOBAL.get_or_init(|| PoolState::spawn(global_size()).0)
+}
+
+/// How many pieces a parallel operation over `len` items should be dealt
+/// as. `1` means "run inline, skip the pool".
+pub(crate) fn decide_pieces(len: usize) -> usize {
+    let threads = effective_parallelism();
+    if threads <= 1 || len < MIN_PAR_LEN {
+        return 1;
+    }
+    (threads * PIECES_PER_WORKER)
+        .min(len.div_ceil(MIN_PIECE_LEN))
+        .max(1)
+}
+
+/// Like [`run_batch`], but deals the *owned* `items` out to the tasks:
+/// task `i` receives `items[i]` by value. Results come back in item order.
+pub(crate) fn run_batch_owned<T, R, F>(items: Vec<T>, task: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.into_iter().map(task).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    run_batch(slots.len(), move |i| {
+        let item = slots[i]
+            .lock()
+            .expect("item slot lock")
+            .take()
+            .expect("each item is claimed exactly once");
+        task(item)
+    })
+}
+
+/// Runs `task(0..total)` across the current pool, returning the results in
+/// task order. The calling thread enqueues one batch, helps run it, and
+/// blocks until every task has completed. The first panicking task's payload
+/// is re-raised on the caller once the batch is done.
+pub(crate) fn run_batch<R, F>(total: usize, task: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let pool = match dispatch_pool() {
+        Some(pool) if total > 1 => pool,
+        _ => return (0..total).map(task).collect(),
+    };
+
+    let results: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    let runner = |i: usize| match catch_unwind(AssertUnwindSafe(|| task(i))) {
+        Ok(result) => *results[i].lock().expect("result slot lock") = Some(result),
+        Err(payload) => {
+            let mut slot = panic_slot.lock().expect("panic slot lock");
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    };
+    let runner: &(dyn Fn(usize) + Sync) = &runner;
+    // SAFETY: lifetime erasure only; this frame blocks until `done == total`
+    // below, after which no thread dereferences the pointer again (workers
+    // touch it only between a successful claim and the `done` increment).
+    let runner: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(runner) };
+    let batch = Arc::new(Batch {
+        runner: RunnerPtr(runner as *const _),
+        total,
+        next: AtomicUsize::new(0),
+        done: Mutex::new(0),
+        done_cv: Condvar::new(),
+    });
+    {
+        let mut queue = pool.queue.lock().expect("pool queue lock");
+        queue.push_back(Arc::clone(&batch));
+    }
+    pool.work_cv.notify_all();
+
+    // Help: the caller is one of the computing threads.
+    while let Some(i) = batch.claim() {
+        batch.run_one(i);
+    }
+    // Wait for stragglers claimed by workers.
+    let mut done = batch.done.lock().expect("batch done lock");
+    while *done < total {
+        done = batch.done_cv.wait(done).expect("batch done wait");
+    }
+    drop(done);
+
+    if let Some(payload) = panic_slot.lock().expect("panic slot lock").take() {
+        resume_unwind(payload);
+    }
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("completed task wrote its result")
+        })
+        .collect()
+}

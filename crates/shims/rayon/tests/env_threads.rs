@@ -1,0 +1,23 @@
+//! `RAYON_NUM_THREADS` pins the default worker count.
+//!
+//! Kept as a single `#[test]` in its own integration-test binary: the
+//! resolved count is cached process-wide on first use, so the variable must
+//! be set before anything queries it, and no other test may race this one.
+
+use rayon::prelude::*;
+
+#[test]
+fn env_override_pins_default_worker_count() {
+    std::env::set_var("RAYON_NUM_THREADS", "3");
+    assert_eq!(rayon::current_num_threads(), 3);
+    // The pool built from the override still computes correct results.
+    let total: u64 = (0..100_000u64).into_par_iter().map(|x| x * 2).sum();
+    assert_eq!(total, (0..100_000u64).map(|x| x * 2).sum::<u64>());
+    // A built pool with explicit size still wins over the env default.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(2)
+        .build()
+        .unwrap();
+    assert_eq!(pool.install(rayon::current_num_threads), 2);
+    assert_eq!(rayon::current_num_threads(), 3);
+}
