@@ -196,7 +196,7 @@ mod tests {
             .internal_nodes()
             .map(|id| dend.node(id).height)
             .collect();
-        heights.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        heights.sort_by(f64::total_cmp);
         // Expected merges: (1,2)@1, (0,{1,2})@3, (3,4)@4, then all@11.
         let expected = [1.0, 3.0, 4.0, 11.0];
         for (h, e) in heights.iter().zip(expected.iter()) {

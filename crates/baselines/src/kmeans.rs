@@ -112,11 +112,7 @@ pub fn kmeans(points: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
                 let (far, _) = assignment
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| {
-                        a.1 .1
-                            .partial_cmp(&b.1 .1)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
+                    .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
                     .expect("points exist");
                 centroids[c] = points[far].clone();
             } else {

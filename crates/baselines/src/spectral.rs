@@ -65,7 +65,7 @@ pub fn spectral_embedding(points: &[Vec<f64>], config: &SpectralConfig) -> Vec<V
                 .filter(|&j| j != i)
                 .map(|j| (squared_distance(&points[i], &points[j]), j))
                 .collect();
-            dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            dists.sort_by(|a, b| a.0.total_cmp(&b.0));
             dists.into_iter().take(k).map(|(_, j)| j).collect()
         })
         .collect();

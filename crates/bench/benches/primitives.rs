@@ -93,7 +93,7 @@ fn bench_executor(c: &mut Criterion) {
             |b, data| {
                 b.iter(|| {
                     let mut v = data.clone();
-                    v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+                    v.sort_unstable_by(f64::total_cmp);
                     black_box(v)
                 })
             },
@@ -104,7 +104,7 @@ fn bench_executor(c: &mut Criterion) {
             |b, data| {
                 b.iter(|| {
                     let mut v = data.clone();
-                    pool.install(|| v.par_sort_unstable_by(|a, b| a.partial_cmp(b).unwrap()));
+                    pool.install(|| v.par_sort_unstable_by(f64::total_cmp));
                     black_box(v)
                 })
             },
@@ -125,7 +125,7 @@ fn bench_primitives(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sort", n), &data, |b, data| {
             b.iter(|| {
                 let mut v = data.clone();
-                par_sort_unstable_by(&mut v, |a, b| a.partial_cmp(b).unwrap());
+                par_sort_unstable_by(&mut v, f64::total_cmp);
                 black_box(v)
             })
         });

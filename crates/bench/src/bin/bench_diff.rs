@@ -1,0 +1,94 @@
+//! Compares two directories of `BENCH_*.json` records (as written by the
+//! criterion shim and uploaded by CI) and flags mean-time regressions —
+//! the consumer of the bench-record trajectory.
+//!
+//! Usage:
+//!   `cargo run -p pfg_bench --bin bench_diff -- <baseline_dir> [current_dir] [--threshold <pct>]`
+//!
+//! `current_dir` defaults to the standard record directory
+//! (`$BENCH_RECORD_DIR` or `target/bench-records`); the threshold defaults
+//! to 30 (percent). Exits non-zero when any benchmark's mean time regressed
+//! by more than the threshold, so CI can surface it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pfg_bench::records::{diff_directories, record_dir};
+
+fn main() -> ExitCode {
+    let mut positional: Vec<String> = Vec::new();
+    let mut threshold = 30.0_f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threshold" {
+            match args.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) => threshold = t,
+                None => {
+                    eprintln!("--threshold requires a numeric percentage");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            positional.push(arg);
+        }
+    }
+    let Some(baseline) = positional.first().map(PathBuf::from) else {
+        eprintln!("usage: bench_diff <baseline_dir> [current_dir] [--threshold <pct>]");
+        return ExitCode::from(2);
+    };
+    let current = positional
+        .get(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(record_dir);
+
+    let report = diff_directories(&baseline, &current);
+    if report.comparisons.is_empty() {
+        println!(
+            "bench_diff: no overlapping records between {} and {} (nothing to compare)",
+            baseline.display(),
+            current.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    println!(
+        "{:<44} {:>12} {:>12} {:>9}",
+        "benchmark", "baseline", "current", "change"
+    );
+    for c in &report.comparisons {
+        println!(
+            "{:<44} {:>10.0}ns {:>10.0}ns {:>+8.1}%{}",
+            c.key,
+            c.baseline_ns,
+            c.current_ns,
+            c.change_pct,
+            if c.is_regression(threshold) {
+                "  REGRESSION"
+            } else {
+                ""
+            }
+        );
+    }
+    for key in &report.only_current {
+        println!("{key:<44} (new benchmark, no baseline)");
+    }
+    for key in &report.only_baseline {
+        println!("{key:<44} (removed: present only in baseline)");
+    }
+
+    let regressions = report.regressions(threshold);
+    if regressions.is_empty() {
+        println!(
+            "bench_diff: {} benchmarks compared, none regressed by more than {threshold}%",
+            report.comparisons.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench_diff: {} of {} benchmarks regressed by more than {threshold}%",
+            regressions.len(),
+            report.comparisons.len()
+        );
+        ExitCode::FAILURE
+    }
+}

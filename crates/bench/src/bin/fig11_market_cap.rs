@@ -12,7 +12,7 @@ use pfg_data::{
 };
 
 fn quartiles(values: &mut [f64]) -> (f64, f64, f64) {
-    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    values.sort_by(f64::total_cmp);
     let q = |f: f64| values[((values.len() - 1) as f64 * f) as usize];
     (q(0.25), q(0.5), q(0.75))
 }

@@ -1,8 +1,16 @@
 //! Figure 6: clustering quality (ARI) of PAR-TDBHT for prefix sizes
-//! 1, 2, 5, 10, 30, 50 and 200 on every data set.
+//! 1, 2, 5, 10, 30, 50 and 200 on every data set, plus the batch
+//! selector's fill-rate and staleness counters per prefix.
 //!
-//! Usage: `cargo run --release -p pfg-bench --bin fig6_prefix_quality [scale] [max_datasets]`
+//! Besides the text table (and the per-run JSON record lines shared by all
+//! harnesses), the full agreement table is written machine-readably to
+//! `<record dir>/FIG6_prefix_quality.json` (one flat object per
+//! dataset × prefix cell), so the Fig. 6 trajectory can be tracked across
+//! commits the same way the bench records are.
+//!
+//! Usage: `cargo run --release -p pfg_bench --bin fig6_prefix_quality [scale] [max_datasets]`
 
+use pfg_bench::records::{json_string, record_dir, write_json_array};
 use pfg_bench::{build_suite, parse_scale_from_args, run_method, Method, Record};
 
 fn main() {
@@ -15,9 +23,12 @@ fn main() {
         print!(" {:>8}", format!("p={p}"));
     }
     println!();
+    let mut table_lines: Vec<String> = Vec::new();
+    // Selector counters aggregated per prefix across the suite.
+    let mut totals = vec![(0usize, 0usize, 0usize, 0usize, 0.0f64); prefixes.len()];
     for dataset in &suite {
         print!("{:<28}", dataset.name);
-        for prefix in prefixes {
+        for (slot, &prefix) in prefixes.iter().enumerate() {
             let output = run_method(Method::ParTdbht { prefix }, dataset);
             print!(" {:>8.3}", output.ari);
             Record {
@@ -30,7 +41,53 @@ fn main() {
                 value: None,
             }
             .emit();
+            let stats = output.tmfg_stats.expect("TMFG method reports stats");
+            totals[slot].0 += stats.rounds;
+            totals[slot].1 += stats.conflicts;
+            totals[slot].2 += stats.rescans;
+            totals[slot].3 += stats.reassigned;
+            totals[slot].4 += stats.mean_fill_rate;
+            table_lines.push(format!(
+                "{{\"dataset\":{},\"n\":{},\"prefix\":{},\"ari\":{:.6},\"seconds\":{:.6},\"rounds\":{},\"mean_fill_rate\":{:.6},\"conflicts\":{},\"rescans\":{},\"reassigned\":{}}}",
+                json_string(&dataset.name),
+                dataset.len(),
+                prefix,
+                output.ari,
+                output.elapsed.as_secs_f64(),
+                stats.rounds,
+                stats.mean_fill_rate,
+                stats.conflicts,
+                stats.rescans,
+                stats.reassigned,
+            ));
         }
         println!();
+    }
+    println!();
+    println!("# batch selector counters (summed over the suite; fill rate is the mean)");
+    println!(
+        "{:<8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "prefix", "rounds", "fill", "conflicts", "rescans", "reassigned"
+    );
+    let datasets = suite.len().max(1) as f64;
+    for (slot, &prefix) in prefixes.iter().enumerate() {
+        let (rounds, conflicts, rescans, reassigned, fill) = totals[slot];
+        println!(
+            "{:<8} {:>8} {:>10.4} {:>10} {:>10} {:>10}",
+            prefix,
+            rounds,
+            fill / datasets,
+            conflicts,
+            rescans,
+            reassigned
+        );
+    }
+    let path = record_dir().join("FIG6_prefix_quality.json");
+    match write_json_array(&path, &table_lines) {
+        Ok(()) => println!("# agreement table written to {}", path.display()),
+        Err(e) => eprintln!(
+            "# failed to write agreement table to {}: {e}",
+            path.display()
+        ),
     }
 }

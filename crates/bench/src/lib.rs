@@ -7,9 +7,10 @@
 //! interface, timing, and tabular/JSON output.
 
 pub mod methods;
+pub mod records;
 pub mod suite;
 
-pub use methods::{run_method, Method, MethodOutput};
+pub use methods::{run_method, Method, MethodOutput, TmfgRunStats};
 pub use suite::{build_suite, parse_scale_from_args, BenchDataset, SuiteConfig};
 
 use std::time::Duration;
@@ -52,23 +53,7 @@ impl Record {
 
     /// The record as a single-line JSON object.
     pub fn to_json(&self) -> String {
-        fn json_str(s: &str) -> String {
-            let mut out = String::with_capacity(s.len() + 2);
-            out.push('"');
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\r' => out.push_str("\\r"),
-                    '\t' => out.push_str("\\t"),
-                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => out.push(c),
-                }
-            }
-            out.push('"');
-            out
-        }
+        use crate::records::json_string as json_str;
         fn json_f64(x: f64) -> String {
             if x.is_finite() {
                 format!("{x}")

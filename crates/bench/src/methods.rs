@@ -45,6 +45,34 @@ impl Method {
     }
 }
 
+/// Construction statistics of a TMFG-based method: round counts plus the
+/// fill-rate and staleness counters of the conflict-aware batch selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TmfgRunStats {
+    /// Rounds of the outer construction loop (ρ).
+    pub rounds: usize,
+    /// Mean per-round fill rate (1.0 = every round hit its target).
+    pub mean_fill_rate: f64,
+    /// Vertex conflicts absorbed by next-best refills.
+    pub conflicts: usize,
+    /// Candidate-cache exhaustions that forced a full rescan.
+    pub rescans: usize,
+    /// Placements moved to a fresher face by intra-round placement.
+    pub reassigned: usize,
+}
+
+impl TmfgRunStats {
+    fn of(tmfg: &pfg_core::Tmfg) -> Self {
+        Self {
+            rounds: tmfg.rounds,
+            mean_fill_rate: tmfg.mean_fill_rate(),
+            conflicts: tmfg.total_conflicts(),
+            rescans: tmfg.total_rescans(),
+            reassigned: tmfg.total_reassigned(),
+        }
+    }
+}
+
 /// The outcome of running one method on one data set.
 #[derive(Debug, Clone)]
 pub struct MethodOutput {
@@ -56,6 +84,8 @@ pub struct MethodOutput {
     pub ari: f64,
     /// Total filtered-graph edge weight, for graph-construction methods.
     pub edge_weight_sum: Option<f64>,
+    /// Construction counters, for TMFG-based methods.
+    pub tmfg_stats: Option<TmfgRunStats>,
 }
 
 /// Runs `method` on `dataset`, cutting dendrograms to the ground-truth
@@ -63,33 +93,44 @@ pub struct MethodOutput {
 pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
     let k = dataset.num_classes;
     let start = Instant::now();
-    let (labels, edge_weight_sum) = match method {
+    let (labels, edge_weight_sum, tmfg_stats) = match method {
         Method::ParTdbht { prefix } => {
             let result = ParTdbht::with_prefix(prefix)
                 .run(&dataset.correlation, &dataset.dissimilarity)
                 .expect("valid benchmark matrices");
-            (result.clusters(k), Some(result.tmfg.edge_weight_sum()))
+            (
+                result.clusters(k),
+                Some(result.tmfg.edge_weight_sum()),
+                Some(TmfgRunStats::of(&result.tmfg)),
+            )
         }
         Method::SeqTdbht => {
             let t = tmfg(&dataset.correlation, TmfgConfig::with_prefix(1))
                 .expect("valid benchmark matrices");
             let weight = t.edge_weight_sum();
+            let stats = TmfgRunStats::of(&t);
             let dbht = dbht_for_tmfg(&t, &dataset.dissimilarity).expect("valid DBHT input");
-            (dbht.dendrogram.cut_to_clusters(k), Some(weight))
+            (
+                dbht.dendrogram.cut_to_clusters(k),
+                Some(weight),
+                Some(stats),
+            )
         }
         Method::PmfgDbht => {
             let p = pmfg(&dataset.correlation).expect("valid benchmark matrices");
             let weight = p.edge_weight_sum();
             let dbht =
                 dbht_for_planar_graph(&p.graph, &dataset.dissimilarity).expect("valid DBHT input");
-            (dbht.dendrogram.cut_to_clusters(k), Some(weight))
+            (dbht.dendrogram.cut_to_clusters(k), Some(weight), None)
         }
         Method::CompleteLinkage => (
             hac(&dataset.dissimilarity, Linkage::Complete).cut_to_clusters(k),
             None,
+            None,
         ),
         Method::AverageLinkage => (
             hac(&dataset.dissimilarity, Linkage::Average).cut_to_clusters(k),
+            None,
             None,
         ),
         Method::KMeans => {
@@ -102,7 +143,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
                     ..KMeansConfig::default()
                 },
             );
-            (result.labels, None)
+            (result.labels, None, None)
         }
         Method::KMeansSpectral { neighbors } => {
             let embedded = spectral_embedding(
@@ -123,7 +164,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
                     ..KMeansConfig::default()
                 },
             );
-            (result.labels, None)
+            (result.labels, None, None)
         }
     };
     let elapsed = start.elapsed();
@@ -133,6 +174,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
         elapsed,
         ari,
         edge_weight_sum,
+        tmfg_stats,
     }
 }
 

@@ -148,6 +148,19 @@ pub fn build_hierarchy(
 /// Complete-linkage agglomeration of the given clusters using the
 /// nearest-neighbor-chain algorithm (O(m²) for m clusters). Returns the
 /// final cluster; `on_merge` is invoked for every internal node created.
+///
+/// Complete-linkage distances tie *structurally*: the Lance–Williams
+/// update propagates `max` values unchanged, so after a few merges many
+/// cluster pairs share the exact same distance (typically the one
+/// involving the globally farthest member). Which pair merges on a tie
+/// must therefore not depend on the order the clusters were passed in —
+/// that order comes from bubble ids, which differ between the
+/// construction-built bubble tree and the planarity-based decomposition of
+/// the very same graph. Ties are broken lexicographically by (max
+/// distance, *mean* cross distance, smallest member id), so (a) the
+/// dendrogram is a pure function of the graph and the vertex partition,
+/// and (b) among equal-diameter pairs the genuinely closer clusters merge
+/// first.
 fn complete_linkage(
     dendrogram: &mut Dendrogram,
     clusters: Vec<Cluster>,
@@ -160,51 +173,73 @@ fn complete_linkage(
     if m == 1 {
         return clusters.into_iter().next().expect("single cluster");
     }
-    // Initial complete-linkage distances: max pairwise shortest-path
-    // distance between member sets.
+    // Initial cluster distances: the complete-linkage max plus, as the tie
+    // discriminator, the average pairwise shortest-path distance.
     let mut dist = vec![f64::INFINITY; m * m];
+    let mut mean = vec![f64::INFINITY; m * m];
     for i in 0..m {
         for j in (i + 1)..m {
-            let d = max_cross_distance(&clusters[i].members, &clusters[j].members, shortest_paths);
+            let (d, a) =
+                cross_distances(&clusters[i].members, &clusters[j].members, shortest_paths);
             dist[i * m + j] = d;
             dist[j * m + i] = d;
+            mean[i * m + j] = a;
+            mean[j * m + i] = a;
         }
     }
     let mut slots: Vec<Option<Cluster>> = clusters.into_iter().map(Some).collect();
+    // The smallest member id per active slot: the canonical, input-order-
+    // independent identity used for the final tie level.
+    let mut min_member: Vec<usize> = (0..m)
+        .map(|i| slots[i].as_ref().expect("present").members[0])
+        .collect();
+    let mut sizes: Vec<usize> = (0..m)
+        .map(|i| slots[i].as_ref().expect("present").members.len())
+        .collect();
     let mut active: Vec<bool> = vec![true; m];
     let mut remaining = m;
     let mut chain: Vec<usize> = Vec::new();
 
     while remaining > 1 {
         if chain.is_empty() {
-            let start = active
-                .iter()
-                .position(|&a| a)
+            // Canonical chain start: the active cluster with the smallest
+            // member id (the input order carries bubble ids, which must not
+            // influence the output).
+            let start = (0..m)
+                .filter(|&i| active[i])
+                .min_by_key(|&i| min_member[i])
                 .expect("at least two active clusters remain");
             chain.push(start);
         }
         let current = *chain.last().expect("chain non-empty");
         // Nearest active neighbor of `current`; prefer the previous chain
-        // element on ties so reciprocal pairs are detected and the chain
-        // terminates.
+        // element on full ties so reciprocal pairs are detected and the
+        // chain terminates.
         let prev = if chain.len() >= 2 {
             Some(chain[chain.len() - 2])
         } else {
             None
         };
         let mut nearest = usize::MAX;
-        let mut nearest_dist = f64::INFINITY;
+        let mut nearest_key = (f64::INFINITY, f64::INFINITY);
         for j in 0..m {
             if !active[j] || j == current {
                 continue;
             }
-            let d = dist[current * m + j];
-            let better = d < nearest_dist
-                || (d == nearest_dist && Some(j) == prev)
-                || (d == nearest_dist && nearest != prev.unwrap_or(usize::MAX) && j < nearest);
+            let key = (dist[current * m + j], mean[current * m + j]);
+            let ordering = key
+                .0
+                .total_cmp(&nearest_key.0)
+                .then_with(|| key.1.total_cmp(&nearest_key.1));
+            let better = ordering.is_lt()
+                || (ordering.is_eq()
+                    && Some(nearest) != prev
+                    && (Some(j) == prev
+                        || nearest == usize::MAX
+                        || min_member[j] < min_member[nearest]));
             if better {
                 nearest = j;
-                nearest_dist = d;
+                nearest_key = key;
             }
         }
         if Some(nearest) == prev {
@@ -215,20 +250,27 @@ fn complete_linkage(
             let b = current.max(nearest);
             let cluster_a = slots[a].take().expect("active cluster present");
             let cluster_b = slots[b].take().expect("active cluster present");
-            let node = dendrogram.merge(cluster_a.node, cluster_b.node, nearest_dist);
-            on_merge(node, nearest_dist, records);
+            let node = dendrogram.merge(cluster_a.node, cluster_b.node, nearest_key.0);
+            on_merge(node, nearest_key.0, records);
             let mut members = cluster_a.members;
             members.extend(cluster_b.members);
             members.sort_unstable();
-            // Lance–Williams update for complete linkage: max of the two.
+            // Lance–Williams updates: max for the complete-linkage level,
+            // size-weighted mean for the tie discriminator.
+            let (sa, sb) = (sizes[a] as f64, sizes[b] as f64);
             for j in 0..m {
                 if active[j] && j != a && j != b {
                     let d = dist[a * m + j].max(dist[b * m + j]);
                     dist[a * m + j] = d;
                     dist[j * m + a] = d;
+                    let av = (sa * mean[a * m + j] + sb * mean[b * m + j]) / (sa + sb);
+                    mean[a * m + j] = av;
+                    mean[j * m + a] = av;
                 }
             }
             active[b] = false;
+            min_member[a] = min_member[a].min(min_member[b]);
+            sizes[a] += sizes[b];
             slots[a] = Some(Cluster { node, members });
             remaining -= 1;
         } else {
@@ -239,16 +281,19 @@ fn complete_linkage(
     slots[winner].take().expect("final cluster present")
 }
 
-/// Maximum shortest-path distance between two member sets (the
-/// complete-linkage cluster distance of §V-D).
-fn max_cross_distance(a: &[usize], b: &[usize], shortest_paths: &SymmetricMatrix) -> f64 {
+/// Maximum and mean shortest-path distance between two member sets: the
+/// complete-linkage cluster distance of §V-D plus the tie discriminator.
+fn cross_distances(a: &[usize], b: &[usize], shortest_paths: &SymmetricMatrix) -> (f64, f64) {
     let mut max = 0.0_f64;
+    let mut sum = 0.0_f64;
     for &u in a {
         for &v in b {
-            max = max.max(shortest_paths.get(u, v));
+            let d = shortest_paths.get(u, v);
+            max = max.max(d);
+            sum += d;
         }
     }
-    max
+    (max, sum / (a.len() * b.len()) as f64)
 }
 
 /// Re-assigns the dendrogram heights per §V-D.
@@ -316,11 +361,7 @@ fn assign_heights(
             };
             key(a)
                 .cmp(&key(b))
-                .then(
-                    a.distance
-                        .partial_cmp(&b.distance)
-                        .unwrap_or(std::cmp::Ordering::Equal),
-                )
+                .then(a.distance.total_cmp(&b.distance))
                 .then(a.node.cmp(&b.node))
         });
         // Ladder 1/(nb−1), 1/(nb−2), …, 1/2, 1.

@@ -174,8 +174,7 @@ impl Dendrogram {
         internal.sort_by(|&a, &b| {
             self.nodes[a]
                 .height
-                .partial_cmp(&self.nodes[b].height)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&self.nodes[b].height)
                 .then(a.cmp(&b))
         });
         let merges_to_apply = internal.len().saturating_sub(k.saturating_sub(1));

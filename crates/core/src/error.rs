@@ -20,6 +20,16 @@ pub enum CoreError {
     },
     /// The prefix size must be at least 1.
     InvalidPrefix,
+    /// The similarity matrix contains a NaN entry. NaN gains are never
+    /// selected by the batch selector, so a vertex whose similarities are
+    /// all NaN could never be inserted; the input is rejected up front
+    /// instead.
+    NanSimilarity {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -36,6 +46,9 @@ impl fmt::Display for CoreError {
                 "similarity matrix is {similarity}x{similarity} but dissimilarity matrix is {dissimilarity}x{dissimilarity}"
             ),
             CoreError::InvalidPrefix => write!(f, "prefix size must be at least 1"),
+            CoreError::NanSimilarity { row, col } => {
+                write!(f, "similarity matrix entry ({row}, {col}) is NaN")
+            }
         }
     }
 }

@@ -53,3 +53,4 @@ pub use face::Triangle;
 pub use pipeline::{ParTdbht, ParTdbhtConfig, ParTdbhtResult, StageTimings};
 pub use pmfg::pmfg;
 pub use tmfg::{tmfg, Tmfg, TmfgConfig};
+pub use tmfg::{BatchFreshness, RoundStats};

@@ -274,17 +274,17 @@ mod tests {
         // seeded generators), so the bars below are calibrated against
         // measured values with headroom, not statistical guesses.
         //
-        // NOTE: the current batched construction loses noticeably more
-        // quality at prefix 10 (~0.25 mean pair agreement below sequential
-        // at this scale) than the paper's Figure 6 reports on the real UCR
-        // data sets. The bars encode today's behavior; closing that gap is
-        // tracked as a ROADMAP open item, and whoever closes it should
-        // tighten the bars.
+        // With the conflict-aware top-k selector and intra-round batch
+        // placement, the measured mean pair agreement at this scale is
+        // 0.8882 (prefix 5) and 0.8894 (prefix 10) against 0.9458
+        // sequential — a gap under 0.06, where the pre-fix selector lost
+        // 0.25–0.30. The bars enforce a gap of at most 0.1 so the Fig. 6
+        // near-parity property cannot silently regress.
         let seeds = [0u64, 1, 2, 3, 4];
         // Per-prefix quality bars: (prefix, absolute floor, max drop below
         // the sequential mean). Chance pair agreement for 3 balanced
-        // classes is 5/9 ≈ 0.56; the floors stay clearly above it.
-        let bands = [(5usize, 0.72, 0.25), (10, 0.6, 0.4)];
+        // classes is 5/9 ≈ 0.56; the floors stay far above it.
+        let bands = [(5usize, 0.85, 0.1), (10, 0.85, 0.1)];
         let mut seq_total = 0.0;
         let mut batched_total = [0.0f64; 2];
         for &seed in &seeds {
@@ -294,12 +294,19 @@ mod tests {
             for (slot, &(prefix, _, _)) in bands.iter().enumerate() {
                 let result = ParTdbht::with_prefix(prefix).run(&s, &d).unwrap();
                 batched_total[slot] += pair_agreement(&labels, &result.clusters(3));
-                // Figure 7: the edge-weight sum stays above ~90% of
-                // sequential on every single draw, not just on average.
+                // Figure 7: with intra-round placement the edge-weight sum
+                // stays within 2% of sequential on every single draw
+                // (measured ≥ 0.998 on this suite), not just on average.
                 let ratio = result.tmfg.edge_weight_sum() / sequential.tmfg.edge_weight_sum();
                 assert!(
-                    ratio > 0.9,
+                    ratio > 0.98,
                     "seed {seed} prefix {prefix} edge-sum ratio {ratio}"
+                );
+                // The selector's defining invariant: every round fills its
+                // target, so conflicts never shrink a batch.
+                assert!(
+                    (result.tmfg.mean_fill_rate() - 1.0).abs() < 1e-12,
+                    "seed {seed} prefix {prefix} under-filled rounds"
                 );
             }
         }
@@ -335,11 +342,11 @@ mod tests {
         let r10 = ParTdbht::with_prefix(10).run(&s, &d).unwrap();
         let w1 = r1.tmfg.edge_weight_sum();
         let w10 = r10.tmfg.edge_weight_sum();
-        // Figure 7 reports ratios of 92–100% on real correlation matrices;
-        // the synthetic hard-block matrix used here is adversarial for the
-        // batched construction, so we only require the ratio to stay within
-        // a sensible band (the exact ratios are measured by the fig7 bench).
-        assert!(w10 / w1 > 0.7, "edge-sum ratio {}", w10 / w1);
+        // Figure 7 reports ratios of 92–100% on real correlation matrices.
+        // Intra-round placement keeps even this adversarial hard-block
+        // matrix at ≥ 99% of the sequential edge-weight sum (measured
+        // 0.9977; the exact ratios are reported by the fig7 bench).
+        assert!(w10 / w1 > 0.99, "edge-sum ratio {}", w10 / w1);
         assert!(w10 / w1 <= 1.0 + 1e-9, "edge-sum ratio {}", w10 / w1);
     }
 }

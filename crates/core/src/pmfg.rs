@@ -47,8 +47,7 @@ pub fn pmfg(s: &SymmetricMatrix) -> Result<Pmfg, CoreError> {
         .collect();
     par_sort_unstable_by(&mut candidates, |&(ai, aj), &(bi, bj)| {
         s.get(bi, bj)
-            .partial_cmp(&s.get(ai, aj))
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&s.get(ai, aj))
             .then(ai.cmp(&bi))
             .then(aj.cmp(&bj))
     });

@@ -1,4 +1,17 @@
 //! Algorithm 1: parallel (prefix-batched) TMFG construction.
+//!
+//! Batch selection (Lines 9–10) is conflict-aware: the round keeps drawing
+//! the globally next-best `(face, vertex, gain)` pair — a face whose
+//! candidate loses a vertex conflict immediately re-enters with its
+//! next-best vertex — until `PREFIX` distinct vertices are selected, the
+//! remaining pool is empty, or every active face is used. Conflicts
+//! therefore shrink neither the batch nor the candidate pool: the round
+//! inserts exactly `min(prefix, |remaining|, |active faces|)` vertices,
+//! matching the paper's semantics where near-sequential quality at
+//! moderate prefixes depends on contested faces staying in the running
+//! with fresh next-best choices rather than sitting the round out.
+
+use std::collections::BinaryHeap;
 
 use pfg_graph::{SymmetricMatrix, WeightedGraph};
 use rayon::prelude::*;
@@ -6,7 +19,38 @@ use rayon::prelude::*;
 use crate::bubble_tree::BubbleTree;
 use crate::error::CoreError;
 use crate::face::Triangle;
-use crate::tmfg::gains::GainTable;
+use crate::tmfg::gains::{GainTable, NextBest};
+
+/// How a selected batch is placed within a round.
+///
+/// The quality difference between the two modes is dominated by *arrival
+/// cohorts*: when a cluster of mutually-similar vertices first becomes the
+/// best remaining choice, a whole batch of them is selected in one round.
+/// Placed simultaneously, they scatter across the stale round-start faces
+/// (none of which belong to their cluster yet) and the cluster never forms
+/// a coherent region of the filtered graph; placed with intra-round
+/// freshness, the first arrival nucleates and the rest of the cohort
+/// attaches to the faces it creates, exactly as the sequential algorithm
+/// would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchFreshness {
+    /// All selected insertions are applied against the round-start face
+    /// set, as written in the paper's Algorithm 1 (and its Figure 13
+    /// walkthrough): a vertex selected this round can never be placed into
+    /// a face created this round.
+    Simultaneous,
+    /// The selected cohort is placed one vertex at a time in decreasing
+    /// fresh-gain order, and the three faces created by each placement are
+    /// immediately available to the rest of the cohort. Selection (which
+    /// vertices enter this round) still uses round-start information only,
+    /// so the round structure and parallel gain maintenance of Algorithm 1
+    /// are unchanged; the O(batch²) sequential placement pass is
+    /// negligible next to the parallel candidate refresh. This is the
+    /// default: it removes the arrival-cohort quality cliff and tracks
+    /// sequential TMFG quality closely at every prefix.
+    #[default]
+    IntraRound,
+}
 
 /// Configuration for [`tmfg`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,20 +58,38 @@ pub struct TmfgConfig {
     /// Maximum number of vertices inserted per round (`PREFIX` in the
     /// paper). `prefix = 1` reproduces the sequential TMFG exactly.
     pub prefix: usize,
+    /// Whether batch placement sees faces created earlier in the same
+    /// round (see [`BatchFreshness`]).
+    pub freshness: BatchFreshness,
 }
 
 impl Default for TmfgConfig {
     fn default() -> Self {
         // The paper uses prefix 10 for most experiments as a good
         // speed/quality trade-off (§VII-A).
-        Self { prefix: 10 }
+        Self {
+            prefix: 10,
+            freshness: BatchFreshness::default(),
+        }
     }
 }
 
 impl TmfgConfig {
-    /// Configuration with the given prefix size.
+    /// Configuration with the given prefix size (default freshness).
     pub fn with_prefix(prefix: usize) -> Self {
-        Self { prefix }
+        Self {
+            prefix,
+            ..Self::default()
+        }
+    }
+
+    /// The same configuration with the paper's literal simultaneous batch
+    /// placement (Figure 13 semantics) instead of intra-round freshness.
+    pub fn simultaneous(self) -> Self {
+        Self {
+            freshness: BatchFreshness::Simultaneous,
+            ..self
+        }
     }
 }
 
@@ -42,6 +104,43 @@ pub struct Insertion {
     pub gain: f64,
     /// The round (iteration of the outer while loop) of the insertion.
     pub round: usize,
+}
+
+/// Per-round accounting of the batch selector: how full the round was and
+/// how much staleness (conflicts, cache exhaustion) it had to absorb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundStats {
+    /// Upper bound on this round's insertions:
+    /// `min(prefix, |remaining|, |active faces|)` at round start.
+    pub target: usize,
+    /// Distinct vertices actually inserted this round. The conflict-aware
+    /// selector always fills the round: `selected == target`.
+    pub selected: usize,
+    /// Drawn candidates discarded because their vertex was already taken
+    /// by a higher-gain pair this round (each one triggers a next-best
+    /// refill for the losing face).
+    pub conflicts: usize,
+    /// Refills that outran the face's cached candidate list and fell back
+    /// to a full rescan of the remaining pool.
+    pub rescans: usize,
+    /// Cohort vertices placed into a face created earlier in the same
+    /// round instead of their round-start face (always 0 under
+    /// [`BatchFreshness::Simultaneous`]). A high count means the
+    /// round-start information was stale and intra-round freshness
+    /// recovered quality the simultaneous placement would have lost.
+    pub reassigned: usize,
+}
+
+impl RoundStats {
+    /// Fraction of the round's target that was actually inserted (1.0 for
+    /// the conflict-aware selector; historical selectors under-filled).
+    pub fn fill_rate(&self) -> f64 {
+        if self.target == 0 {
+            1.0
+        } else {
+            self.selected as f64 / self.target as f64
+        }
+    }
 }
 
 /// The result of TMFG construction: the filtered graph, the bubble tree
@@ -60,6 +159,8 @@ pub struct Tmfg {
     pub insertions: Vec<Insertion>,
     /// Number of rounds of the outer loop (ρ in the paper's analysis).
     pub rounds: usize,
+    /// Per-round fill-rate and staleness counters, one entry per round.
+    pub round_stats: Vec<RoundStats>,
 }
 
 impl Tmfg {
@@ -73,13 +174,47 @@ impl Tmfg {
     pub fn num_vertices(&self) -> usize {
         self.graph.num_vertices()
     }
+
+    /// Mean per-round fill rate (1.0 when every round inserted its full
+    /// target; 1.0 for a construction with no rounds).
+    pub fn mean_fill_rate(&self) -> f64 {
+        if self.round_stats.is_empty() {
+            1.0
+        } else {
+            self.round_stats
+                .iter()
+                .map(RoundStats::fill_rate)
+                .sum::<f64>()
+                / self.round_stats.len() as f64
+        }
+    }
+
+    /// Total vertex conflicts absorbed by the selector across all rounds.
+    pub fn total_conflicts(&self) -> usize {
+        self.round_stats.iter().map(|r| r.conflicts).sum()
+    }
+
+    /// Total candidate-cache exhaustions that forced a full rescan.
+    pub fn total_rescans(&self) -> usize {
+        self.round_stats.iter().map(|r| r.rescans).sum()
+    }
+
+    /// Total cohort vertices whose placement moved to a fresher face than
+    /// their round-start selection (staleness absorbed by intra-round
+    /// placement).
+    pub fn total_reassigned(&self) -> usize {
+        self.round_stats.iter().map(|r| r.reassigned).sum()
+    }
 }
 
 /// Builds the TMFG of the similarity matrix `s` (Algorithm 1).
 ///
 /// # Errors
-/// Returns [`CoreError::TooFewVertices`] if `s` has fewer than 4 rows and
-/// [`CoreError::InvalidPrefix`] if `config.prefix == 0`.
+/// Returns [`CoreError::TooFewVertices`] if `s` has fewer than 4 rows,
+/// [`CoreError::InvalidPrefix`] if `config.prefix == 0`, and
+/// [`CoreError::NanSimilarity`] if any off-diagonal entry is NaN — the
+/// selector never picks NaN gains, so a vertex with an all-NaN row could
+/// never be inserted and construction would not terminate.
 pub fn tmfg(s: &SymmetricMatrix, config: TmfgConfig) -> Result<Tmfg, CoreError> {
     if config.prefix == 0 {
         return Err(CoreError::InvalidPrefix);
@@ -87,6 +222,19 @@ pub fn tmfg(s: &SymmetricMatrix, config: TmfgConfig) -> Result<Tmfg, CoreError> 
     let n = s.n();
     if n < 4 {
         return Err(CoreError::TooFewVertices { got: n });
+    }
+    // Parallel scan (one row per task, matching the builder's other
+    // whole-matrix passes); `min` makes the reported entry deterministic.
+    let nan_entry: Option<(usize, usize)> = (0..n)
+        .into_par_iter()
+        .filter_map(|row| {
+            ((row + 1)..n)
+                .find(|&col| s.get(row, col).is_nan())
+                .map(|col| (row, col))
+        })
+        .min();
+    if let Some((row, col)) = nan_entry {
+        return Err(CoreError::NanSimilarity { row, col });
     }
     Ok(Builder::new(s, config).run())
 }
@@ -96,15 +244,63 @@ pub fn tmfg_sequential(s: &SymmetricMatrix) -> Result<Tmfg, CoreError> {
     tmfg(s, TmfgConfig::with_prefix(1))
 }
 
+/// A drawn `(face, vertex, gain)` candidate in the round's selection heap.
+///
+/// The heap pops the maximum gain first; ties break towards the smaller
+/// face id, then the smaller vertex id, so the pop order is a strict total
+/// order (each face has at most one live entry) and the selection is
+/// deterministic regardless of worker count.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    face: usize,
+    vertex: usize,
+    gain: f64,
+    /// Position of this candidate in the face's cached list, or
+    /// [`OFF_CACHE`] if it came from a full rescan (a later refill for the
+    /// same face must rescan again).
+    pos: usize,
+}
+
+/// Sentinel list position for candidates produced by a full rescan.
+const OFF_CACHE: usize = usize::MAX;
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // total_cmp keeps the comparator a total order even for NaN gains
+        // (which the gain table filters out anyway).
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.face.cmp(&self.face))
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
 /// Internal construction state for Algorithm 1.
 struct Builder<'a> {
     s: &'a SymmetricMatrix,
     prefix: usize,
+    freshness: BatchFreshness,
     graph: WeightedGraph,
     /// Face id → triangle.
     faces: Vec<Triangle>,
     /// Face id → still a face of the planar subgraph?
     face_active: Vec<bool>,
+    /// Number of `true` entries in `face_active`.
+    num_active_faces: usize,
     /// Face id → bubble id owning the face.
     face_bubble: Vec<usize>,
     /// Vertex → still waiting to be inserted?
@@ -115,6 +311,7 @@ struct Builder<'a> {
     initial_clique: [usize; 4],
     insertions: Vec<Insertion>,
     rounds: usize,
+    round_stats: Vec<RoundStats>,
 }
 
 impl<'a> Builder<'a> {
@@ -149,29 +346,29 @@ impl<'a> Builder<'a> {
         // outer face {v1, v2, v3}.
         let outer_face = Triangle::new(v1, v2, v3);
         let tree = BubbleTree::new(initial_clique, outer_face, n);
-        // Line 5: the best vertex for each initial face.
-        let mut gains = GainTable::new(n);
-        let face_best: Vec<Option<(usize, f64)>> = faces
+        // Line 5: the candidate lists for each initial face.
+        let mut gains = GainTable::new(n, config.prefix);
+        let depth = gains.depth();
+        let face_candidates: Vec<crate::tmfg::gains::CandidateList> = faces
             .par_iter()
-            .map(|&t| GainTable::best_for_face(s, t, &remaining))
+            .map(|&t| GainTable::compute_candidates(s, t, &remaining, depth))
             .collect();
         let mut face_active = Vec::with_capacity(4);
         let mut face_bubble = Vec::with_capacity(4);
-        for best in face_best {
+        for (list, truncated) in face_candidates {
             let id = gains.push_face();
             face_active.push(true);
             face_bubble.push(0);
-            match best {
-                Some((v, g)) => gains.record_best(id, Some(v), g),
-                None => gains.record_best(id, None, f64::NEG_INFINITY),
-            }
+            gains.install(id, list, truncated);
         }
         Self {
             s,
             prefix: config.prefix,
+            freshness: config.freshness,
             graph,
             faces,
             face_active,
+            num_active_faces: 4,
             face_bubble,
             remaining,
             num_remaining,
@@ -180,6 +377,7 @@ impl<'a> Builder<'a> {
             initial_clique,
             insertions: Vec::with_capacity(num_remaining),
             rounds: 0,
+            round_stats: Vec::new(),
         }
     }
 
@@ -188,12 +386,21 @@ impl<'a> Builder<'a> {
         // `prefix` vertices.
         while self.num_remaining > 0 {
             self.rounds += 1;
-            let selected = self.select_batch();
-            debug_assert!(
-                !selected.is_empty(),
-                "a round must insert at least one vertex"
+            let mut stats = RoundStats {
+                target: self
+                    .prefix
+                    .min(self.num_remaining)
+                    .min(self.num_active_faces),
+                ..RoundStats::default()
+            };
+            let selected = self.select_batch(&mut stats);
+            stats.selected = selected.len();
+            debug_assert_eq!(
+                stats.selected, stats.target,
+                "the conflict-aware selector must fill every round"
             );
-            self.apply_batch(&selected);
+            self.apply_batch(&selected, &mut stats);
+            self.round_stats.push(stats);
         }
         debug_assert!(self.graph.has_maximal_planar_edge_count());
         Tmfg {
@@ -202,93 +409,186 @@ impl<'a> Builder<'a> {
             initial_clique: self.initial_clique,
             insertions: self.insertions,
             rounds: self.rounds,
+            round_stats: self.round_stats,
         }
     }
 
-    /// Lines 9–10: pick the `prefix` vertex–face pairs with the largest
-    /// gains and resolve vertex conflicts in favour of the largest gain.
-    /// Returns `(face_id, vertex, gain)` triples.
-    fn select_batch(&self) -> Vec<(usize, usize, f64)> {
-        // Gather the candidate (gain, face, vertex) triples from active
-        // faces whose recorded best vertex is still available. The filter
-        // and the lookup fuse into one parallel pass over the face ids,
-        // preserving face order, so the sorted selection below is
-        // independent of the worker count.
-        let mut candidates: Vec<(usize, usize, f64)> = (0..self.faces.len())
+    /// Lines 9–10: select up to `prefix` vertex–face pairs in decreasing
+    /// gain order, resolving vertex conflicts in favour of the largest gain
+    /// *without* shrinking the batch — a face that loses its candidate
+    /// re-enters the draw with its next-best vertex. Returns
+    /// `(face_id, vertex, gain)` triples in the order they were accepted
+    /// (non-increasing gain).
+    fn select_batch(&self, stats: &mut RoundStats) -> Vec<(usize, usize, f64)> {
+        // Gather the head candidate of every active face. The filter and
+        // the lookup fuse into one parallel pass over the face ids,
+        // preserving face order, so the result is independent of the
+        // worker count.
+        let candidates: Vec<Candidate> = (0..self.faces.len())
             .into_par_iter()
             .filter(|&f| self.face_active[f])
             .filter_map(|f| {
-                let v = self.gains.best_vertex(f)?;
-                debug_assert!(self.remaining[v], "gain table entries must be fresh");
-                Some((f, v, self.gains.best_gain(f)))
+                let (vertex, gain) = self.gains.head(f)?;
+                debug_assert!(self.remaining[vertex], "heads must be fresh");
+                Some(Candidate {
+                    face: f,
+                    vertex,
+                    gain,
+                    pos: self.gains.head_pos(f),
+                })
             })
             .collect();
 
         if self.prefix == 1 {
             // Fast path: a single parallel maximum (Line 9 simplification).
-            let best = pfg_primitives::par_max_index(&candidates, |&(_, _, g)| g)
+            // Gains, faces and vertices reproduce the heap's pop order, so
+            // ties resolve identically to the general path below.
+            let best = pfg_primitives::par_max_index(&candidates, |c| c.gain)
                 .expect("at least one candidate while vertices remain");
-            return vec![candidates[best]];
+            let c = candidates[best];
+            return vec![(c.face, c.vertex, c.gain)];
         }
 
-        // Parallel sort by decreasing gain (ties: face id, then vertex id,
-        // so the selection is deterministic).
-        pfg_primitives::par_sort_unstable_by(&mut candidates, |a, b| {
-            b.2.partial_cmp(&a.2)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-                .then(a.1.cmp(&b.1))
-        });
-        candidates.truncate(self.prefix);
+        let target = stats.target;
+        let mut heap: BinaryHeap<Candidate> = candidates.into();
+        let mut taken = vec![false; self.remaining.len()];
+        let mut selected: Vec<(usize, usize, f64)> = Vec::with_capacity(target);
+        while selected.len() < target {
+            let Some(c) = heap.pop() else { break };
+            if !taken[c.vertex] {
+                taken[c.vertex] = true;
+                selected.push((c.face, c.vertex, c.gain));
+                continue;
+            }
+            // Conflict: a higher-gain pair already claimed this vertex.
+            // Refill the face with its next-best available candidate so the
+            // conflict shrinks neither the batch nor the candidate pool.
+            stats.conflicts += 1;
+            let next = if c.pos == OFF_CACHE {
+                NextBest::Exhausted { truncated: true }
+            } else {
+                self.gains
+                    .next_best(c.face, c.pos + 1, &self.remaining, &taken)
+            };
+            match next {
+                NextBest::Found { pos, vertex, gain } => heap.push(Candidate {
+                    face: c.face,
+                    vertex,
+                    gain,
+                    pos,
+                }),
+                NextBest::Exhausted { truncated: true } => {
+                    // The cached list ran dry but the remaining pool holds
+                    // more: rescan it, excluding this round's selections.
+                    stats.rescans += 1;
+                    if let Some((vertex, gain)) = GainTable::rescan_excluding(
+                        self.s,
+                        self.faces[c.face],
+                        &self.remaining,
+                        &taken,
+                    ) {
+                        heap.push(Candidate {
+                            face: c.face,
+                            vertex,
+                            gain,
+                            pos: OFF_CACHE,
+                        });
+                    }
+                }
+                NextBest::Exhausted { truncated: false } => {}
+            }
+        }
+        selected
+    }
 
-        // Line 10: a vertex paired with multiple faces keeps only its
-        // maximum-gain pair (the first occurrence in the sorted order).
-        let mut taken = std::collections::HashSet::new();
-        candidates
-            .into_iter()
-            .filter(|&(_, v, _)| taken.insert(v))
-            .collect()
+    /// Inserts `v` into face `face_id`: adds the three edges, updates the
+    /// bubble tree, deactivates the face and registers its three children.
+    /// Returns the new face ids.
+    fn insert_vertex(&mut self, face_id: usize, v: usize) -> [usize; 3] {
+        let t = self.faces[face_id];
+        let [a, b, c] = t.corners();
+        // Line 13: add the three edges from v to the face corners.
+        self.graph.add_edge(v, a, self.s.get(v, a));
+        self.graph.add_edge(v, b, self.s.get(v, b));
+        self.graph.add_edge(v, c, self.s.get(v, c));
+        // Line 17: update the bubble tree (Algorithm 2).
+        let bubble = self.face_bubble[face_id];
+        let new_bubble = self.tree.insert(v, t, bubble);
+        // Line 14: replace face t by the three new faces.
+        self.face_active[face_id] = false;
+        let mut ids = [0usize; 3];
+        for (slot, new_face) in t.split_with(v).into_iter().enumerate() {
+            let id = self.gains.push_face();
+            self.faces.push(new_face);
+            self.face_active.push(true);
+            self.face_bubble.push(new_bubble);
+            debug_assert_eq!(id, self.faces.len() - 1);
+            ids[slot] = id;
+        }
+        self.num_active_faces += 2;
+        ids
     }
 
     /// Lines 11–17: insert the selected vertices, update faces, the gain
     /// table and the bubble tree.
-    fn apply_batch(&mut self, selected: &[(usize, usize, f64)]) {
-        let round = self.rounds;
-        // Line 11: remove the selected vertices from V first, so gain
-        // recomputation below never proposes a vertex inserted this round.
+    fn apply_batch(&mut self, selected: &[(usize, usize, f64)], stats: &mut RoundStats) {
+        // Line 11: remove the selected vertices from V first, so candidate
+        // maintenance below never proposes a vertex inserted this round.
         for &(_, v, _) in selected {
             debug_assert!(self.remaining[v]);
             self.remaining[v] = false;
             self.num_remaining -= 1;
         }
 
-        let mut faces_to_refresh: Vec<usize> = Vec::new();
+        let mut faces_to_refresh: Vec<usize> = match self.freshness {
+            BatchFreshness::Simultaneous => self.place_simultaneous(selected),
+            BatchFreshness::IntraRound => self.place_intra_round(selected, stats),
+        };
+
+        // Line 15: lazily advance the faces whose head vertex was inserted
+        // this round; only faces whose truncated cache drained need a full
+        // recomputation.
+        for &(_, v, _) in selected {
+            self.gains.on_vertex_inserted(
+                v,
+                &self.remaining,
+                &self.face_active,
+                &mut faces_to_refresh,
+            );
+        }
+
+        faces_to_refresh.sort_unstable();
+        faces_to_refresh.dedup();
+        faces_to_refresh.retain(|&f| self.face_active[f]);
+
+        // Line 16: recompute the candidate lists for the affected faces, in
+        // parallel (each face scans the remaining vertex set once).
+        let s = self.s;
+        let remaining = &self.remaining;
+        let faces = &self.faces;
+        let depth = self.gains.depth();
+        let updates: Vec<(usize, crate::tmfg::gains::CandidateList)> = faces_to_refresh
+            .par_iter()
+            .map(|&f| {
+                (
+                    f,
+                    GainTable::compute_candidates(s, faces[f], remaining, depth),
+                )
+            })
+            .collect();
+        for (f, (list, truncated)) in updates {
+            self.gains.install(f, list, truncated);
+        }
+    }
+
+    /// Applies every selected pair against the round-start face set (the
+    /// paper's literal semantics). Returns the created face ids.
+    fn place_simultaneous(&mut self, selected: &[(usize, usize, f64)]) -> Vec<usize> {
+        let round = self.rounds;
+        let mut new_faces = Vec::with_capacity(3 * selected.len());
         for &(face_id, v, gain) in selected {
             let t = self.faces[face_id];
-            let [a, b, c] = t.corners();
-            // Line 13: add the three edges from v to the face corners.
-            self.graph.add_edge(v, a, self.s.get(v, a));
-            self.graph.add_edge(v, b, self.s.get(v, b));
-            self.graph.add_edge(v, c, self.s.get(v, c));
-            // Line 17: update the bubble tree (Algorithm 2).
-            let bubble = self.face_bubble[face_id];
-            let new_bubble = self.tree.insert(v, t, bubble);
-            // Line 14: replace face t by the three new faces.
-            self.face_active[face_id] = false;
-            for new_face in t.split_with(v) {
-                let id = self.gains.push_face();
-                self.faces.push(new_face);
-                self.face_active.push(true);
-                self.face_bubble.push(new_bubble);
-                debug_assert_eq!(id, self.faces.len() - 1);
-                faces_to_refresh.push(id);
-            }
-            // Line 15: faces that previously had v as their best vertex.
-            for &f in self.gains.faces_possibly_best_for(v) {
-                if self.face_active[f] && self.gains.best_vertex(f) == Some(v) {
-                    faces_to_refresh.push(f);
-                }
-            }
+            new_faces.extend(self.insert_vertex(face_id, v));
             self.insertions.push(Insertion {
                 vertex: v,
                 face: t,
@@ -296,25 +596,103 @@ impl<'a> Builder<'a> {
                 round,
             });
         }
+        new_faces
+    }
 
-        faces_to_refresh.sort_unstable();
-        faces_to_refresh.dedup();
-
-        // Line 16: recompute the best vertex for the affected faces, in
-        // parallel (each face scans the remaining vertex set).
-        let s = self.s;
-        let remaining = &self.remaining;
-        let faces = &self.faces;
-        let updates: Vec<(usize, Option<(usize, f64)>)> = faces_to_refresh
-            .par_iter()
-            .map(|&f| (f, GainTable::best_for_face(s, faces[f], remaining)))
+    /// Places the selected cohort one vertex at a time in decreasing
+    /// fresh-gain order, letting each placement's three new faces compete
+    /// for the rest of the cohort — the intra-round freshness that lets an
+    /// arrival cohort nucleate the way sequential insertion would. Each
+    /// vertex keeps its phase-1 face reserved as a fallback, so the cohort
+    /// always places completely. O(batch²) sequential work. Returns the
+    /// created face ids that survived the round (plus none that were
+    /// consumed — those are filtered by the caller's `face_active` check).
+    fn place_intra_round(
+        &mut self,
+        selected: &[(usize, usize, f64)],
+        stats: &mut RoundStats,
+    ) -> Vec<usize> {
+        let round = self.rounds;
+        struct Pending {
+            vertex: usize,
+            /// The phase-1 face, reserved for this vertex only.
+            reserved: usize,
+            reserved_gain: f64,
+            /// Best placement known so far (the reserved face or a face
+            /// created earlier this round).
+            best_face: usize,
+            best_gain: f64,
+        }
+        let mut pending: Vec<Pending> = selected
+            .iter()
+            .map(|&(face, vertex, gain)| Pending {
+                vertex,
+                reserved: face,
+                reserved_gain: gain,
+                best_face: face,
+                best_gain: gain,
+            })
             .collect();
-        for (f, best) in updates {
-            match best {
-                Some((v, g)) => self.gains.record_best(f, Some(v), g),
-                None => self.gains.record_best(f, None, f64::NEG_INFINITY),
+        // Faces created this round that are still unused; every pending
+        // vertex may claim any of them.
+        let mut open_children: Vec<usize> = Vec::with_capacity(3 * selected.len());
+        let mut all_children: Vec<usize> = Vec::with_capacity(3 * selected.len());
+
+        while !pending.is_empty() {
+            // Deterministic argmax: gain, ties towards the smaller vertex.
+            let next = pending
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    a.best_gain
+                        .total_cmp(&b.best_gain)
+                        .then_with(|| b.vertex.cmp(&a.vertex))
+                })
+                .map(|(i, _)| i)
+                .expect("pending is non-empty");
+            let p = pending.swap_remove(next);
+            let face_id = p.best_face;
+            let t = self.faces[face_id];
+            if face_id != p.reserved {
+                stats.reassigned += 1;
+                open_children.retain(|&c| c != face_id);
+            }
+            let created = self.insert_vertex(face_id, p.vertex);
+            self.insertions.push(Insertion {
+                vertex: p.vertex,
+                face: t,
+                gain: p.best_gain,
+                round,
+            });
+            open_children.extend(created);
+            all_children.extend(created);
+
+            for q in &mut pending {
+                if q.best_face == face_id {
+                    // The face this vertex targeted was just consumed:
+                    // fall back to its reserved face, then re-derive the
+                    // best open child.
+                    q.best_face = q.reserved;
+                    q.best_gain = q.reserved_gain;
+                    for &child in &open_children {
+                        let gain = GainTable::gain_of(self.s, self.faces[child], q.vertex);
+                        if gain.total_cmp(&q.best_gain).is_gt() {
+                            q.best_face = child;
+                            q.best_gain = gain;
+                        }
+                    }
+                } else {
+                    for &child in &created {
+                        let gain = GainTable::gain_of(self.s, self.faces[child], q.vertex);
+                        if gain.total_cmp(&q.best_gain).is_gt() {
+                            q.best_face = child;
+                            q.best_gain = gain;
+                        }
+                    }
+                }
             }
         }
+        all_children
     }
 }
 
@@ -357,6 +735,29 @@ mod tests {
     }
 
     #[test]
+    fn nan_similarity_is_rejected_up_front() {
+        // A vertex whose similarities are all NaN (e.g. the correlation of
+        // a series containing a NaN sample) could never be selected — the
+        // candidate generation skips NaN gains — so construction must
+        // reject the input instead of looping forever.
+        let s = SymmetricMatrix::from_fn(6, |i, j| {
+            if i == j {
+                1.0
+            } else if i.max(j) == 4 {
+                f64::NAN
+            } else {
+                0.5
+            }
+        });
+        for prefix in [1, 3] {
+            assert!(matches!(
+                tmfg(&s, TmfgConfig::with_prefix(prefix)),
+                Err(CoreError::NanSimilarity { .. })
+            ));
+        }
+    }
+
+    #[test]
     fn four_vertices_is_just_the_clique() {
         let s = SymmetricMatrix::filled(4, 0.5);
         let t = tmfg_sequential(&s).unwrap();
@@ -364,6 +765,8 @@ mod tests {
         assert_eq!(t.bubble_tree.len(), 1);
         assert_eq!(t.rounds, 0);
         assert!(t.insertions.is_empty());
+        assert!(t.round_stats.is_empty());
+        assert!((t.mean_fill_rate() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -385,11 +788,11 @@ mod tests {
 
     #[test]
     fn appendix_prefix_three_matches_paper_example() {
-        // Figure 13(e)-(h): with PREFIX = 3, vertices 5 and 2 are inserted
-        // in the same round; 2 goes into {0,1,4} because {0,4,5} does not
-        // exist yet.
+        // Figure 13(e)-(h): with PREFIX = 3 and the paper's simultaneous
+        // placement, vertices 5 and 2 are inserted in the same round; 2
+        // goes into {0,1,4} because {0,4,5} does not exist yet.
         let s = appendix_matrix();
-        let t = tmfg(&s, TmfgConfig::with_prefix(3)).unwrap();
+        let t = tmfg(&s, TmfgConfig::with_prefix(3).simultaneous()).unwrap();
         assert_eq!(t.rounds, 1);
         assert_eq!(t.insertions.len(), 2);
         let by_vertex: std::collections::HashMap<usize, Triangle> = t
@@ -399,6 +802,35 @@ mod tests {
             .collect();
         assert_eq!(by_vertex[&5], Triangle::new(0, 3, 4));
         assert_eq!(by_vertex[&2], Triangle::new(0, 1, 4));
+        assert_eq!(t.total_reassigned(), 0);
+    }
+
+    #[test]
+    fn appendix_prefix_three_intra_round_recovers_sequential_placement() {
+        // Same input, default (intra-round) freshness: 5 still lands in
+        // {0,3,4}, but 2 is placed after 5 and sees the freshly created
+        // {0,4,5} (gain 1.22 > 1.21), reproducing the sequential TMFG in a
+        // single round. Exactly one placement moved off its round-start
+        // face, and the counters record it.
+        let s = appendix_matrix();
+        let batched = tmfg(&s, TmfgConfig::with_prefix(3)).unwrap();
+        let sequential = tmfg_sequential(&s).unwrap();
+        assert_eq!(batched.rounds, 1);
+        assert_eq!(batched.total_reassigned(), 1);
+        let batched_pairs: Vec<(usize, Triangle)> = batched
+            .insertions
+            .iter()
+            .map(|ins| (ins.vertex, ins.face))
+            .collect();
+        let sequential_pairs: Vec<(usize, Triangle)> = sequential
+            .insertions
+            .iter()
+            .map(|ins| (ins.vertex, ins.face))
+            .collect();
+        assert_eq!(batched_pairs, sequential_pairs);
+        let batched_edges: Vec<_> = batched.graph.edges().collect();
+        let sequential_edges: Vec<_> = sequential.graph.edges().collect();
+        assert_eq!(batched_edges, sequential_edges);
     }
 
     #[test]
@@ -454,6 +886,55 @@ mod tests {
     }
 
     #[test]
+    fn every_round_is_fully_filled() {
+        // The conflict-aware selector's defining property: a round inserts
+        // exactly min(prefix, |remaining|, |active faces|) vertices — a
+        // conflict never shrinks the batch. (The old truncate-then-dedup
+        // selector failed this whenever several faces championed the same
+        // vertex inside the top-prefix pairs.)
+        for (n, prefix, seed) in [(60, 5, 2u64), (60, 10, 4), (90, 16, 8)] {
+            let s = random_similarity(n, seed);
+            let t = tmfg(&s, TmfgConfig::with_prefix(prefix)).unwrap();
+            let mut remaining = n - 4;
+            let mut active_faces = 4usize;
+            for (i, stats) in t.round_stats.iter().enumerate() {
+                let expect = prefix.min(remaining).min(active_faces);
+                assert_eq!(
+                    stats.target, expect,
+                    "round {i}: target (n {n}, prefix {prefix})"
+                );
+                assert_eq!(
+                    stats.selected, expect,
+                    "round {i}: under-filled (n {n}, prefix {prefix})"
+                );
+                assert!((stats.fill_rate() - 1.0).abs() < 1e-12);
+                remaining -= stats.selected;
+                active_faces += 2 * stats.selected;
+            }
+            assert_eq!(remaining, 0);
+            assert!((t.mean_fill_rate() - 1.0).abs() < 1e-12);
+            assert_eq!(t.round_stats.len(), t.rounds);
+        }
+    }
+
+    #[test]
+    fn conflicts_are_detected_and_absorbed() {
+        // A rank-one-ish similarity concentrates every face's best on the
+        // same few vertices, so a batched round must absorb conflicts; the
+        // counters record them and the batch still fills.
+        let n = 40;
+        let mut rng = StdRng::seed_from_u64(17);
+        let pull: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let s = SymmetricMatrix::from_fn(n, |i, j| if i == j { 1.0 } else { pull[i] * pull[j] });
+        let t = tmfg(&s, TmfgConfig::with_prefix(8)).unwrap();
+        assert!(
+            t.total_conflicts() > 0,
+            "shared-champion input must conflict"
+        );
+        assert!((t.mean_fill_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn huge_prefix_still_valid() {
         let n = 30;
         let s = random_similarity(n, 5);
@@ -463,12 +944,85 @@ mod tests {
     }
 
     #[test]
+    fn sequential_selector_matches_uncached_reference() {
+        // prefix = 1 must reproduce the sequential TMFG exactly. Replay the
+        // insertion trace against a from-scratch reference that rescans
+        // every face's best vertex at every step (no candidate caching, no
+        // reverse index), with the same gain/face/vertex tie-breaking.
+        let s = random_similarity(50, 21);
+        let seq = tmfg(&s, TmfgConfig::with_prefix(1)).unwrap();
+        // Reference: a fresh sequential TMFG computed via best_for_face
+        // scans only (no caching), validating the cached selector.
+        let n = s.n();
+        let mut remaining = vec![true; n];
+        for &v in &seq.initial_clique {
+            remaining[v] = false;
+        }
+        let mut faces = vec![
+            Triangle::new(
+                seq.initial_clique[0],
+                seq.initial_clique[1],
+                seq.initial_clique[2],
+            ),
+            Triangle::new(
+                seq.initial_clique[0],
+                seq.initial_clique[1],
+                seq.initial_clique[3],
+            ),
+            Triangle::new(
+                seq.initial_clique[0],
+                seq.initial_clique[2],
+                seq.initial_clique[3],
+            ),
+            Triangle::new(
+                seq.initial_clique[1],
+                seq.initial_clique[2],
+                seq.initial_clique[3],
+            ),
+        ];
+        let mut active = vec![true; 4];
+        for ins in &seq.insertions {
+            // Recompute every face's best from scratch and take the max.
+            let mut best: Option<(usize, usize, f64)> = None;
+            for (f, &t) in faces.iter().enumerate() {
+                if !active[f] {
+                    continue;
+                }
+                if let Some((v, g)) = GainTable::best_for_face(&s, t, &remaining) {
+                    let better = match best {
+                        None => true,
+                        Some((bf, bv, bg)) => g
+                            .total_cmp(&bg)
+                            .then_with(|| bf.cmp(&f))
+                            .then_with(|| bv.cmp(&v))
+                            .is_gt(),
+                    };
+                    if better {
+                        best = Some((f, v, g));
+                    }
+                }
+            }
+            let (f, v, g) = best.expect("candidates remain");
+            assert_eq!(ins.vertex, v);
+            assert_eq!(ins.face, faces[f]);
+            assert!((ins.gain - g).abs() < 1e-12);
+            remaining[v] = false;
+            active[f] = false;
+            for nf in faces[f].split_with(v) {
+                faces.push(nf);
+                active.push(true);
+            }
+        }
+    }
+
+    #[test]
     fn parallel_pool_matches_sequential_reference() {
-        // The gain recomputation, candidate gathering and batch selection
+        // The candidate maintenance, head gathering and batch selection
         // run on the persistent pool; their results must be bit-identical
         // to the single-threaded reference regardless of the worker count
-        // (candidate order is preserved and the selection sort's
-        // comparator is total).
+        // (candidate order is preserved, the selection heap is a strict
+        // total order, and per-face candidate lists are computed
+        // independently).
         //
         // n is chosen so the parallel path actually dispatches: the shim
         // runs pipelines under 512 items inline, and select_batch iterates
@@ -478,29 +1032,36 @@ mod tests {
         // inline code path and the comparison would be vacuous.
         let n = 300;
         let s = random_similarity(n, 13);
-        for prefix in [1, 10] {
-            let sequential = rayon::ThreadPoolBuilder::new()
-                .num_threads(1)
-                .build()
-                .unwrap()
-                .install(|| tmfg(&s, TmfgConfig::with_prefix(prefix)).unwrap());
-            let parallel = rayon::ThreadPoolBuilder::new()
-                .num_threads(4)
-                .build()
-                .unwrap()
-                .install(|| tmfg(&s, TmfgConfig::with_prefix(prefix)).unwrap());
-            assert_eq!(
-                sequential.insertions, parallel.insertions,
-                "prefix {prefix}: insertion traces (incl. gains) must match"
-            );
-            assert_eq!(sequential.initial_clique, parallel.initial_clique);
-            assert_eq!(sequential.rounds, parallel.rounds);
-            let seq_edges: Vec<_> = sequential.graph.edges().collect();
-            let par_edges: Vec<_> = parallel.graph.edges().collect();
-            assert_eq!(
-                seq_edges, par_edges,
-                "prefix {prefix}: edge sets must match"
-            );
+        for freshness in [BatchFreshness::IntraRound, BatchFreshness::Simultaneous] {
+            for prefix in [1, 10, 50] {
+                let config = TmfgConfig { prefix, freshness };
+                let sequential = rayon::ThreadPoolBuilder::new()
+                    .num_threads(1)
+                    .build()
+                    .unwrap()
+                    .install(|| tmfg(&s, config).unwrap());
+                let parallel = rayon::ThreadPoolBuilder::new()
+                    .num_threads(4)
+                    .build()
+                    .unwrap()
+                    .install(|| tmfg(&s, config).unwrap());
+                assert_eq!(
+                    sequential.insertions, parallel.insertions,
+                    "prefix {prefix} {freshness:?}: insertion traces (incl. gains) must match"
+                );
+                assert_eq!(sequential.initial_clique, parallel.initial_clique);
+                assert_eq!(sequential.rounds, parallel.rounds);
+                assert_eq!(
+                    sequential.round_stats, parallel.round_stats,
+                    "prefix {prefix} {freshness:?}: fill/staleness counters must match"
+                );
+                let seq_edges: Vec<_> = sequential.graph.edges().collect();
+                let par_edges: Vec<_> = parallel.graph.edges().collect();
+                assert_eq!(
+                    seq_edges, par_edges,
+                    "prefix {prefix} {freshness:?}: edge sets must match"
+                );
+            }
         }
     }
 

@@ -1,74 +1,236 @@
-//! The gain table: for every active face, the best remaining vertex.
+//! The gain table: per-face top-k candidate lists with lazy invalidation.
 //!
-//! Algorithm 1 keeps, for each face `t`, `GAINS[t] = argmax_{u ∈ V} Σ_{c ∈ t}
-//! S[c, u]`. Unlike the original TMFG code, which rescans every face after
-//! each insertion, the paper (and this implementation) keeps a reverse index
-//! from each vertex to the faces whose recorded best vertex it currently is,
-//! so only the affected faces are recomputed.
+//! Algorithm 1 keeps, for each face `t`, the best remaining vertex
+//! `GAINS[t] = argmax_{u ∈ V} Σ_{c ∈ t} S[c, u]`. A single best vertex per
+//! face is not enough for the prefix-batched selection of Lines 9–10,
+//! though: when several faces champion the same vertex, every face that
+//! loses the conflict must immediately offer its *next*-best vertex so the
+//! round can still fill up to `PREFIX` distinct insertions. This table
+//! therefore caches, per face, the top-k candidate `(vertex, gain)` pairs
+//! found at the face's last refresh, in decreasing gain order.
+//!
+//! Two properties make the cache cheap to keep fresh:
+//!
+//! * **Gains are immutable.** The gain of inserting `v` into face `t`
+//!   depends only on the input matrix, so a cached list never reorders; the
+//!   candidate pool only ever *shrinks* as vertices are inserted.
+//! * **Lazy invalidation.** Entries for inserted vertices are not eagerly
+//!   removed; readers skip them. Each face keeps a cursor to its first
+//!   still-valid entry, advanced via the vertex → faces reverse index when
+//!   the head vertex is inserted. A face is recomputed from scratch only
+//!   when its cached list runs dry *and* the list was truncated (the
+//!   remaining pool held more candidates than the cache depth), so refresh
+//!   work stays proportional to the faces actually affected by a round.
+//!
+//! The reverse index `faces_of_best` maps each vertex to the faces whose
+//! current head it is. A face re-registers on every head change and each
+//! entry is consumed (and stale entries dropped) the moment its vertex is
+//! inserted, so the index holds at most one live entry per face plus a
+//! bounded number of stale ones — O(faces), not O(insertions × faces).
+//!
+//! NaN similarities are skipped when candidate lists are built, so a NaN
+//! gain can never be selected (mirroring `pfg_primitives::par_max_index`,
+//! whose NaN keys never win).
 
 use pfg_graph::SymmetricMatrix;
 
 use crate::face::Triangle;
 
-/// Best-vertex bookkeeping for the faces of the graph under construction.
+/// Smallest per-face candidate cache depth.
+pub const MIN_CACHE_DEPTH: usize = 4;
+
+/// Largest per-face candidate cache depth. Deeper caches make mid-round
+/// conflict refills cheaper but every face refresh pays O(depth) per
+/// candidate hit; 32 keeps the memory and refresh cost trivial while making
+/// full rescans rare even for large prefixes.
+pub const MAX_CACHE_DEPTH: usize = 32;
+
+/// A freshly computed per-face candidate list (decreasing gain) and
+/// whether it was truncated at the cache depth.
+pub type CandidateList = (Vec<(usize, f64)>, bool);
+
+/// Result of asking a face for its next still-available candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NextBest {
+    /// The next candidate, with the list position it was found at (pass
+    /// `pos + 1` as `from` on the next call for this face).
+    Found {
+        /// Position in the face's cached list.
+        pos: usize,
+        /// The candidate vertex.
+        vertex: usize,
+        /// The (exact) gain of inserting it into the face.
+        gain: f64,
+    },
+    /// The cached list is out of available candidates. If `truncated`, the
+    /// remaining pool held more candidates than the cache at refresh time,
+    /// so the caller must fall back to [`GainTable::rescan_excluding`]; if
+    /// not, the face genuinely has no candidate left.
+    Exhausted {
+        /// Whether the cached list was truncated at refresh time.
+        truncated: bool,
+    },
+}
+
+/// Per-face candidate bookkeeping for the faces of the graph under
+/// construction.
 #[derive(Debug, Clone)]
 pub struct GainTable {
-    /// `best_vertex[f]` is the best remaining vertex for face `f`, if any.
-    best_vertex: Vec<Option<usize>>,
-    /// `best_gain[f]` is the gain of inserting that vertex into face `f`.
-    best_gain: Vec<f64>,
-    /// `faces_of_best[v]` lists face ids whose recorded best vertex is (or
-    /// recently was) `v`. Entries may be stale; readers must cross-check
-    /// against `best_vertex`.
+    /// Cache depth: how many candidates each refresh retains per face.
+    depth: usize,
+    /// `lists[f]` is face `f`'s candidate list from its last refresh, in
+    /// decreasing gain order (ties towards the smaller vertex id). Entries
+    /// go stale lazily as their vertices are inserted.
+    lists: Vec<Vec<(usize, f64)>>,
+    /// `cursor[f]` indexes the first entry of `lists[f]` whose vertex is
+    /// still remaining (== `lists[f].len()` when the list is drained).
+    cursor: Vec<usize>,
+    /// `truncated[f]` records whether the remaining pool held more than
+    /// `depth` candidates when `lists[f]` was computed.
+    truncated: Vec<bool>,
+    /// `faces_of_best[v]` lists face ids whose current head is (or recently
+    /// was) `v`. Entries may be stale; they are dropped when processed.
     faces_of_best: Vec<Vec<usize>>,
 }
 
 impl GainTable {
-    /// Creates an empty table for a graph on `num_vertices` vertices.
-    pub fn new(num_vertices: usize) -> Self {
+    /// Creates an empty table for a graph on `num_vertices` vertices whose
+    /// construction inserts up to `prefix` vertices per round. The cache
+    /// depth scales with the prefix (clamped to
+    /// [`MIN_CACHE_DEPTH`]..=[`MAX_CACHE_DEPTH`]) because a round can steal
+    /// at most `prefix − 1` of a face's top candidates before the face is
+    /// asked for another.
+    pub fn new(num_vertices: usize, prefix: usize) -> Self {
         Self {
-            best_vertex: Vec::new(),
-            best_gain: Vec::new(),
+            depth: prefix.clamp(MIN_CACHE_DEPTH, MAX_CACHE_DEPTH),
+            lists: Vec::new(),
+            cursor: Vec::new(),
+            truncated: Vec::new(),
             faces_of_best: vec![Vec::new(); num_vertices],
         }
     }
 
     /// Number of faces tracked (active or not).
     pub fn num_faces(&self) -> usize {
-        self.best_vertex.len()
+        self.lists.len()
     }
 
-    /// Registers a new face id; its best vertex starts unset.
+    /// The per-face candidate cache depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Registers a new face id; its candidate list starts empty (install
+    /// one with [`GainTable::install`]).
     pub fn push_face(&mut self) -> usize {
-        self.best_vertex.push(None);
-        self.best_gain.push(f64::NEG_INFINITY);
-        self.best_vertex.len() - 1
+        self.lists.push(Vec::new());
+        self.cursor.push(0);
+        self.truncated.push(false);
+        self.lists.len() - 1
     }
 
-    /// The best vertex recorded for face `face`.
+    /// The face's best still-remaining candidate, if any. The head is kept
+    /// valid by [`GainTable::on_vertex_inserted`]; its gain is exact, not
+    /// an upper bound, because gains never change.
     #[inline]
-    pub fn best_vertex(&self, face: usize) -> Option<usize> {
-        self.best_vertex[face]
+    pub fn head(&self, face: usize) -> Option<(usize, f64)> {
+        self.lists[face].get(self.cursor[face]).copied()
     }
 
-    /// The gain recorded for face `face`.
+    /// The cursor position of the face's head (pass to
+    /// [`GainTable::next_best`] as the starting point of a round-local
+    /// walk).
     #[inline]
-    pub fn best_gain(&self, face: usize) -> f64 {
-        self.best_gain[face]
+    pub fn head_pos(&self, face: usize) -> usize {
+        self.cursor[face]
     }
 
-    /// Faces whose recorded best vertex may be `v` (possibly stale).
+    /// Whether the face's cached list was truncated at its last refresh.
+    #[inline]
+    pub fn is_truncated(&self, face: usize) -> bool {
+        self.truncated[face]
+    }
+
+    /// Faces whose recorded head may be `v` (possibly stale).
     #[inline]
     pub fn faces_possibly_best_for(&self, v: usize) -> &[usize] {
         &self.faces_of_best[v]
     }
 
-    /// Records that `vertex` (with `gain`) is the best choice for `face`.
-    pub fn record_best(&mut self, face: usize, vertex: Option<usize>, gain: f64) {
-        self.best_vertex[face] = vertex;
-        self.best_gain[face] = gain;
-        if let Some(v) = vertex {
-            self.faces_of_best[v].push(face);
+    /// Walks face `face`'s cached list from position `from`, skipping
+    /// vertices that are no longer `remaining` or are `taken` by the
+    /// current round, and returns the first available candidate.
+    pub fn next_best(
+        &self,
+        face: usize,
+        from: usize,
+        remaining: &[bool],
+        taken: &[bool],
+    ) -> NextBest {
+        for (offset, &(v, gain)) in self.lists[face][from.min(self.lists[face].len())..]
+            .iter()
+            .enumerate()
+        {
+            if remaining[v] && !taken[v] {
+                return NextBest::Found {
+                    pos: from + offset,
+                    vertex: v,
+                    gain,
+                };
+            }
+        }
+        NextBest::Exhausted {
+            truncated: self.truncated[face],
+        }
+    }
+
+    /// Installs a freshly computed candidate list for `face` (see
+    /// [`GainTable::compute_candidates`]) and registers the face under its
+    /// head vertex in the reverse index.
+    pub fn install(&mut self, face: usize, list: Vec<(usize, f64)>, truncated: bool) {
+        if let Some(&(head, _)) = list.first() {
+            self.faces_of_best[head].push(face);
+        }
+        self.lists[face] = list;
+        self.cursor[face] = 0;
+        self.truncated[face] = truncated;
+    }
+
+    /// Reacts to the insertion of vertex `v`: every face registered under
+    /// `v` advances its cursor to the next still-remaining entry and
+    /// re-registers under the new head. Faces whose list drained while
+    /// truncated are appended to `needs_rescan` (the caller recomputes and
+    /// [`GainTable::install`]s them). Stale registrations — faces that are
+    /// no longer active or whose head moved on — are dropped, which keeps
+    /// the reverse index O(faces).
+    pub fn on_vertex_inserted(
+        &mut self,
+        v: usize,
+        remaining: &[bool],
+        face_active: &[bool],
+        needs_rescan: &mut Vec<usize>,
+    ) {
+        let registered = std::mem::take(&mut self.faces_of_best[v]);
+        for face in registered {
+            if !face_active[face] {
+                continue;
+            }
+            let list = &self.lists[face];
+            let mut cursor = self.cursor[face];
+            if list.get(cursor).map(|&(head, _)| head) != Some(v) {
+                // Stale registration: the face was refreshed (or advanced)
+                // under a different head since this entry was pushed.
+                continue;
+            }
+            while cursor < list.len() && !remaining[list[cursor].0] {
+                cursor += 1;
+            }
+            self.cursor[face] = cursor;
+            match self.lists[face].get(cursor) {
+                Some(&(new_head, _)) => self.faces_of_best[new_head].push(face),
+                None if self.truncated[face] => needs_rescan.push(face),
+                None => {}
+            }
         }
     }
 
@@ -80,20 +242,67 @@ impl GainTable {
         s.get(a, vertex) + s.get(b, vertex) + s.get(c, vertex)
     }
 
-    /// Scans `remaining` (a mask over vertices) for the best vertex to
-    /// insert into `triangle`. Ties are broken towards the smaller vertex
-    /// index. Returns `(vertex, gain)` or `None` if no vertex remains.
-    pub fn best_for_face(
+    /// Scans `remaining` (a mask over vertices) for the up-to-`depth` best
+    /// vertices to insert into `triangle`, in decreasing gain order (ties
+    /// towards the smaller vertex id). Returns the list and whether it was
+    /// truncated (more than `depth` candidates remained). NaN gains are
+    /// skipped.
+    pub fn compute_candidates(
         s: &SymmetricMatrix,
         triangle: Triangle,
         remaining: &[bool],
-    ) -> Option<(usize, f64)> {
-        let mut best: Option<(usize, f64)> = None;
+        depth: usize,
+    ) -> CandidateList {
+        let mut list: Vec<(usize, f64)> = Vec::with_capacity(depth + 1);
+        let mut truncated = false;
         for (v, &is_remaining) in remaining.iter().enumerate() {
             if !is_remaining {
                 continue;
             }
             let gain = Self::gain_of(s, triangle, v);
+            if gain.is_nan() {
+                continue;
+            }
+            if list.len() == depth {
+                // Full cache: only gains strictly above the current worst
+                // displace an entry (equal gains lose to the smaller vertex
+                // id already present).
+                let (_, worst) = list[depth - 1];
+                if gain <= worst {
+                    truncated = true;
+                    continue;
+                }
+                truncated = true;
+            }
+            // Descending by gain, ties towards the smaller vertex id: the
+            // scan visits vertices in increasing id order, so inserting
+            // *after* equal gains preserves the tie-break.
+            let at = list.partition_point(|&(_, g)| g >= gain);
+            list.insert(at, (v, gain));
+            list.truncate(depth);
+        }
+        (list, truncated)
+    }
+
+    /// Scans for the best vertex to insert into `triangle` among vertices
+    /// that are `remaining` and not `taken` — the fallback when a truncated
+    /// cached list runs dry mid-round. Ties break towards the smaller
+    /// vertex id; NaN gains never win. Returns `(vertex, gain)` or `None`.
+    pub fn rescan_excluding(
+        s: &SymmetricMatrix,
+        triangle: Triangle,
+        remaining: &[bool],
+        taken: &[bool],
+    ) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (v, &is_remaining) in remaining.iter().enumerate() {
+            if !is_remaining || taken[v] {
+                continue;
+            }
+            let gain = Self::gain_of(s, triangle, v);
+            if gain.is_nan() {
+                continue;
+            }
             match best {
                 None => best = Some((v, gain)),
                 Some((_, bg)) if gain > bg => best = Some((v, gain)),
@@ -101,6 +310,18 @@ impl GainTable {
             }
         }
         best
+    }
+
+    /// Scans `remaining` for the single best vertex to insert into
+    /// `triangle`. Equivalent to [`GainTable::rescan_excluding`] with an
+    /// empty `taken` set.
+    pub fn best_for_face(
+        s: &SymmetricMatrix,
+        triangle: Triangle,
+        remaining: &[bool],
+    ) -> Option<(usize, f64)> {
+        let (list, _) = Self::compute_candidates(s, triangle, remaining, 1);
+        list.first().copied()
     }
 }
 
@@ -157,15 +378,190 @@ mod tests {
     }
 
     #[test]
-    fn record_best_maintains_reverse_index() {
-        let mut table = GainTable::new(5);
-        let f0 = table.push_face();
-        let f1 = table.push_face();
-        table.record_best(f0, Some(4), 2.7);
-        table.record_best(f1, Some(4), 1.0);
-        assert_eq!(table.faces_possibly_best_for(4), &[f0, f1]);
-        assert_eq!(table.best_vertex(f0), Some(4));
-        assert!((table.best_gain(f1) - 1.0).abs() < 1e-12);
-        assert_eq!(table.num_faces(), 2);
+    fn candidates_are_sorted_with_ties_to_smaller_vertex() {
+        let s = SymmetricMatrix::from_fn(6, |i, j| {
+            if i == j {
+                1.0
+            } else if i.min(j) < 3 && i.max(j) == 4 {
+                0.9
+            } else {
+                0.5
+            }
+        });
+        let t = Triangle::new(0, 1, 2);
+        let remaining = vec![false, false, false, true, true, true];
+        let (list, truncated) = GainTable::compute_candidates(&s, t, &remaining, 8);
+        assert!(!truncated);
+        let vertices: Vec<usize> = list.iter().map(|&(v, _)| v).collect();
+        // 4 has gain 2.7; 3 and 5 tie at 1.5 → smaller id first.
+        assert_eq!(vertices, vec![4, 3, 5]);
+        assert!(list.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn candidates_truncate_and_flag() {
+        let s = SymmetricMatrix::from_fn(10, |i, j| {
+            if i == j {
+                1.0
+            } else {
+                ((i * 7 + j * 3) % 11) as f64 / 11.0
+            }
+        });
+        let t = Triangle::new(0, 1, 2);
+        let mut remaining = vec![true; 10];
+        for slot in remaining.iter_mut().take(3) {
+            *slot = false;
+        }
+        let (full, full_truncated) = GainTable::compute_candidates(&s, t, &remaining, 10);
+        assert_eq!(full.len(), 7);
+        assert!(!full_truncated);
+        let (top3, truncated) = GainTable::compute_candidates(&s, t, &remaining, 3);
+        assert!(truncated);
+        assert_eq!(top3, full[..3].to_vec());
+    }
+
+    #[test]
+    fn candidates_skip_nan_gains() {
+        let s = SymmetricMatrix::from_fn(6, |i, j| {
+            if i == j {
+                1.0
+            } else if i.max(j) == 4 {
+                f64::NAN
+            } else {
+                0.5
+            }
+        });
+        let t = Triangle::new(0, 1, 2);
+        let remaining = vec![false, false, false, true, true, true];
+        let (list, _) = GainTable::compute_candidates(&s, t, &remaining, 8);
+        let vertices: Vec<usize> = list.iter().map(|&(v, _)| v).collect();
+        assert_eq!(vertices, vec![3, 5], "NaN-gain vertex 4 must be skipped");
+        assert!(
+            GainTable::rescan_excluding(&s, t, &remaining, &[false; 6])
+                .is_some_and(|(v, _)| v != 4),
+            "rescan must not pick a NaN gain"
+        );
+    }
+
+    #[test]
+    fn next_best_skips_taken_and_inserted() {
+        let s = matrix();
+        let t = Triangle::new(0, 1, 2);
+        let mut table = GainTable::new(5, 4);
+        let f = table.push_face();
+        let remaining = vec![false, false, false, true, true];
+        let (list, truncated) = GainTable::compute_candidates(&s, t, &remaining, table.depth());
+        table.install(f, list, truncated);
+        assert_eq!(table.head(f), Some((4, 2.7)));
+
+        let mut taken = vec![false; 5];
+        taken[4] = true;
+        match table.next_best(f, table.head_pos(f), &remaining, &taken) {
+            NextBest::Found { vertex, gain, pos } => {
+                assert_eq!((vertex, pos), (3, 1));
+                assert!((gain - 0.3).abs() < 1e-12);
+            }
+            other => panic!("expected vertex 3, got {other:?}"),
+        }
+        taken[3] = true;
+        assert_eq!(
+            table.next_best(f, table.head_pos(f), &remaining, &taken),
+            NextBest::Exhausted { truncated: false }
+        );
+    }
+
+    #[test]
+    fn on_vertex_inserted_advances_cursor_and_reregisters() {
+        let s = matrix();
+        let t = Triangle::new(0, 1, 2);
+        let mut table = GainTable::new(5, 4);
+        let f = table.push_face();
+        let mut remaining = vec![false, false, false, true, true];
+        let (list, truncated) = GainTable::compute_candidates(&s, t, &remaining, table.depth());
+        table.install(f, list, truncated);
+        assert_eq!(table.faces_possibly_best_for(4), &[f]);
+
+        remaining[4] = false;
+        let mut needs_rescan = Vec::new();
+        table.on_vertex_inserted(4, &remaining, &[true], &mut needs_rescan);
+        assert!(needs_rescan.is_empty());
+        let (head, gain) = table.head(f).unwrap();
+        assert_eq!(head, 3);
+        assert!((gain - 0.3).abs() < 1e-12);
+        assert!(table.faces_possibly_best_for(4).is_empty(), "consumed");
+        assert_eq!(table.faces_possibly_best_for(3), &[f]);
+    }
+
+    #[test]
+    fn drained_truncated_list_requests_rescan() {
+        let s = SymmetricMatrix::filled(8, 0.5);
+        let t = Triangle::new(0, 1, 2);
+        let mut table = GainTable::new(8, 1); // depth clamps to MIN_CACHE_DEPTH
+        assert_eq!(table.depth(), MIN_CACHE_DEPTH);
+        let f = table.push_face();
+        let mut remaining = vec![true; 8];
+        for slot in remaining.iter_mut().take(3) {
+            *slot = false;
+        }
+        let (list, truncated) = GainTable::compute_candidates(&s, t, &remaining, table.depth());
+        assert!(truncated, "5 candidates > depth 4");
+        table.install(f, list, truncated);
+        // Insert the four cached candidates one by one; draining the list
+        // must request a rescan because more candidates exist off-cache.
+        let mut needs_rescan = Vec::new();
+        for v in 3..7 {
+            remaining[v] = false;
+            table.on_vertex_inserted(v, &remaining, &[true], &mut needs_rescan);
+        }
+        assert_eq!(needs_rescan, vec![f]);
+        assert_eq!(table.head(f), None);
+        let (fresh, fresh_truncated) =
+            GainTable::compute_candidates(&s, t, &remaining, table.depth());
+        assert_eq!(fresh, vec![(7, 1.5)]);
+        assert!(!fresh_truncated);
+    }
+
+    #[test]
+    fn stale_registrations_are_dropped() {
+        let s = matrix();
+        let t = Triangle::new(0, 1, 2);
+        let mut table = GainTable::new(5, 4);
+        let f = table.push_face();
+        let remaining = vec![false, false, false, true, true];
+        let (list, truncated) = GainTable::compute_candidates(&s, t, &remaining, table.depth());
+        table.install(f, list.clone(), truncated);
+        // Reinstall under the same head: the old registration is now a
+        // duplicate. Processing the vertex must drop both (one consumed,
+        // one stale) without double-advancing the cursor.
+        table.install(f, list, truncated);
+        assert_eq!(table.faces_possibly_best_for(4), &[f, f]);
+        let mut remaining = remaining;
+        remaining[4] = false;
+        let mut needs_rescan = Vec::new();
+        table.on_vertex_inserted(4, &remaining, &[true], &mut needs_rescan);
+        assert_eq!(table.head(f).unwrap().0, 3);
+        assert_eq!(table.faces_possibly_best_for(3), &[f]);
+        assert!(table.faces_possibly_best_for(4).is_empty());
+    }
+
+    #[test]
+    fn inactive_faces_are_pruned_from_reverse_index() {
+        let s = matrix();
+        let t = Triangle::new(0, 1, 2);
+        let mut table = GainTable::new(5, 4);
+        let f = table.push_face();
+        let mut remaining = vec![false, false, false, true, true];
+        let (list, truncated) = GainTable::compute_candidates(&s, t, &remaining, table.depth());
+        table.install(f, list, truncated);
+        remaining[4] = false;
+        let mut needs_rescan = Vec::new();
+        // The face went inactive (split) before its head was inserted.
+        table.on_vertex_inserted(4, &remaining, &[false], &mut needs_rescan);
+        assert!(table.faces_possibly_best_for(4).is_empty());
+        assert!(
+            table.faces_possibly_best_for(3).is_empty(),
+            "not re-registered"
+        );
+        assert!(needs_rescan.is_empty());
     }
 }

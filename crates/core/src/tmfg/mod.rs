@@ -6,11 +6,15 @@
 //! adding the three edges to the face corners that maximise the gain.
 //!
 //! The parallel algorithm of the paper inserts up to `PREFIX` vertices per
-//! round: the `PREFIX` vertex–face pairs with the largest gains are
-//! selected, conflicts (a vertex chosen by several faces) are resolved in
-//! favour of the maximum-gain pair, and the gain table is rebuilt in
-//! parallel only for the faces whose best vertex was consumed and for the
-//! newly created faces. With `prefix = 1` the construction is identical to
+//! round. Selection is conflict-aware: candidate `(face, vertex, gain)`
+//! pairs are drawn in decreasing gain order and a vertex claimed by several
+//! faces goes to the maximum-gain pair, while every losing face re-enters
+//! the draw with its next-best remaining vertex, so conflicts shrink
+//! neither the batch nor the candidate pool — each round inserts exactly
+//! `min(PREFIX, |remaining|, |active faces|)` vertices. The per-face
+//! candidate lists are maintained lazily (see [`GainTable`]) and rebuilt in
+//! parallel only for newly created faces and for faces whose cached
+//! candidates ran dry. With `prefix = 1` the construction is identical to
 //! the sequential TMFG of Massara et al.
 //!
 //! The bubble tree (Algorithm 2) is maintained during construction at no
@@ -19,5 +23,5 @@
 mod builder;
 mod gains;
 
-pub use builder::{tmfg, tmfg_sequential, Insertion, Tmfg, TmfgConfig};
-pub use gains::GainTable;
+pub use builder::{tmfg, tmfg_sequential, BatchFreshness, Insertion, RoundStats, Tmfg, TmfgConfig};
+pub use gains::{CandidateList, GainTable, NextBest, MAX_CACHE_DEPTH, MIN_CACHE_DEPTH};

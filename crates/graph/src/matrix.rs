@@ -110,12 +110,7 @@ impl SymmetricMatrix {
     pub fn top_rows_by_sum(&self, k: usize) -> Vec<usize> {
         let sums = self.row_sums();
         let mut idx: Vec<usize> = (0..self.n).collect();
-        idx.sort_by(|&a, &b| {
-            sums[b]
-                .partial_cmp(&sums[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
+        idx.sort_by(|&a, &b| sums[b].total_cmp(&sums[a]).then(a.cmp(&b)));
         idx.truncate(k);
         idx
     }

@@ -26,11 +26,13 @@ impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so that BinaryHeap (a max-heap) pops the smallest distance.
+        // Reverse so that BinaryHeap (a max-heap) pops the smallest
+        // distance. total_cmp keeps this a strict total order even if a
+        // NaN weight ever slips in (partial_cmp would report Equal for
+        // NaN-vs-anything, breaking transitivity).
         other
             .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.dist)
             .then_with(|| other.vertex.cmp(&self.vertex))
     }
 }

@@ -70,7 +70,7 @@ fn main() {
             .filter(|&i| clusters[i] == c)
             .map(|i| market.market_cap[i])
             .collect();
-        caps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        caps.sort_by(f64::total_cmp);
         if !caps.is_empty() {
             println!("  cluster {c:>2}: {:>14.0}", caps[caps.len() / 2]);
         }

@@ -53,7 +53,8 @@ pub mod prelude {
     };
     pub use pfg_core::dbht::{dbht_for_planar_graph, dbht_for_tmfg};
     pub use pfg_core::{
-        pmfg, tmfg, Dendrogram, ParTdbht, ParTdbhtConfig, ParTdbhtResult, Tmfg, TmfgConfig,
+        pmfg, tmfg, BatchFreshness, Dendrogram, ParTdbht, ParTdbhtConfig, ParTdbhtResult,
+        RoundStats, Tmfg, TmfgConfig,
     };
     pub use pfg_data::{
         correlation_matrix, dissimilarity_from_correlation, ucr_catalogue, StockMarket,

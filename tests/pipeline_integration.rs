@@ -29,7 +29,10 @@ fn full_pipeline_beats_random_clustering_comfortably() {
             .unwrap();
         let labels = result.clusters(k);
         let ari = adjusted_rand_index(&dataset.labels, &labels);
-        assert!(ari > 0.3, "prefix {prefix}: ARI {ari}");
+        // Measured ARI is 1.0 at both prefixes with the conflict-aware
+        // selector and intra-round placement; the bar leaves headroom for
+        // benign churn while staying far above chance.
+        assert!(ari > 0.9, "prefix {prefix}: ARI {ari}");
     }
 }
 
@@ -39,7 +42,11 @@ fn tmfg_dbht_tracks_or_beats_linkage_baselines() {
     // produces clusters at least comparable to complete/average linkage.
     // A single synthetic data set is noisy — especially at n = 120, where a
     // prefix-10 batch is a large fraction of a round — so the comparison is
-    // averaged over several seeds, with slack for the remaining variance.
+    // averaged over several seeds. With the conflict-aware selector and
+    // intra-round batch placement the measured means are DBHT 0.9415
+    // against COMP 0.4605 and AVG 0.8161, so the bar requires DBHT to beat
+    // the *better* baseline outright (it previously allowed DBHT to trail
+    // the worse one by 0.1).
     let seeds = [1u64, 3, 5, 7];
     let mut dbht_total = 0.0;
     let mut comp_total = 0.0;
@@ -64,7 +71,7 @@ fn tmfg_dbht_tracks_or_beats_linkage_baselines() {
     let n = seeds.len() as f64;
     let (dbht_ari, comp_ari, avg_ari) = (dbht_total / n, comp_total / n, avg_total / n);
     assert!(
-        dbht_ari > comp_ari.min(avg_ari) - 0.1,
+        dbht_ari > comp_ari.max(avg_ari),
         "mean over {} seeds: DBHT {dbht_ari} vs COMP {comp_ari} / AVG {avg_ari}",
         seeds.len()
     );
