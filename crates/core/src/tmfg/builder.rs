@@ -1018,11 +1018,12 @@ mod tests {
     #[test]
     fn parallel_pool_matches_sequential_reference() {
         // The candidate maintenance, head gathering and batch selection
-        // run on the persistent pool; their results must be bit-identical
-        // to the single-threaded reference regardless of the worker count
-        // (candidate order is preserved, the selection heap is a strict
-        // total order, and per-face candidate lists are computed
-        // independently).
+        // run on the work-stealing executor; their results must be
+        // bit-identical to the single-threaded reference for every worker
+        // count (the split-tree decomposition depends on input length
+        // only, stealing may reorder execution but never results,
+        // candidate order is preserved, and the selection heap is a
+        // strict total order).
         //
         // n is chosen so the parallel path actually dispatches: the shim
         // runs pipelines under 512 items inline, and select_batch iterates
@@ -1040,27 +1041,27 @@ mod tests {
                     .build()
                     .unwrap()
                     .install(|| tmfg(&s, config).unwrap());
-                let parallel = rayon::ThreadPoolBuilder::new()
-                    .num_threads(4)
-                    .build()
-                    .unwrap()
-                    .install(|| tmfg(&s, config).unwrap());
-                assert_eq!(
-                    sequential.insertions, parallel.insertions,
-                    "prefix {prefix} {freshness:?}: insertion traces (incl. gains) must match"
-                );
-                assert_eq!(sequential.initial_clique, parallel.initial_clique);
-                assert_eq!(sequential.rounds, parallel.rounds);
-                assert_eq!(
-                    sequential.round_stats, parallel.round_stats,
-                    "prefix {prefix} {freshness:?}: fill/staleness counters must match"
-                );
-                let seq_edges: Vec<_> = sequential.graph.edges().collect();
-                let par_edges: Vec<_> = parallel.graph.edges().collect();
-                assert_eq!(
-                    seq_edges, par_edges,
-                    "prefix {prefix} {freshness:?}: edge sets must match"
-                );
+                for threads in [2, 8] {
+                    let parallel = rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads)
+                        .build()
+                        .unwrap()
+                        .install(|| tmfg(&s, config).unwrap());
+                    let ctx = format!("prefix {prefix} {freshness:?} threads {threads}");
+                    assert_eq!(
+                        sequential.insertions, parallel.insertions,
+                        "{ctx}: insertion traces (incl. gains) must match"
+                    );
+                    assert_eq!(sequential.initial_clique, parallel.initial_clique);
+                    assert_eq!(sequential.rounds, parallel.rounds);
+                    assert_eq!(
+                        sequential.round_stats, parallel.round_stats,
+                        "{ctx}: fill/staleness counters must match"
+                    );
+                    let seq_edges: Vec<_> = sequential.graph.edges().collect();
+                    let par_edges: Vec<_> = parallel.graph.edges().collect();
+                    assert_eq!(seq_edges, par_edges, "{ctx}: edge sets must match");
+                }
             }
         }
     }

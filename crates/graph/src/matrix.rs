@@ -51,6 +51,27 @@ impl SymmetricMatrix {
         m
     }
 
+    /// Builds a matrix from row-major data that a producer inside this
+    /// crate has already made *exactly* symmetric (e.g. the symmetrised
+    /// APSP buffer), skipping [`SymmetricMatrix::from_rows`]'s `O(n²)`
+    /// tolerance sweep and taking ownership of the buffer without a copy.
+    ///
+    /// Debug builds still verify exact symmetry.
+    pub(crate) fn from_symmetrized(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "matrix data must have n*n entries");
+        let m = Self { n, data };
+        #[cfg(debug_assertions)]
+        for i in 0..n {
+            for j in (i + 1)..n {
+                debug_assert!(
+                    m.get(i, j).to_bits() == m.get(j, i).to_bits(),
+                    "from_symmetrized requires exact symmetry: ({i},{j})"
+                );
+            }
+        }
+        m
+    }
+
     /// Builds a matrix by evaluating `f(i, j)` for the upper triangle
     /// (including the diagonal) and mirroring it.
     pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {

@@ -3,11 +3,16 @@
 //!
 //! APSP over the dissimilarity-weighted TMFG is the dominant cost of the
 //! DBHT (§VI): the paper runs Dijkstra from every source in parallel, which
-//! is exactly what [`all_pairs_shortest_paths`] does (one rayon task per
-//! source over a binary-heap Dijkstra). Per-source tasks are dealt to the
-//! shim's persistent worker pool, so the per-round dispatch cost stays
-//! negligible even when the per-source work is small (sparse graphs,
-//! small `n`).
+//! is exactly what [`all_pairs_shortest_paths`] does — every source's
+//! distance row is written *directly into the result matrix's own row*
+//! (`par_chunks_mut` hands each task a disjoint row), and the matrix is
+//! then symmetrised in place, also in parallel. Peak memory is one `n²`
+//! buffer plus per-source Dijkstra scratch; the previous implementation
+//! materialised per-source row `Vec`s, copied them into an `n²` flat
+//! buffer, and symmetrised into a third `n²` allocation (~3n² peak), which
+//! was the memory high-water mark of the whole DBHT pipeline. Row tasks
+//! are uneven on irregular graphs; the executor's work stealing keeps one
+//! expensive source from gating the round.
 
 use crate::matrix::SymmetricMatrix;
 use crate::weighted_graph::WeightedGraph;
@@ -49,8 +54,18 @@ impl PartialOrd for HeapEntry {
 /// # Panics
 /// Debug-asserts that edge weights are non-negative.
 pub fn dijkstra(graph: &WeightedGraph, source: usize) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; graph.num_vertices()];
+    dijkstra_into(graph, source, &mut dist);
+    dist
+}
+
+/// [`dijkstra`] writing into a caller-provided row of length
+/// `num_vertices` (every entry is overwritten), so all-pairs callers can
+/// fill one flat matrix without a per-source allocation.
+fn dijkstra_into(graph: &WeightedGraph, source: usize, dist: &mut [f64]) {
     let n = graph.num_vertices();
-    let mut dist = vec![f64::INFINITY; n];
+    debug_assert_eq!(dist.len(), n);
+    dist.fill(f64::INFINITY);
     let mut done = vec![false; n];
     let mut heap = BinaryHeap::with_capacity(n);
     dist[source] = 0.0;
@@ -75,32 +90,66 @@ pub fn dijkstra(graph: &WeightedGraph, source: usize) -> Vec<f64> {
             }
         }
     }
-    dist
 }
 
 /// All-pairs shortest paths: runs [`dijkstra`] from every vertex in
-/// parallel and returns the resulting symmetric distance matrix.
+/// parallel, writing each source's distances straight into the matching
+/// row of one flat `n²` buffer, then symmetrises that buffer in place (in
+/// parallel) and hands it to the matrix without copying.
 pub fn all_pairs_shortest_paths(graph: &WeightedGraph) -> SymmetricMatrix {
     let n = graph.num_vertices();
-    let rows: Vec<Vec<f64>> = (0..n)
-        .into_par_iter()
-        .map(|source| dijkstra(graph, source))
-        .collect();
-    let mut flat = Vec::with_capacity(n * n);
-    for row in &rows {
-        flat.extend_from_slice(row);
+    let mut data = vec![0.0f64; n * n];
+    if n > 0 {
+        // `with_max_len(1)`: each item is a whole Dijkstra run, so
+        // declare it heavy — without the hint the executor's cheap-item
+        // heuristic would run sub-512-vertex graphs entirely inline.
+        data.par_chunks_mut(n)
+            .with_max_len(1)
+            .enumerate()
+            .for_each(|(source, row)| dijkstra_into(graph, source, row));
+        // The graph is undirected so the matrix is symmetric up to
+        // floating point associativity; symmetrise explicitly to make
+        // downstream consumers (complete linkage) independent of
+        // traversal order.
+        symmetrize_in_place(&mut data, n);
     }
-    // The graph is undirected so the matrix is symmetric up to floating
-    // point associativity; symmetrise explicitly to make downstream
-    // consumers (complete linkage) independent of traversal order.
-    let mut m = SymmetricMatrix::zeros(n);
-    for i in 0..n {
-        for j in i..n {
-            let v = 0.5 * (flat[i * n + j] + flat[j * n + i]);
-            m.set(i, j, v);
+    SymmetricMatrix::from_symmetrized(n, data)
+}
+
+/// Averages `data[i][j]` and `data[j][i]` into both entries, in parallel.
+///
+/// Each task owns row index `i` and writes the pair `(i, j)`/`(j, i)` for
+/// every `j > i`: element `(r, c)` is written only by the task for
+/// `min(r, c)`, so all writes are disjoint even though they cross row
+/// boundaries — which is why this goes through a raw pointer rather than
+/// `par_chunks_mut` (no safe row partition covers a transpose-pair write
+/// pattern). Upper rows carry more pairs than lower ones; the executor's
+/// stealing balances that skew.
+fn symmetrize_in_place(data: &mut [f64], n: usize) {
+    debug_assert_eq!(data.len(), n * n);
+    struct MatPtr(*mut f64);
+    // SAFETY: tasks write disjoint element sets (see above) and the
+    // borrow of `data` outlives the parallel round.
+    unsafe impl Send for MatPtr {}
+    unsafe impl Sync for MatPtr {}
+    let mat = MatPtr(data.as_mut_ptr());
+    let mat = &mat;
+    // Row `i` carries `n - i - 1` pairs, so the work is heavily skewed;
+    // small leaves (and stealing) keep the early heavy rows from gating
+    // the round, and the hint keeps small `n` parallel at all.
+    (0..n).into_par_iter().with_max_len(16).for_each(|i| {
+        for j in (i + 1)..n {
+            // SAFETY: `(i, j)` with `i < j` is visited by exactly this
+            // task (owner = min index), and both indices are < n².
+            unsafe {
+                let upper = mat.0.add(i * n + j);
+                let lower = mat.0.add(j * n + i);
+                let v = 0.5 * (*upper + *lower);
+                *upper = v;
+                *lower = v;
+            }
         }
-    }
-    m
+    });
 }
 
 #[cfg(test)]

@@ -29,12 +29,13 @@ where
 }
 
 /// Parallel stable sort by a comparison function. Above the threshold this
-/// delegates to rayon's `par_sort_by` (under the shim, a parallel merge
-/// sort that itself uses std sorts below ~4k elements or on a
-/// single-threaded pool).
+/// delegates to rayon's `par_sort_by` (under the shim, a buffer-based
+/// parallel merge sort that itself uses std sorts below ~4k elements or on
+/// a single-threaded pool). Elements only need `T: Send`, as with real
+/// rayon.
 pub fn par_sort_by<T, F>(items: &mut [T], cmp: F)
 where
-    T: Send + Sync,
+    T: Send,
     F: Fn(&T, &T) -> Ordering + Send + Sync,
 {
     if items.len() < SEQ_THRESHOLD {
@@ -46,11 +47,11 @@ where
 
 /// Parallel unstable sort by a comparison function. Above the threshold
 /// this delegates to rayon's `par_sort_unstable_by` (under the shim, the
-/// same parallel merge sort with unstable per-run sorts and the same
-/// ~4k/single-thread fallback).
+/// same buffer-based merge sort with unstable leaf sorts and the same
+/// ~4k/single-thread fallback). Elements only need `T: Send`.
 pub fn par_sort_unstable_by<T, F>(items: &mut [T], cmp: F)
 where
-    T: Send + Sync,
+    T: Send,
     F: Fn(&T, &T) -> Ordering + Send + Sync,
 {
     if items.len() < SEQ_THRESHOLD {

@@ -14,11 +14,13 @@
 //!   forwarding) and delegating to its base, so by the time execution
 //!   reaches the base source the whole chain has collapsed into one
 //!   composed sequential closure.
-//! * The base source (a slice, a `Vec`, or a range) splits its index space
-//!   into contiguous pieces, deals them to the persistent pool
-//!   (`crate::pool`), and runs the fused closure once per piece — a
-//!   chain of k adapters costs **one** fork–join round and no intermediate
-//!   allocation.
+//! * The base source (a slice, a `Vec`, a range, or mutable chunks)
+//!   splits its index space into contiguous pieces whose boundaries are a
+//!   function of the length only, hands them to the work-stealing
+//!   executor's split tree (`crate::pool`), and runs the fused closure
+//!   once per piece — a chain of k adapters costs **one** split tree and
+//!   no intermediate allocation. Which thread runs a piece is decided by
+//!   stealing at run time; which elements form a piece never is.
 //!
 //! Ordering guarantees match the old shim (and rayon): pieces are
 //! contiguous and combined in input order, so `collect` preserves order
@@ -267,6 +269,28 @@ pub trait IndexedParallelIterator: ParallelIterator {
     /// Every implementation uses the same boundary formula so zipped sides
     /// stay aligned.
     fn split_into(self, len: usize, pieces: usize) -> Vec<Self::SeqIter>;
+
+    /// The strictest `with_max_len` hint applied anywhere in this
+    /// pipeline, propagated through indexed adapters so the hint survives
+    /// a later `enumerate`/`zip`/`cloned`/`copied`.
+    fn max_len_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Caps pieces at `max_len` elements, mirroring rayon's
+    /// `IndexedParallelIterator::with_max_len`. Use it to declare items
+    /// *heavy* (each one a whole sub-computation, e.g. one Dijkstra run):
+    /// the executor then splits even short inputs — which its cheap-item
+    /// heuristic would run inline — down to `max_len`-sized leaves that
+    /// work stealing can balance. The piece decomposition stays a
+    /// function of `(len, max_len)` only, so determinism across worker
+    /// counts is unaffected.
+    fn with_max_len(self, max_len: usize) -> WithMaxLen<Self> {
+        WithMaxLen {
+            base: self,
+            max_len: max_len.max(1),
+        }
+    }
 }
 
 /// Piece boundaries shared by every `split_into` implementation.
@@ -279,15 +303,19 @@ pub(crate) fn piece_bounds(len: usize, pieces: usize) -> impl Iterator<Item = (u
     })
 }
 
-/// Executes an indexed pipeline: decide the piece count, split, and deal
-/// the pieces to the pool.
+/// Executes an indexed pipeline: decide the piece count (honouring any
+/// `with_max_len` hint in the chain), split, and deal the pieces to the
+/// pool.
 fn drive_indexed<S, C>(source: S, consumer: C) -> Vec<C::Result>
 where
     S: IndexedParallelIterator,
     C: Consumer<S::Item>,
 {
     let len = source.len();
-    let pieces = pool::decide_pieces(len);
+    let pieces = match source.max_len_hint() {
+        Some(max_len) => pool::decide_pieces_max_len(len, max_len),
+        None => pool::decide_pieces(len),
+    };
     let iters = source.split_into(len, pieces);
     consume_pieces(iters, consumer)
 }
@@ -405,9 +433,91 @@ macro_rules! impl_range_source {
 }
 impl_range_source!(usize, u32, u64, i32, i64);
 
+/// Parallel iterator over non-overlapping mutable chunks of a slice
+/// (`.par_chunks_mut(size)`), mirroring `rayon::slice::ChunksMut`.
+///
+/// Indexed (chunk positions are known), so it can be `enumerate`d — the
+/// idiom for writing independent output rows in place, e.g. the per-source
+/// rows of an all-pairs shortest-path matrix.
+pub struct ChunksMutSource<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ChunksMutSource<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T], chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
+        ChunksMutSource { slice, chunk_size }
+    }
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMutSource<'a, T> {
+    type Item = &'a mut [T];
+    fn drive<C: Consumer<Self::Item>>(self, consumer: C) -> Vec<C::Result> {
+        drive_indexed(self, consumer)
+    }
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ChunksMutSource<'a, T> {
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+    fn split_into(self, len: usize, pieces: usize) -> Vec<Self::SeqIter> {
+        // `len` counts chunks (possibly truncated by `zip`); pieces are
+        // dealt in whole chunks so piece boundaries align with chunk
+        // boundaries on every side of a zip.
+        let covered = self.slice.len().min(len.saturating_mul(self.chunk_size));
+        let (mut head, _) = self.slice.split_at_mut(covered);
+        let mut consumed = 0;
+        piece_bounds(len, pieces)
+            .map(|(start, end)| {
+                let lo = (start * self.chunk_size).min(covered);
+                let hi = (end * self.chunk_size).min(covered);
+                debug_assert_eq!(lo, consumed);
+                let (piece, rest) = std::mem::take(&mut head).split_at_mut(hi - lo);
+                head = rest;
+                consumed = hi;
+                piece.chunks_mut(self.chunk_size)
+            })
+            .collect()
+    }
+}
+
 // ---------------------------------------------------------------------------
-// Indexed adapters: enumerate, zip
+// Indexed adapters: with_max_len, enumerate, zip
 // ---------------------------------------------------------------------------
+
+/// Lazy `with_max_len`: caps piece sizes, declaring items heavy. See
+/// [`IndexedParallelIterator::with_max_len`].
+pub struct WithMaxLen<S> {
+    base: S,
+    max_len: usize,
+}
+
+impl<S: IndexedParallelIterator> ParallelIterator for WithMaxLen<S> {
+    type Item = S::Item;
+    fn drive<C: Consumer<Self::Item>>(self, consumer: C) -> Vec<C::Result> {
+        drive_indexed(self, consumer)
+    }
+}
+
+impl<S: IndexedParallelIterator> IndexedParallelIterator for WithMaxLen<S> {
+    type SeqIter = S::SeqIter;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_into(self, len: usize, pieces: usize) -> Vec<Self::SeqIter> {
+        self.base.split_into(len, pieces)
+    }
+    fn max_len_hint(&self) -> Option<usize> {
+        // Nested hints compose to the strictest one.
+        Some(match self.base.max_len_hint() {
+            Some(inner) => inner.min(self.max_len),
+            None => self.max_len,
+        })
+    }
+}
 
 /// Lazy `enumerate`: pairs elements with their global indices.
 pub struct Enumerate<S> {
@@ -434,6 +544,9 @@ impl<S: IndexedParallelIterator> IndexedParallelIterator for Enumerate<S> {
             .zip(bounds)
             .map(|(iter, (start, end))| (start..end).zip(iter))
             .collect()
+    }
+    fn max_len_hint(&self) -> Option<usize> {
+        self.base.max_len_hint()
     }
 }
 
@@ -472,6 +585,12 @@ where
             .zip(self.b.split_into(len, pieces))
             .map(|(a, b)| a.zip(b))
             .collect()
+    }
+    fn max_len_hint(&self) -> Option<usize> {
+        match (self.a.max_len_hint(), self.b.max_len_hint()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (hint, None) | (None, hint) => hint,
+        }
     }
 }
 
@@ -682,6 +801,9 @@ where
             .map(Iterator::cloned)
             .collect()
     }
+    fn max_len_hint(&self) -> Option<usize> {
+        self.base.max_len_hint()
+    }
 }
 
 /// Lazy `copied` adapter.
@@ -730,6 +852,9 @@ where
             .into_iter()
             .map(Iterator::copied)
             .collect()
+    }
+    fn max_len_hint(&self) -> Option<usize> {
+        self.base.max_len_hint()
     }
 }
 

@@ -1,0 +1,176 @@
+//! The `join` fork–join primitive, mirroring `rayon::join`.
+//!
+//! `join(a, b)` publishes `b` as a stealable job pointing into this stack
+//! frame, runs `a` inline, then reclaims `b`:
+//!
+//! * **Not stolen** (the common case when every thread is busy): `b` is
+//!   popped back off the deque and run inline. Total scheduling cost: one
+//!   deque push and one pop — no allocation, no condvar, no result boxing.
+//!   This is what makes adaptive splitting cheap enough to apply at every
+//!   level of a split tree.
+//! * **Stolen**: the caller *helps* until the thief finishes — it steals
+//!   and executes other pool jobs, and parks on the pool condvar only when
+//!   there is nothing left to steal (`pool::wait_for_latch`). Waiting
+//!   never blocks a thread while useful work exists, so nested `join`s on
+//!   the same pool cannot deadlock.
+//!
+//! # Panics
+//!
+//! Panics propagate like in rayon: if `a` panics, `join` first settles `b`
+//! (cancels it if un-stolen, waits for the thief otherwise), then re-raises
+//! `a`'s payload; if only `b` panics, its payload is re-raised after `a`
+//! completes. If both panic, `a`'s payload wins and `b`'s is dropped.
+//!
+//! # Safety argument
+//!
+//! The [`StackJob`] for `b` lives on this frame, and this frame never
+//! returns (or unwinds) before the job is either popped back un-executed or
+//! its `done` flag is set — so a published [`JobRef`] never dangles. The
+//! thief's final action is the `SeqCst` store of `done` (after which it
+//! never touches the job again: the post-completion wake-up touches only
+//! pool state, which is kept alive by `Arc`s independent of this frame),
+//! and the caller reads the result only after an `Acquire` load of `done`
+//! observes `true`, so the result write happens-before the read.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::pool::{self, JobRef, PoolState};
+
+/// Runs `oper_a` and `oper_b` potentially in parallel and returns both
+/// results. See the module docs for scheduling and panic semantics; on a
+/// single-threaded configuration both closures run sequentially inline.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match pool::dispatch_pool() {
+        Some(pool) => join_in(&pool, oper_a, oper_b),
+        None => {
+            let ra = oper_a();
+            let rb = oper_b();
+            (ra, rb)
+        }
+    }
+}
+
+/// [`join`] against an already-resolved pool (saves the dispatch lookup on
+/// the split-tree hot path).
+pub(crate) fn join_in<A, B, RA, RB>(pool: &Arc<PoolState>, oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(oper_b);
+    // SAFETY: this frame pins `job_b` until it is popped back or done
+    // (every path below guarantees one of the two before returning or
+    // unwinding).
+    let ref_b = unsafe { job_b.as_job_ref() };
+    pool::push_job(pool, ref_b);
+
+    let ra = match catch_unwind(AssertUnwindSafe(oper_a)) {
+        Ok(ra) => ra,
+        Err(payload) => {
+            if !pool::pop_job_if(pool, &ref_b) {
+                // Stolen: the thief holds a pointer into this frame, so
+                // we must not unwind past it until the job completes.
+                pool::wait_for_latch(pool, &job_b.done);
+            }
+            // Un-stolen `b` is cancelled: popped and dropped unexecuted.
+            resume_unwind(payload);
+        }
+    };
+
+    if pool::pop_job_if(pool, &ref_b) {
+        // Fast path — nobody stole `b`: run it inline, panics propagate
+        // directly (the job is out of every deque, nothing references it).
+        let rb = job_b.run_inline();
+        (ra, rb)
+    } else {
+        pool::wait_for_latch(pool, &job_b.done);
+        // SAFETY: `done` was observed `true` with Acquire ordering, so the
+        // thief's result/panic write happens-before this read, and nobody
+        // else touches the job anymore.
+        match unsafe { job_b.take_outcome() } {
+            Ok(rb) => (ra, rb),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+/// A fork–join job allocated on the forking frame's stack.
+struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<R>>,
+    panic: UnsafeCell<Option<Box<dyn Any + Send>>>,
+    /// Completion flag: set (`SeqCst`) as the thief's final touch of this
+    /// memory; `pool::wait_for_latch` blocks on it and `PoolState::park`
+    /// re-checks it while committing to sleep.
+    done: AtomicBool,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(f: F) -> Self {
+        StackJob {
+            f: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+            panic: UnsafeCell::new(None),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// # Safety
+    /// The caller must keep `self` alive until the job is executed or
+    /// reclaimed via [`pool::pop_job_if`].
+    unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef::new(self as *const Self as *const (), Self::execute_erased)
+    }
+
+    /// Entry point for thieves, reached through [`JobRef::execute`].
+    ///
+    /// # Safety
+    /// Called at most once per job, while the owning frame pins it.
+    unsafe fn execute_erased(data: *const (), pool: &PoolState) {
+        let job = &*(data as *const Self);
+        let f = (*job.f.get()).take().expect("stack job executed once");
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(result) => *job.result.get() = Some(result),
+            Err(payload) => *job.panic.get() = Some(payload),
+        }
+        job.done.store(true, Ordering::SeqCst);
+        // Wake a caller possibly parked on this flag. Touches only pool
+        // state — the job's frame may be gone the instant `done` is set.
+        pool.wake_all();
+    }
+
+    /// Runs the closure on the current thread (un-stolen fast path).
+    /// Panics propagate directly.
+    fn run_inline(self) -> R {
+        let f = self.f.into_inner().expect("stack job executed once");
+        f()
+    }
+
+    /// # Safety
+    /// Only after `done` was observed `true` with at least Acquire
+    /// ordering; consumes the outcome.
+    unsafe fn take_outcome(&self) -> Result<R, Box<dyn Any + Send>> {
+        if let Some(payload) = (*self.panic.get()).take() {
+            return Err(payload);
+        }
+        Ok((*self.result.get())
+            .take()
+            .expect("completed stack job stored its result"))
+    }
+}

@@ -2,40 +2,57 @@
 //!
 //! The build environment for this workspace has no access to crates.io, so
 //! this shim provides the *subset* of the rayon 1.x API that the workspace
-//! actually uses. Since PR 2 it is built on a **persistent thread pool**
+//! actually uses. Since PR 4 it is built on a **work-stealing executor**
 //! with **lazy, fused adapters**:
 //!
-//! * `pool` (internal) — a lazily-initialized global pool of workers
-//!   parked on a condvar. A fork–join round costs a queue push and
-//!   wake-ups instead of per-call thread spawn/teardown; tasks are dealt
-//!   through an atomic claim counter so uneven pieces load-balance.
-//!   Worker panics are caught and re-raised on the caller after the round
-//!   completes, and the workers survive. `RAYON_NUM_THREADS` pins the
-//!   global worker count (as in real rayon).
+//! * `pool` (internal) — per-worker deques (push/pop local, steal remote)
+//!   plus a shared injector for non-worker callers. A parallel operation
+//!   is split by recursive halving into pieces whose boundaries depend on
+//!   the input length **only**; halves are published as stealable jobs and
+//!   reclaimed inline when nobody steals them, so granularity adapts to
+//!   load while `fold`/`collect` results stay byte-for-byte identical
+//!   across multi-threaded worker counts and steals. Worker panics are
+//!   caught and
+//!   re-raised on the caller, and the workers survive.
+//!   `RAYON_NUM_THREADS` pins the global worker count (as in real rayon).
+//! * [`join`] — the rayon fork–join primitive. `join(a, b)` publishes `b`
+//!   as a stealable job, runs `a`, and either pops `b` back (one deque
+//!   push/pop, no synchronisation) or helps — steals other jobs — until
+//!   the thief finishes. Waiting threads never block while work exists,
+//!   which keeps arbitrarily nested `join`s deadlock-free.
 //! * [`iter`] — rayon-style lazy adapters. `map`/`filter`/`filter_map`/
-//!   `enumerate`/`zip`/`cloned`/`copied`/`fold` fuse into a single
-//!   parallel pass executed when a terminal operation (`collect`,
-//!   `for_each`, `reduce`, `sum`, `min`/`max`(`_by_key`), `count`) runs —
-//!   a chain of k adapters costs one fork–join round and no intermediate
-//!   allocations (the old shim materialised a `Vec` per adapter).
-//! * `sort` (internal) — a parallel merge sort behind
-//!   [`ParallelSliceMut::par_sort_by`] / `par_sort_unstable_by`: parallel
-//!   per-run std sorts, parallel pairwise index merges, and an in-place
-//!   permutation apply. Taken only when both the pool and the hardware
-//!   offer parallelism (oversubscription cannot win at sorting); requires
-//!   `T: Send + Sync` (real rayon needs only `T: Send`; the shim's merge
-//!   phase shares the slice immutably across workers).
+//!   `enumerate`/`zip`/`cloned`/`copied`/`fold`/`with_max_len` fuse into
+//!   a single parallel pass executed when a terminal operation
+//!   (`collect`, `for_each`, `reduce`, `sum`, `min`/`max`(`_by_key`),
+//!   `count`) runs — a chain of k adapters costs one split tree and no
+//!   intermediate allocations.
+//! * `sort` (internal) — a buffer-based parallel merge sort behind
+//!   [`ParallelSliceMut::par_sort_by`] / `par_sort_unstable_by`: std run
+//!   sorts at the leaves, `join`-recursive merges that split the larger
+//!   run at its midpoint and binary-search the partner, moving elements
+//!   through one scratch buffer. Requires only `T: Send`, like real rayon
+//!   (the PR 2 index-merge sort needed `T: Sync` as well). Taken only
+//!   when both the pool and the hardware offer parallelism
+//!   (oversubscription cannot win at sorting).
 //!
 //! Observable semantics match rayon for the operations the algorithms rely
 //! on: `collect` preserves input order, `fold`/`reduce` see one
 //! accumulator per contiguous piece combined left to right, `par_sort_by`
-//! is stable, and results are deterministic for a fixed worker count.
+//! is stable — and every one of those results is deterministic across
+//! runs *and* across all multi-threaded worker counts (stealing may
+//! reorder execution, never results). A single-threaded configuration
+//! runs fully inline — plain sequential semantics with one accumulator —
+//! so float-reduction grouping (and hence bits) can differ between one
+//! thread and several, exactly as before; `collect` and the sorts agree
+//! across *all* counts.
 //!
 //! Supported surface:
 //!
 //! * [`prelude`] — [`IntoParallelIterator`], [`IntoParallelRefIterator`]
 //!   (`par_iter`), [`ParallelIterator`], [`IndexedParallelIterator`],
-//!   [`ParallelSliceMut`] (`par_sort_by`, `par_sort_unstable_by`);
+//!   [`ParallelSliceMut`] (`par_sort_by`, `par_sort_unstable_by`,
+//!   `par_chunks_mut`);
+//! * [`join`];
 //! * [`ThreadPoolBuilder`] / [`ThreadPool`] — `num_threads`, `build`,
 //!   `install` (scopes all parallel work of the closure — including
 //!   nested work on the pool's own workers — onto a caller-owned pool);
@@ -49,8 +66,11 @@ use std::cmp::Ordering;
 use std::fmt;
 
 pub mod iter;
+mod join;
 mod pool;
 mod sort;
+
+pub use join::join;
 
 pub use iter::{
     IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
@@ -65,8 +85,9 @@ pub fn current_num_threads() -> usize {
     pool::effective_parallelism()
 }
 
-/// Parallel sorting on mutable slices, mirroring
-/// `rayon::slice::ParallelSliceMut`.
+/// Parallel operations on mutable slices, mirroring
+/// `rayon::slice::ParallelSliceMut`. `T: Send` is the only element bound,
+/// as in real rayon (the PR 2 sort additionally required `T: Sync`).
 pub trait ParallelSliceMut<T: Send> {
     /// Parallel stable sort by comparator.
     fn par_sort_by<F>(&mut self, cmp: F)
@@ -76,9 +97,15 @@ pub trait ParallelSliceMut<T: Send> {
     fn par_sort_unstable_by<F>(&mut self, cmp: F)
     where
         F: Fn(&T, &T) -> Ordering + Sync;
+    /// Parallel iterator over non-overlapping mutable chunks of
+    /// `chunk_size` elements (the last chunk may be shorter), in order.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size` is zero, as in real rayon.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> iter::ChunksMutSource<'_, T>;
 }
 
-impl<T: Send + Sync> ParallelSliceMut<T> for [T] {
+impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_sort_by<F>(&mut self, cmp: F)
     where
         F: Fn(&T, &T) -> Ordering + Sync,
@@ -91,6 +118,10 @@ impl<T: Send + Sync> ParallelSliceMut<T> for [T] {
         F: Fn(&T, &T) -> Ordering + Sync,
     {
         sort::par_merge_sort_by(self, &cmp, false);
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> iter::ChunksMutSource<'_, T> {
+        iter::ChunksMutSource::new(self, chunk_size)
     }
 }
 

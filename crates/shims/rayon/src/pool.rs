@@ -1,209 +1,486 @@
-//! The persistent thread-pool executor behind every parallel operation.
+//! The work-stealing executor behind every parallel operation.
 //!
-//! The shim used to spawn fresh scoped threads on every adapter call (one
-//! `std::thread::scope` round per `map`/`for_each`), which taxed fine-grained
-//! fork–join hot loops such as TMFG gain recomputation. This module replaces
-//! that with pools of long-lived workers that park on a condvar between
-//! rounds, so a fork–join round costs a queue push plus wake-ups instead of
-//! thread creation and teardown.
+//! Two designs preceded this one. The original shim spawned fresh scoped
+//! threads per adapter call; PR 2 replaced that with a persistent pool fed
+//! through one shared FIFO of batches, where every round was dealt as
+//! `4 × workers` pieces behind an atomic claim counter and each piece's
+//! result landed in a `Mutex<Option<R>>` box. That removed the spawn cost
+//! but kept three taxes: every piece paid a mutex lock on the shared
+//! `done` counter, the piece count was a static function of the worker
+//! count (so one slow piece gated its round and `fold` grouping changed
+//! with `RAYON_NUM_THREADS`), and every round woke every worker.
+//!
+//! This module is the third design: a rayon-style work-stealing executor.
 //!
 //! # Architecture
 //!
-//! * [`PoolState`] — the shared state of one pool: a FIFO of [`Batch`]es,
-//!   a condvar workers park on, and the worker count.
-//! * A **batch** is one fork–join round: `total` tasks indexed `0..total`,
-//!   dealt to whichever threads show up via an atomic claim counter
-//!   (chunked task dealing — tasks are claimed one at a time, so a slow
-//!   task does not stall the siblings behind a static partition).
-//! * The **caller always helps**: after enqueueing a batch it claims and
-//!   runs tasks itself until none are left unclaimed, then blocks on the
-//!   batch's completion condvar for stragglers still running on workers.
-//!   This makes every batch complete even with zero pool workers, which is
-//!   what makes nested parallelism (a task running a nested batch on the
-//!   same pool) deadlock-free: waiting only ever happens on strictly
-//!   deeper batches.
-//! * **Panic propagation**: worker-side panics are caught, the first
-//!   payload is stashed, and the batch still counts down to completion;
-//!   the caller re-raises the payload with `resume_unwind` once the batch
-//!   is done, mirroring the old scoped-thread `join().expect(..)` behavior
-//!   without poisoning the pool (workers survive and keep serving).
-//! * The **global pool** is built lazily on first use, sized by the
-//!   `RAYON_NUM_THREADS` environment variable when set (like real rayon),
-//!   otherwise by `std::thread::available_parallelism`.
-//! * [`install`](crate::ThreadPool::install) scopes a *caller-owned* pool
-//!   onto the current thread via a thread-local: while the closure runs,
-//!   every parallel operation on this thread (and, transitively, on that
-//!   pool's workers) dispatches to that pool instead of the global one.
+//! * **Per-worker deques, Chase–Lev-style discipline.** Each worker owns a
+//!   deque ([`WorkerDeque`]): the owner pushes and pops at the *back*
+//!   (LIFO, so a worker dives depth-first into its own subtree and the
+//!   just-pushed half is still cache-hot when popped), thieves steal from
+//!   the *front* (FIFO, so a thief takes the *oldest* — largest — pending
+//!   subtree). The buffer itself is a mutex-guarded ring rather than the
+//!   lock-free Chase–Lev array: the lock is uncontended on the owner fast
+//!   path (one futex-free atomic acquire), and it makes the
+//!   pop-vs-steal race trivially sound where the lock-free version needs
+//!   subtle fences. Threads that are not pool workers (the caller of a
+//!   parallel operation) push to and pop from a shared **injector** deque
+//!   with the same back-for-owner / front-for-thief discipline.
+//! * **Fork–join via [`crate::join`]** (see `join.rs`): `join(a, b)`
+//!   publishes `b` as a stealable [`JobRef`] pointing into the caller's
+//!   stack, runs `a` inline, then either pops `b` back (not stolen: run it
+//!   inline, no synchronisation at all) or — if a thief took it — *helps*:
+//!   it steals and executes other jobs until `b`'s completion flag is set,
+//!   parking on the pool condvar only when there is nothing left to steal.
+//!   No thread ever blocks while useful work exists, which is what makes
+//!   nested parallelism deadlock-free: every job published by a frame is
+//!   either executed by that frame or by a thief it waits for.
+//! * **Adaptive splitting, deterministic decomposition.** A parallel
+//!   operation over `n` items is split by *recursive halving* into
+//!   [`decide_pieces`]`(n)` leaf pieces — a function of `n` **only** (the
+//!   static `PIECES_PER_WORKER` tuning of the FIFO design is gone). The
+//!   split tree adapts to load at run time — a subtree is only distributed
+//!   if a thief actually steals it; unstolen halves are popped back and
+//!   run inline at the cost of one deque push/pop — while the *leaf
+//!   boundaries* and the left-to-right combine order never change. Fold
+//!   accumulators and float sums are therefore byte-for-byte reproducible
+//!   across runs *and* across worker counts (stealing may reorder
+//!   execution, never results); under the FIFO design they changed with
+//!   `RAYON_NUM_THREADS`.
+//! * **`MaybeUninit` result slots.** [`run_batch`] writes each leaf result
+//!   into a [`MaybeUninit`] slot ([`Slots`]); the join tree executes every
+//!   leaf exactly once, and join completion publishes the write before the
+//!   caller reads it, so no per-slot `Mutex` is needed (the FIFO design
+//!   boxed every result and every dealt item in one). Per-slot "written"
+//!   flags exist only so the panic path can drop the results that were
+//!   produced before the unwind.
+//! * **Panic propagation.** A panicking task is caught on the thief, the
+//!   payload is stashed in the job, and [`crate::join`] re-raises it on
+//!   the caller after the sibling subtree has settled. Pending jobs of an
+//!   unwinding `join` that were *not* stolen are cancelled (popped and
+//!   dropped unexecuted). Workers survive; the pool keeps serving.
+//! * **Targeted wake-ups.** Sleepers park on one pool condvar. Publishing
+//!   a job wakes at most one worker, and only if some worker is actually
+//!   asleep and no previous wake is still in flight ([`PoolState::
+//!   wake_for_work`]); job completion wakes all sleepers so a caller
+//!   waiting on that job's flag re-checks it ([`PoolState::wake_all`]).
+//!   The FIFO design's `notify_all` per round — every worker woken for
+//!   every batch — is gone, which is most visible on fine-grained rounds.
+//! * The **global pool** is built lazily on first use, sized by
+//!   `RAYON_NUM_THREADS` when set to a positive integer (like real
+//!   rayon), otherwise by the cached hardware probe
+//!   [`hardware_parallelism`]. [`crate::ThreadPool::install`] scopes a
+//!   caller-owned pool onto the current thread via the same thread-local
+//!   context the workers use.
 
-use std::any::Any;
-use std::cell::RefCell;
+use std::cell::{RefCell, UnsafeCell};
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+use crate::join::join_in;
+
 /// Minimum number of items before a parallel operation bothers dispatching
-/// to the pool; below this the round-trip cost dominates the work.
+/// to the pool; below this the dispatch cost dominates the work.
 pub(crate) const MIN_PAR_LEN: usize = 512;
 
-/// Tasks dealt per worker in one batch. More pieces than workers gives the
-/// claim counter room to load-balance uneven tasks; the piece count stays a
-/// deterministic function of input length and worker count, so chunk-local
-/// results (e.g. `fold` accumulators) are reproducible run to run.
-const PIECES_PER_WORKER: usize = 4;
-
-/// Minimum items per dealt piece, so piece bookkeeping never outweighs the
-/// per-piece work.
+/// Minimum items per leaf piece of the split tree, so leaf bookkeeping
+/// never outweighs the per-leaf work.
 const MIN_PIECE_LEN: usize = 128;
 
+/// Cap on the leaf count of one operation's split tree. Well above any
+/// plausible worker count, so stealing always has slack; bounded because
+/// every tree node costs one deque push/pop even when nothing is stolen,
+/// which measurably taxes large cheap-per-item rounds (the executor bench
+/// regressed ~25% at 128 leaves before this was tightened from 256).
+const MAX_PIECES: usize = 64;
+
+/// Steal attempts (each a scan over every deque, with a `yield_now`
+/// between rounds) a thread waiting on a join flag makes before parking.
+const WAIT_SPIN_ROUNDS: usize = 32;
+
+/// Idle scan rounds a worker makes before parking. Deliberately small:
+/// a parked worker costs nothing, a spinning one steals CPU from the
+/// threads that have real work (pathological on single-core hosts).
+const WORKER_SPIN_ROUNDS: usize = 4;
+
 thread_local! {
-    /// The pool that parallel operations on this thread dispatch to.
-    /// `Some` inside [`crate::ThreadPool::install`] and on pool workers;
-    /// `None` means "use the global pool".
-    static CURRENT_POOL: RefCell<Option<Arc<PoolState>>> = const { RefCell::new(None) };
+    /// What the current thread *is* to the executor: a pool worker (which
+    /// pool, which deque), a thread running under
+    /// [`crate::ThreadPool::install`], or (when `None`) an unaffiliated
+    /// thread that dispatches to the global pool.
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Thread → pool affiliation, kept in [`CTX`].
+enum Ctx {
+    /// A worker thread of `pool`, owning `pool.workers[index]`.
+    Worker(Arc<PoolState>, usize),
+    /// A thread inside [`crate::ThreadPool::install`] of `pool` (pushes
+    /// go to the pool's injector, not to a worker deque).
+    External(Arc<PoolState>),
+}
+
+impl Ctx {
+    fn pool(&self) -> &Arc<PoolState> {
+        match self {
+            Ctx::Worker(pool, _) | Ctx::External(pool) => pool,
+        }
+    }
+}
+
+/// A type-erased pointer to a job living on some thread's stack frame.
+///
+/// The pointee is pinned by that frame until the job is either executed
+/// (its completion flag set) or popped back unexecuted; `JobRef`s are
+/// therefore always dereferenceable while they sit in a deque (see
+/// `join.rs` for the pinning argument).
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const (), &PoolState),
+}
+
+// SAFETY: a JobRef is a pointer plus fn pointer; the pointee is only ever
+// accessed through `execute`, whose exactly-once discipline is enforced by
+// the deques (an executed job is never re-enqueued).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// # Safety
+    /// `data` must outlive every use of the returned `JobRef`, and
+    /// `execute_fn` must be callable exactly once on it.
+    pub(crate) unsafe fn new(
+        data: *const (),
+        execute_fn: unsafe fn(*const (), &PoolState),
+    ) -> Self {
+        JobRef { data, execute_fn }
+    }
+
+    /// Same stack job? (Pointer identity; a live frame address is never
+    /// shared by two pending jobs, see `pop_job_if`.)
+    fn same_as(&self, other: &JobRef) -> bool {
+        std::ptr::eq(self.data, other.data)
+            && std::ptr::fn_addr_eq(self.execute_fn, other.execute_fn)
+    }
+
+    /// # Safety
+    /// Must be called exactly once, while the pointee is still pinned.
+    pub(crate) unsafe fn execute(self, pool: &PoolState) {
+        (self.execute_fn)(self.data, pool)
+    }
+}
+
+/// One worker's deque: owner pushes/pops at the back, thieves steal from
+/// the front.
+struct WorkerDeque {
+    jobs: Mutex<VecDeque<JobRef>>,
 }
 
 /// Shared state of one thread pool.
 pub(crate) struct PoolState {
-    /// Pending fork–join rounds, oldest first. Exhausted batches (all tasks
-    /// claimed) are popped lazily by whoever finds them at the front.
-    queue: Mutex<VecDeque<Arc<Batch>>>,
-    /// Parks idle workers; notified on every batch push and on shutdown.
-    work_cv: Condvar,
+    /// Deque for jobs published by non-worker threads (operation callers).
+    /// Same ownership discipline as a worker deque: the publisher pops at
+    /// the back, everyone else steals from the front.
+    injector: Mutex<VecDeque<JobRef>>,
+    /// One deque per worker thread; `num_threads - 1` entries (the caller
+    /// of an operation always helps, taking the last parallelism slot).
+    workers: Vec<WorkerDeque>,
+    /// Guards the park/wake handshake (never held while working).
+    sleep_lock: Mutex<()>,
+    /// Parks idle workers and join-waiters out of work to steal.
+    sleep_cv: Condvar,
+    /// Number of threads currently parked (or committed to parking) on
+    /// `sleep_cv`. Publishers skip the wake syscall when this is zero.
+    sleepers: AtomicUsize,
+    /// 1 while a work wake-up is in flight (notified but the woken thread
+    /// has not rescanned yet); throttles redundant `notify_one`s when jobs
+    /// are published faster than workers wake.
+    pending_wake: AtomicUsize,
+    /// Jobs sitting in deques, not yet claimed. Parking threads re-check
+    /// this after registering as sleepers, closing the lost-wakeup race.
+    pending_jobs: AtomicUsize,
     /// Parallelism this pool was built for. Only `num_threads - 1` worker
     /// threads exist — the batch caller always helps, taking the last
     /// slot, so `num_threads` threads compute concurrently.
     pub(crate) num_threads: usize,
-    /// Set by [`ThreadPool`](crate::ThreadPool) drop; workers exit once the
-    /// queue is drained.
+    /// Set by [`crate::ThreadPool`] drop; workers exit once out of work.
     shutdown: AtomicBool,
-}
-
-/// One fork–join round: `total` tasks dealt through an atomic claim counter.
-struct Batch {
-    /// Type-erased task runner; `runner(i)` runs task `i` and never unwinds
-    /// (panics are caught and stashed inside the typed closure).
-    ///
-    /// The pointee lives on the stack frame of [`run_batch`], which blocks
-    /// until `done == total`, so the pointer never dangles while reachable:
-    /// a worker only dereferences it between a successful claim and the
-    /// matching `done` increment.
-    runner: RunnerPtr,
-    total: usize,
-    /// Next unclaimed task index; claims at or past `total` fail.
-    next: AtomicUsize,
-    /// Completed task count, paired with `done_cv` for the caller's wait.
-    done: Mutex<usize>,
-    done_cv: Condvar,
-}
-
-struct RunnerPtr(*const (dyn Fn(usize) + Sync));
-
-// SAFETY: the pointee is a `Sync` closure shared for the duration of the
-// batch; `run_batch` keeps it alive until every task has completed (see the
-// field docs on `Batch::runner`).
-unsafe impl Send for RunnerPtr {}
-unsafe impl Sync for RunnerPtr {}
-
-impl Batch {
-    /// Claims the next task index, or `None` when all are claimed.
-    fn claim(&self) -> Option<usize> {
-        // Opportunistic check so exhausted batches don't keep bumping the
-        // counter from every worker that peeks at them.
-        if self.next.load(Ordering::Relaxed) >= self.total {
-            return None;
-        }
-        let i = self.next.fetch_add(1, Ordering::Relaxed);
-        (i < self.total).then_some(i)
-    }
-
-    fn exhausted(&self) -> bool {
-        self.next.load(Ordering::Relaxed) >= self.total
-    }
-
-    /// Runs one claimed task and counts it done, waking the caller when it
-    /// was the last one.
-    fn run_one(&self, i: usize) {
-        // SAFETY: `i` was claimed, so the batch is not yet complete and
-        // `run_batch` is still pinning the pointee (see `runner` docs).
-        unsafe { (*self.runner.0)(i) };
-        let mut done = self.done.lock().expect("batch done lock");
-        *done += 1;
-        if *done == self.total {
-            self.done_cv.notify_all();
-        }
-    }
 }
 
 impl PoolState {
     /// Creates a pool advertising `num_threads` of parallelism, spawning
-    /// `num_threads - 1` parked workers: the batch caller always helps, so
-    /// it occupies the remaining slot and the number of threads computing
-    /// concurrently equals `num_threads` (not `num_threads + 1`).
+    /// `num_threads - 1` parked workers: the operation caller always
+    /// helps, so it occupies the remaining slot and the number of threads
+    /// computing concurrently equals `num_threads`.
     pub(crate) fn spawn(num_threads: usize) -> (Arc<Self>, Vec<std::thread::JoinHandle<()>>) {
+        let worker_count = num_threads.saturating_sub(1);
         let state = Arc::new(PoolState {
-            queue: Mutex::new(VecDeque::new()),
-            work_cv: Condvar::new(),
+            injector: Mutex::new(VecDeque::new()),
+            workers: (0..worker_count)
+                .map(|_| WorkerDeque {
+                    jobs: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            pending_wake: AtomicUsize::new(0),
+            pending_jobs: AtomicUsize::new(0),
             num_threads,
             shutdown: AtomicBool::new(false),
         });
-        let workers = (0..num_threads.saturating_sub(1))
-            .map(|_| {
+        let handles = (0..worker_count)
+            .map(|index| {
                 let state = Arc::clone(&state);
                 std::thread::Builder::new()
-                    .name("rayon-shim-worker".into())
-                    .spawn(move || worker_loop(state))
+                    .name(format!("rayon-shim-worker-{index}"))
+                    .spawn(move || worker_loop(state, index))
                     .expect("spawn rayon-shim worker")
             })
             .collect();
-        (state, workers)
+        (state, handles)
     }
 
-    /// Tells workers to exit once the queue is drained and wakes them.
-    /// The flag is stored while holding the queue mutex: a worker holds
-    /// that mutex from its last shutdown check until it parks on the
-    /// condvar, so the store either happens-before the check or the
-    /// notify finds the worker already parked — no missed wakeup.
+    /// Wakes at most one sleeping worker to come steal newly published
+    /// work. Skipped entirely (no lock, no syscall) when nobody sleeps or
+    /// a previous work wake-up is still in flight.
+    fn wake_for_work(&self) {
+        if self.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        if self.pending_wake.swap(1, Ordering::Relaxed) == 1 {
+            return;
+        }
+        let _guard = self.sleep_lock.lock().expect("pool sleep lock");
+        self.sleep_cv.notify_one();
+    }
+
+    /// Wakes every sleeper. Used on job completion (the thread waiting on
+    /// that job's flag must re-check it — `notify_one` could wake an
+    /// unrelated worker instead) and on shutdown.
+    pub(crate) fn wake_all(&self) {
+        if self.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let _guard = self.sleep_lock.lock().expect("pool sleep lock");
+        self.sleep_cv.notify_all();
+    }
+
+    /// Parks the current thread until any wake-up, unless work or the
+    /// monitored condition appeared while committing to sleep. `done`
+    /// is the join flag a waiter is blocked on (`None` for idle workers).
+    ///
+    /// Lost-wakeup freedom: the sleeper increments `sleepers` *before*
+    /// re-checking `pending_jobs`/`done` (all `SeqCst`), and publishers
+    /// store those *before* loading `sleepers`; in every interleaving the
+    /// sleeper either sees the update and skips the wait, or the publisher
+    /// sees `sleepers > 0` and notifies — and since the sleeper holds
+    /// `sleep_lock` from the re-check until the wait begins, the notify
+    /// cannot land in between.
+    fn park(&self, done: Option<&AtomicBool>) {
+        let guard = self.sleep_lock.lock().expect("pool sleep lock");
+        // A parking thread just scanned every deque and found nothing, so
+        // any wake-up still "in flight" has been serviced or expired:
+        // clear the throttle on *entry* as well as on exit. Without the
+        // entry clear, a publisher racing a waker-less park exit could
+        // set the flag, notify an empty wait set, and leave the stale 1
+        // suppressing every future work wake-up (silently degrading the
+        // pool to inline execution).
+        self.pending_wake.store(0, Ordering::Relaxed);
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let must_wait = self.pending_jobs.load(Ordering::SeqCst) == 0
+            && !self.shutdown.load(Ordering::SeqCst)
+            && done.is_none_or(|d| !d.load(Ordering::SeqCst));
+        if must_wait {
+            // Spurious wakes are fine: every caller re-checks its
+            // condition in a loop around `park`.
+            drop(self.sleep_cv.wait(guard).expect("pool sleep wait"));
+        } else {
+            drop(guard);
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        self.pending_wake.store(0, Ordering::Relaxed);
+    }
+
+    /// Tells workers to exit once out of work, and wakes them.
     pub(crate) fn shut_down(&self) {
-        let _queue = self.queue.lock().expect("pool queue lock");
-        self.shutdown.store(true, Ordering::Release);
-        self.work_cv.notify_all();
+        let _guard = self.sleep_lock.lock().expect("pool sleep lock");
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.sleep_cv.notify_all();
     }
 }
 
-fn worker_loop(state: Arc<PoolState>) {
-    // Nested parallel operations inside tasks dispatch back to this pool.
-    CURRENT_POOL.with(|c| *c.borrow_mut() = Some(Arc::clone(&state)));
-    loop {
-        let batch = {
-            let mut queue = state.queue.lock().expect("pool queue lock");
-            loop {
-                // Drop exhausted batches from the front; their tasks may
-                // still be finishing on other threads, but there is nothing
-                // left to claim.
-                while queue.front().is_some_and(|b| b.exhausted()) {
-                    queue.pop_front();
-                }
-                if let Some(batch) = queue.front() {
-                    break Arc::clone(batch);
-                }
-                if state.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                queue = state.work_cv.wait(queue).expect("pool queue wait");
+/// Publishes `job` where thieves can find it: the current worker's own
+/// deque when the calling thread is a worker of `pool`, else the pool's
+/// injector.
+pub(crate) fn push_job(pool: &Arc<PoolState>, job: JobRef) {
+    let pushed_local = CTX.with(|c| match &*c.borrow() {
+        Some(Ctx::Worker(p, i)) if Arc::ptr_eq(p, pool) => {
+            p.workers[*i]
+                .jobs
+                .lock()
+                .expect("worker deque lock")
+                .push_back(job);
+            true
+        }
+        _ => false,
+    });
+    if !pushed_local {
+        pool.injector
+            .lock()
+            .expect("pool injector lock")
+            .push_back(job);
+    }
+    pool.pending_jobs.fetch_add(1, Ordering::SeqCst);
+    pool.wake_for_work();
+}
+
+/// Pops `job` back from where [`push_job`] put it, if it is still there
+/// (i.e. no thief stole it). Returns `true` on success.
+///
+/// Matching is by pointer identity, which is unambiguous: a `JobRef` only
+/// sits in a deque while its stack frame is pinned inside `join`, and a
+/// frame never hosts two pending jobs at the same address, so an address
+/// match *is* the job we pushed. LIFO discipline means our job is at the
+/// back unless it was stolen (deeper pushes have already been popped by
+/// the time we look).
+pub(crate) fn pop_job_if(pool: &Arc<PoolState>, job: &JobRef) -> bool {
+    let deque = CTX.with(|c| match &*c.borrow() {
+        Some(Ctx::Worker(p, i)) if Arc::ptr_eq(p, pool) => Some(*i),
+        _ => None,
+    });
+    let popped = match deque {
+        Some(i) => {
+            let mut jobs = pool.workers[i].jobs.lock().expect("worker deque lock");
+            if jobs.back().is_some_and(|back| back.same_as(job)) {
+                jobs.pop_back();
+                true
+            } else {
+                false
             }
-        };
-        while let Some(i) = batch.claim() {
-            batch.run_one(i);
+        }
+        None => {
+            let mut jobs = pool.injector.lock().expect("pool injector lock");
+            if jobs.back().is_some_and(|back| back.same_as(job)) {
+                jobs.pop_back();
+                true
+            } else {
+                false
+            }
+        }
+    };
+    if popped {
+        pool.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+    }
+    popped
+}
+
+/// Claims one job for the current thread: own deque back first (dive into
+/// our own subtree, cache-hot), then the injector front, then the other
+/// workers' deque fronts in round-robin order starting after our own slot
+/// (deterministic scan; the *outcome* of racing thieves is timing-
+/// dependent either way, and decomposition determinism makes that
+/// invisible in results).
+fn find_work(pool: &PoolState, own_index: Option<usize>) -> Option<JobRef> {
+    if let Some(i) = own_index {
+        if let Some(job) = pool.workers[i]
+            .jobs
+            .lock()
+            .expect("worker deque lock")
+            .pop_back()
+        {
+            pool.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+    }
+    if let Some(job) = pool
+        .injector
+        .lock()
+        .expect("pool injector lock")
+        .pop_front()
+    {
+        pool.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+        return Some(job);
+    }
+    let k = pool.workers.len();
+    let start = own_index.map_or(0, |i| i + 1);
+    for offset in 0..k {
+        let target = (start + offset) % k;
+        if own_index == Some(target) {
+            continue;
+        }
+        let stolen = pool.workers[target]
+            .jobs
+            .lock()
+            .expect("worker deque lock")
+            .pop_front();
+        if let Some(job) = stolen {
+            pool.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+    }
+    None
+}
+
+/// Blocks until `done` is set, *helping* in the meantime: steals and
+/// executes other jobs (which is what keeps nested `join`s deadlock-free
+/// and cores busy), spins briefly when there is nothing to steal, and
+/// parks on the pool condvar past [`WAIT_SPIN_ROUNDS`]. Job completion
+/// wakes all sleepers, so the flag is always re-checked promptly.
+pub(crate) fn wait_for_latch(pool: &Arc<PoolState>, done: &AtomicBool) {
+    let own_index = CTX.with(|c| match &*c.borrow() {
+        Some(Ctx::Worker(p, i)) if Arc::ptr_eq(p, pool) => Some(*i),
+        _ => None,
+    });
+    let mut idle_rounds = 0;
+    while !done.load(Ordering::Acquire) {
+        if let Some(job) = find_work(pool, own_index) {
+            // SAFETY: the job came from a deque, so its frame is pinned
+            // and it has not been executed yet.
+            unsafe { job.execute(pool) };
+            idle_rounds = 0;
+        } else if idle_rounds < WAIT_SPIN_ROUNDS {
+            std::thread::yield_now();
+            idle_rounds += 1;
+        } else {
+            pool.park(Some(done));
+        }
+    }
+}
+
+fn worker_loop(state: Arc<PoolState>, index: usize) {
+    // Parallel operations inside tasks dispatch back to this pool, and
+    // `push_job` routes this thread's pushes to its own deque.
+    CTX.with(|c| *c.borrow_mut() = Some(Ctx::Worker(Arc::clone(&state), index)));
+    let mut idle_rounds = 0;
+    loop {
+        if let Some(job) = find_work(&state, Some(index)) {
+            // SAFETY: as in `wait_for_latch`.
+            unsafe { job.execute(&state) };
+            idle_rounds = 0;
+            continue;
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if idle_rounds < WORKER_SPIN_ROUNDS {
+            std::thread::yield_now();
+            idle_rounds += 1;
+        } else {
+            state.park(None);
+            idle_rounds = 0;
         }
     }
 }
 
 /// The pool the current thread's parallel operations dispatch to: the
-/// innermost installed pool if any, otherwise the lazily-built global pool.
-/// `None` means "run inline" (single-threaded configuration).
-fn dispatch_pool() -> Option<Arc<PoolState>> {
-    if let Some(pool) = CURRENT_POOL.with(|c| c.borrow().clone()) {
+/// innermost installed pool (or this worker's own pool), otherwise the
+/// lazily-built global pool. `None` means "run inline" (single-threaded
+/// configuration).
+pub(crate) fn dispatch_pool() -> Option<Arc<PoolState>> {
+    if let Some(pool) = CTX.with(|c| c.borrow().as_ref().map(|ctx| Arc::clone(ctx.pool()))) {
         return (pool.num_threads > 1).then_some(pool);
     }
     if global_size() <= 1 {
@@ -214,27 +491,34 @@ fn dispatch_pool() -> Option<Arc<PoolState>> {
 
 /// Worker count parallel operations split across on this thread.
 pub(crate) fn effective_parallelism() -> usize {
-    CURRENT_POOL
-        .with(|c| c.borrow().as_ref().map(|p| p.num_threads))
+    CTX.with(|c| c.borrow().as_ref().map(|ctx| ctx.pool().num_threads))
         .unwrap_or_else(global_size)
 }
 
 /// Sets `pool` as the current thread's dispatch target for the duration of
 /// `op`, restoring the previous target even if `op` unwinds.
 pub(crate) fn with_pool<R>(pool: &Arc<PoolState>, op: impl FnOnce() -> R) -> R {
-    struct Restore(Option<Arc<PoolState>>);
+    struct Restore(Option<Ctx>);
     impl Drop for Restore {
         fn drop(&mut self) {
-            CURRENT_POOL.with(|c| *c.borrow_mut() = self.0.take());
+            CTX.with(|c| *c.borrow_mut() = self.0.take());
         }
     }
-    let _restore = Restore(CURRENT_POOL.with(|c| c.borrow_mut().replace(Arc::clone(pool))));
+    let _restore = Restore(CTX.with(|c| c.borrow_mut().replace(Ctx::External(Arc::clone(pool)))));
     op()
+}
+
+/// The machine's available parallelism, probed once per process. The std
+/// probe is uncached on Linux (`sched_getaffinity` + cgroup reads), so
+/// both the global pool size and the sort's hardware gate share this.
+pub(crate) fn hardware_parallelism() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 /// The default worker count: `RAYON_NUM_THREADS` when set to a positive
 /// integer (as in real rayon, `0` and garbage fall back to the detected
-/// parallelism), otherwise `available_parallelism`.
+/// parallelism), otherwise [`hardware_parallelism`].
 pub(crate) fn global_size() -> usize {
     static SIZE: OnceLock<usize> = OnceLock::new();
     *SIZE.get_or_init(|| resolve_num_threads(std::env::var("RAYON_NUM_THREADS").ok().as_deref()))
@@ -246,7 +530,7 @@ pub(crate) fn global_size() -> usize {
 pub(crate) fn resolve_num_threads(env_value: Option<&str>) -> usize {
     match env_value.and_then(|v| v.trim().parse::<usize>().ok()) {
         Some(n) if n > 0 => n,
-        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        _ => hardware_parallelism(),
     }
 }
 
@@ -257,44 +541,152 @@ fn global_pool() -> &'static Arc<PoolState> {
     GLOBAL.get_or_init(|| PoolState::spawn(global_size()).0)
 }
 
-/// How many pieces a parallel operation over `len` items should be dealt
-/// as. `1` means "run inline, skip the pool".
+/// How many leaf pieces a parallel operation over `len` items splits into.
+/// `1` means "run inline, skip the pool".
+///
+/// For parallel runs the piece count is a function of `len` **only** —
+/// never of the worker count — so leaf boundaries, `fold` accumulator
+/// grouping and left-to-right combine order are identical for every
+/// multi-threaded `RAYON_NUM_THREADS` and unaffected by stealing. (A
+/// single-threaded configuration runs fully inline with one accumulator,
+/// exactly as before this executor.)
 pub(crate) fn decide_pieces(len: usize) -> usize {
-    let threads = effective_parallelism();
-    if threads <= 1 || len < MIN_PAR_LEN {
+    if effective_parallelism() <= 1 || len < MIN_PAR_LEN {
         return 1;
     }
-    (threads * PIECES_PER_WORKER)
-        .min(len.div_ceil(MIN_PIECE_LEN))
-        .max(1)
+    len.div_ceil(MIN_PIECE_LEN).clamp(1, MAX_PIECES)
 }
 
-/// Like [`run_batch`], but deals the *owned* `items` out to the tasks:
-/// task `i` receives `items[i]` by value. Results come back in item order.
-pub(crate) fn run_batch_owned<T, R, F>(items: Vec<T>, task: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    if items.len() <= 1 {
-        return items.into_iter().map(task).collect();
+/// [`decide_pieces`] under a `with_max_len(max_len)` hint: every piece
+/// holds at most `max_len` items. The hint declares the items *heavy*
+/// (e.g. one full Dijkstra per item), so the [`MIN_PAR_LEN`] cheap-item
+/// gate and the [`MAX_PIECES`] bookkeeping cap both yield to it; the
+/// result is still a function of `(len, max_len)` only, preserving
+/// cross-worker-count determinism.
+pub(crate) fn decide_pieces_max_len(len: usize, max_len: usize) -> usize {
+    if effective_parallelism() <= 1 || len < 2 {
+        return 1;
     }
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
-    run_batch(slots.len(), move |i| {
-        let item = slots[i]
-            .lock()
-            .expect("item slot lock")
-            .take()
-            .expect("each item is claimed exactly once");
-        task(item)
-    })
+    decide_pieces(len).max(len.div_ceil(max_len.max(1)))
+}
+
+/// Write-once result slots shared across the split tree: slot `i` is
+/// written by whichever thread executes leaf `i`, exactly once.
+///
+/// The `written` flags are *not* a synchronisation protocol — the join
+/// tree already guarantees exactly-once execution and publishes writes to
+/// the caller (each completed job's `done` flag is an Acquire/Release
+/// edge) — they exist so the panic path can drop exactly the results that
+/// were produced before the unwind.
+struct Slots<R> {
+    data: Vec<UnsafeCell<MaybeUninit<R>>>,
+    written: Vec<AtomicBool>,
+}
+
+// SAFETY: slots are written by at most one thread each (exactly-once leaf
+// execution) and only read after a happens-before edge; `R: Send` lets the
+// value move across the writing thread.
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+impl<R> Slots<R> {
+    fn new(n: usize) -> Self {
+        Slots {
+            data: (0..n)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            written: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// # Safety
+    /// Each index may be written at most once, by the thread executing
+    /// leaf `i`.
+    unsafe fn write(&self, i: usize, value: R) {
+        (*self.data[i].get()).write(value);
+        self.written[i].store(true, Ordering::Release);
+    }
+
+    /// Takes all results, in slot order. Panics if any slot was skipped
+    /// (cannot happen after a non-panicking batch).
+    fn into_vec(mut self) -> Vec<R> {
+        let data = std::mem::take(&mut self.data);
+        let written = std::mem::take(&mut self.written);
+        data.into_iter()
+            .zip(written)
+            .map(|(cell, flag)| {
+                assert!(flag.into_inner(), "completed batch wrote every slot");
+                // SAFETY: the flag confirms the slot was written.
+                unsafe { cell.into_inner().assume_init() }
+            })
+            .collect()
+    }
+}
+
+impl<R> Drop for Slots<R> {
+    fn drop(&mut self) {
+        // Non-empty only on the panic path (`into_vec` takes the vectors).
+        for (cell, flag) in self.data.iter_mut().zip(&self.written) {
+            if flag.load(Ordering::Acquire) {
+                // SAFETY: flag says written; we have exclusive access.
+                unsafe { cell.get_mut().assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// Owned items dealt to the split tree: leaf `i` takes `items[i]` by value,
+/// exactly once. The `taken` flags let the unwind path drop exactly the
+/// items that were never consumed (leaves cancelled by a panic elsewhere).
+struct ItemSlots<T> {
+    data: Vec<UnsafeCell<MaybeUninit<T>>>,
+    taken: Vec<AtomicBool>,
+}
+
+// SAFETY: as for `Slots` — exactly-once access per slot with a
+// happens-before edge back to the owner.
+unsafe impl<T: Send> Sync for ItemSlots<T> {}
+
+impl<T> ItemSlots<T> {
+    fn new(items: Vec<T>) -> Self {
+        let n = items.len();
+        ItemSlots {
+            data: items
+                .into_iter()
+                .map(|x| UnsafeCell::new(MaybeUninit::new(x)))
+                .collect(),
+            taken: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// # Safety
+    /// Each index may be taken at most once, by the thread executing
+    /// leaf `i`.
+    unsafe fn take(&self, i: usize) -> T {
+        self.taken[i].store(true, Ordering::Release);
+        (*self.data[i].get()).assume_init_read()
+    }
+}
+
+impl<T> Drop for ItemSlots<T> {
+    fn drop(&mut self) {
+        for (cell, flag) in self.data.iter_mut().zip(&self.taken) {
+            if !flag.load(Ordering::Acquire) {
+                // SAFETY: never taken, so the slot still owns the item.
+                unsafe { cell.get_mut().assume_init_drop() };
+            }
+        }
+    }
 }
 
 /// Runs `task(0..total)` across the current pool, returning the results in
-/// task order. The calling thread enqueues one batch, helps run it, and
-/// blocks until every task has completed. The first panicking task's payload
-/// is re-raised on the caller once the batch is done.
+/// task order. The calling thread executes the split tree itself, publishing
+/// stealable halves as it descends (see the module docs); it returns once
+/// every leaf has completed. The first panicking leaf's payload (in tree
+/// order) is re-raised on the caller after in-flight siblings settle.
 pub(crate) fn run_batch<R, F>(total: usize, task: F) -> Vec<R>
 where
     R: Send,
@@ -304,57 +696,46 @@ where
         Some(pool) if total > 1 => pool,
         _ => return (0..total).map(task).collect(),
     };
+    let slots = Slots::new(total);
+    exec_leaves(&pool, &slots, &task, 0, total);
+    slots.into_vec()
+}
 
-    let results: Vec<Mutex<Option<R>>> = (0..total).map(|_| Mutex::new(None)).collect();
-    let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
-    let runner = |i: usize| match catch_unwind(AssertUnwindSafe(|| task(i))) {
-        Ok(result) => *results[i].lock().expect("result slot lock") = Some(result),
-        Err(payload) => {
-            let mut slot = panic_slot.lock().expect("panic slot lock");
-            if slot.is_none() {
-                *slot = Some(payload);
-            }
-        }
-    };
-    let runner: &(dyn Fn(usize) + Sync) = &runner;
-    // SAFETY: lifetime erasure only; this frame blocks until `done == total`
-    // below, after which no thread dereferences the pointer again (workers
-    // touch it only between a successful claim and the `done` increment).
-    let runner: &'static (dyn Fn(usize) + Sync) =
-        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(runner) };
-    let batch = Arc::new(Batch {
-        runner: RunnerPtr(runner as *const _),
-        total,
-        next: AtomicUsize::new(0),
-        done: Mutex::new(0),
-        done_cv: Condvar::new(),
-    });
-    {
-        let mut queue = pool.queue.lock().expect("pool queue lock");
-        queue.push_back(Arc::clone(&batch));
+/// Recursive halving over leaf indices `[lo, hi)`: each level publishes
+/// the right half as a stealable job and runs the left half inline.
+fn exec_leaves<R, F>(pool: &Arc<PoolState>, slots: &Slots<R>, task: &F, lo: usize, hi: usize)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if hi - lo == 1 {
+        let value = task(lo);
+        // SAFETY: leaf `lo` executes exactly once (binary tree over
+        // disjoint index ranges).
+        unsafe { slots.write(lo, value) };
+        return;
     }
-    pool.work_cv.notify_all();
+    let mid = lo + (hi - lo) / 2;
+    join_in(
+        pool,
+        || exec_leaves(pool, slots, task, lo, mid),
+        || exec_leaves(pool, slots, task, mid, hi),
+    );
+}
 
-    // Help: the caller is one of the computing threads.
-    while let Some(i) = batch.claim() {
-        batch.run_one(i);
+/// Like [`run_batch`], but deals the *owned* `items` out to the tasks:
+/// leaf `i` receives `items[i]` by value. Results come back in item order.
+pub(crate) fn run_batch_owned<T, R, F>(items: Vec<T>, task: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if items.len() <= 1 || dispatch_pool().is_none() {
+        return items.into_iter().map(task).collect();
     }
-    // Wait for stragglers claimed by workers.
-    let mut done = batch.done.lock().expect("batch done lock");
-    while *done < total {
-        done = batch.done_cv.wait(done).expect("batch done wait");
-    }
-    drop(done);
-
-    if let Some(payload) = panic_slot.lock().expect("panic slot lock").take() {
-        resume_unwind(payload);
-    }
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot lock")
-                .expect("completed task wrote its result")
-        })
-        .collect()
+    let slots = ItemSlots::new(items);
+    let total = slots.len();
+    // SAFETY: `run_batch` invokes the closure exactly once per index.
+    run_batch(total, |i| task(unsafe { slots.take(i) }))
 }

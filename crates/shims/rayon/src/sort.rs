@@ -1,27 +1,44 @@
-//! Parallel comparison sorts for `par_sort_by` / `par_sort_unstable_by`.
+//! Buffer-based parallel merge sort for `par_sort_by` /
+//! `par_sort_unstable_by`.
 //!
-//! The algorithm is a parallel merge sort shaped around the pool's
-//! batch-of-tasks primitive and the constraint that `T` is only `Send` (no
-//! `Clone`/`Copy`, so elements can only be moved via swaps):
+//! The PR 2 implementation merged sorted runs into *index* vectors
+//! (`order[k]` = slice position of the k-th smallest element) and applied
+//! the final permutation with cycle-following swaps. That kept `T` move-
+//! only but cost `O(n log runs)` extra index traffic and allocations, and
+//! — because the merge phase read the slice through shared references
+//! across workers — forced `T: Sync` on the public sorts, a documented
+//! divergence from real rayon. This version merges *elements* through a
+//! scratch buffer instead, and needs only `T: Send`:
 //!
-//! 1. **Run sort** — the slice is split into one contiguous run per worker
-//!    and each run is sorted in place, in parallel, with the std sort
-//!    (stable or unstable to match the caller).
-//! 2. **Index merge** — sorted runs are merged pairwise into *index*
-//!    vectors (`order[k]` = position in the slice of the k-th smallest
-//!    element). Each round merges adjacent pairs in parallel; `log2(runs)`
-//!    rounds produce one permutation covering the whole slice. Ties take
-//!    the left (earlier) run's element first, which makes the stable
-//!    variant stable end to end.
-//! 3. **Permutation apply** — the permutation is inverted and applied with
-//!    cycle-following swaps, O(n) swaps and no comparator calls.
+//! 1. **Run decomposition** — the slice is cut into runs at boundaries
+//!    that are a function of the length **only** (never the worker
+//!    count), so the sort is byte-for-byte deterministic across
+//!    `RAYON_NUM_THREADS` and across steals.
+//! 2. **Recursive sort via [`crate::join`]** — each node sorts its two
+//!    halves (leaves use the std sorts in place, stable or unstable to
+//!    match the caller) and then merges them.
+//! 3. **Buffer-based parallel merge** — a node merges its two sorted
+//!    halves into the matching range of one shared scratch buffer, then
+//!    memcpy-moves the range back. The merge splits the *larger* run at
+//!    its midpoint, binary-searches the partner for the matching split
+//!    (ties keep left-run elements first, so the stable variant is stable
+//!    end to end), and recurses over the two independent sub-merges via
+//!    `join`; small sub-merges run sequentially.
 //!
-//! A comparator panic unwinds through steps 1–2 while the slice holds an
-//! unspecified permutation of its original elements (std sorts and the
-//! read-only merges never duplicate or lose elements), matching rayon's
-//! contract. The permutation apply runs no user code, so it cannot panic.
+//! Every sub-problem owns *disjoint* ranges of the slice and the buffer,
+//! so closures carry raw range pointers ([`SendPtr`]) rather than shared
+//! slices — that disjointness (not `Sync`) is what makes cross-thread
+//! access sound, exactly as in rayon's own sort internals.
+//!
+//! A comparator panic unwinds while the slice holds an unspecified
+//! permutation of its original elements, matching rayon's contract: the
+//! std run sorts guarantee it for leaves, and a merge writes only the
+//! scratch buffer until it completes (the copy-back runs no user code).
+//! The scratch buffer is plain capacity (length zero) and is deallocated
+//! without dropping elements on every path.
 
 use std::cmp::Ordering;
+use std::ptr;
 
 use crate::pool;
 
@@ -30,25 +47,35 @@ use crate::pool;
 /// for itself once several workers sort runs concurrently.
 pub(crate) const MIN_PAR_SORT_LEN: usize = 4096;
 
+/// Target elements per leaf run. Boundaries derived from this depend only
+/// on the input length, keeping the sort deterministic across worker
+/// counts (see the module docs).
+const RUN_TARGET_LEN: usize = MIN_PAR_SORT_LEN / 2;
+
+/// Cap on the number of leaf runs, bounding split-tree depth on huge
+/// inputs while leaving ample stealing slack for any plausible core count.
+const MAX_RUNS: usize = 64;
+
+/// Sub-merges at or below this many elements run sequentially.
+const MERGE_SEQ_LEN: usize = 4096;
+
 /// Sorts `v` by `cmp` on the current pool. `stable` selects the std sort
-/// used for the per-run pass; the index merge preserves run order either
-/// way, so stability is exactly that of the run sort.
+/// used for the leaf runs; the merge keeps left-run elements first on
+/// ties, so stability is exactly that of the run sort.
 ///
 /// The parallel path is taken only when the pool *and the hardware* offer
 /// parallelism: on a single-core machine an oversubscribed pool (e.g.
-/// `RAYON_NUM_THREADS=4` on 1-CPU CI) can only add merge overhead, so the
-/// std sorts are used regardless of the configured worker count.
+/// `RAYON_NUM_THREADS=4` on 1-CPU CI) could only add merge overhead, so
+/// the std sorts are used regardless of the configured worker count.
 pub(crate) fn par_merge_sort_by<T, F>(v: &mut [T], cmp: &F, stable: bool)
 where
-    T: Send + Sync,
+    T: Send,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
-    // The core-count probe is uncached by std on Linux (sched_getaffinity
-    // + cgroup reads); cache it — sorts run once per TMFG round.
-    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    let cores = *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    let threads = pool::effective_parallelism();
-    if threads <= 1 || cores <= 1 || v.len() < MIN_PAR_SORT_LEN {
+    if pool::effective_parallelism() <= 1
+        || pool::hardware_parallelism() <= 1
+        || v.len() < MIN_PAR_SORT_LEN
+    {
         if stable {
             v.sort_by(cmp);
         } else {
@@ -56,19 +83,20 @@ where
         }
         return;
     }
-    par_merge_sort_impl(v, cmp, stable, threads);
+    par_merge_sort_impl(v, cmp, stable);
 }
 
 /// The ungated parallel merge sort. Split out so tests (and only tests)
 /// can exercise the parallel machinery even on single-core CI machines,
 /// where [`par_merge_sort_by`] deliberately falls back to std sorts.
-pub(crate) fn par_merge_sort_impl<T, F>(v: &mut [T], cmp: &F, stable: bool, threads: usize)
+pub(crate) fn par_merge_sort_impl<T, F>(v: &mut [T], cmp: &F, stable: bool)
 where
-    T: Send + Sync,
+    T: Send,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
     let n = v.len();
-    if threads <= 1 || n < 2 {
+    let runs = n.div_ceil(RUN_TARGET_LEN).clamp(1, MAX_RUNS);
+    if runs < 2 {
         if stable {
             v.sort_by(cmp);
         } else {
@@ -76,85 +104,195 @@ where
         }
         return;
     }
+    let run_len = n.div_ceil(runs);
+    // Scratch capacity only: length stays 0, so dropping `buf` deallocates
+    // raw memory without dropping any `T` (merges move elements through it
+    // bitwise and always move them back before completing).
+    let mut buf: Vec<T> = Vec::with_capacity(n);
+    let base = SendPtr(v.as_mut_ptr());
+    let scratch = SendPtr(buf.as_mut_ptr());
+    sort_runs(base, scratch, n, run_len, 0, runs, cmp, stable);
+}
 
-    // ---- 1. sort one run per worker, in parallel ----
-    let run_len = n.div_ceil(threads).max(MIN_PAR_SORT_LEN / 2);
-    pool::run_batch_owned(v.chunks_mut(run_len).collect(), |run: &mut [T]| {
+/// A raw pointer that may cross threads. Sound because every use hands a
+/// closure a pointer to a range it has *exclusive* access to (the split
+/// tree partitions the slice and buffer into disjoint ranges).
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Accessor rather than field access so `move` closures capture the
+    /// whole `Send` wrapper, not the raw-pointer field (closure capture is
+    /// field-precise and `*mut T` alone is not `Send`).
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: see the type docs — disjoint exclusive ranges, `T: Send` moves
+// the pointed-to values' ownership across threads.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Sorts the element range covered by leaf runs `[run_lo, run_hi)`:
+/// recursively sorts both halves (in parallel via `join`), then merges
+/// them through the scratch buffer.
+#[allow(clippy::too_many_arguments)]
+fn sort_runs<T, F>(
+    base: SendPtr<T>,
+    scratch: SendPtr<T>,
+    n: usize,
+    run_len: usize,
+    run_lo: usize,
+    run_hi: usize,
+    cmp: &F,
+    stable: bool,
+) where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let lo = (run_lo * run_len).min(n);
+    let hi = (run_hi * run_len).min(n);
+    if run_hi - run_lo == 1 {
+        // SAFETY: this call has exclusive access to `[lo, hi)` (disjoint
+        // leaf ranges), and `base` points at `n >= hi` valid elements.
+        let run = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
         if stable {
             run.sort_by(cmp);
         } else {
             run.sort_unstable_by(cmp);
         }
-    });
-
-    // ---- 2. merge runs pairwise into a permutation of indices ----
-    // A run paired with its merge partner; the last run of an odd round
-    // has none and passes through.
-    type RunPair = (Vec<usize>, Option<Vec<usize>>);
-    let mut runs: Vec<Vec<usize>> = (0..n.div_ceil(run_len))
-        .map(|r| (r * run_len..((r + 1) * run_len).min(n)).collect())
-        .collect();
-    let v_read: &[T] = v;
-    while runs.len() > 1 {
-        let mut pairs: Vec<RunPair> = Vec::new();
-        let mut drain = runs.drain(..);
-        while let Some(left) = drain.next() {
-            pairs.push((left, drain.next()));
-        }
-        drop(drain);
-        runs = pool::run_batch_owned(pairs, |(left, right): RunPair| match right {
-            Some(right) => merge_indices(v_read, &left, &right, cmp),
-            None => left,
-        });
+        return;
     }
-    let order = runs.pop().expect("non-empty slice has one final run");
-
-    // ---- 3. apply the permutation in place ----
-    apply_order(v, &order);
+    let run_mid = run_lo + (run_hi - run_lo) / 2;
+    let mid = (run_mid * run_len).min(n);
+    crate::join(
+        || sort_runs(base, scratch, n, run_len, run_lo, run_mid, cmp, stable),
+        || sort_runs(base, scratch, n, run_len, run_mid, run_hi, cmp, stable),
+    );
+    // SAFETY: both halves of `[lo, hi)` are sorted and exclusively ours;
+    // the matching scratch range is disjoint from every other node's.
+    unsafe {
+        par_merge(
+            base.0.add(lo),
+            mid - lo,
+            base.0.add(mid),
+            hi - mid,
+            scratch.0.add(lo),
+            cmp,
+        );
+        // The merge moved `[lo, hi)` into the scratch range; move it back.
+        // No user code runs here, so this cannot unwind half-done.
+        ptr::copy_nonoverlapping(scratch.0.add(lo), base.0.add(lo), hi - lo);
+    }
 }
 
-/// Merges two sorted index runs over `v` into one sorted index vector.
-/// Ties take from `left` first, preserving stability.
-fn merge_indices<T, F>(v: &[T], left: &[usize], right: &[usize], cmp: &F) -> Vec<usize>
-where
+/// Merges the sorted runs `left[..left_len]` and `right[..right_len]` into
+/// `out[..left_len + right_len]`, splitting the larger run at its midpoint
+/// and recursing over the two independent sub-merges via `join`. Ties take
+/// left-run elements first (stability).
+///
+/// # Safety
+/// The caller must have exclusive access to all three ranges, and `out`
+/// must not overlap the inputs.
+unsafe fn par_merge<T, F>(
+    left: *mut T,
+    left_len: usize,
+    right: *mut T,
+    right_len: usize,
+    out: *mut T,
+    cmp: &F,
+) where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    if left_len + right_len <= MERGE_SEQ_LEN {
+        seq_merge(left, left_len, right, right_len, out, cmp);
+        return;
+    }
+    // Split the larger run at its midpoint and binary-search the partner:
+    // elements equal to the pivot stay ordered left-run-first.
+    let (left_at, right_at) = if left_len >= right_len {
+        let left_at = left_len / 2;
+        let pivot = &*left.add(left_at);
+        let right_run = std::slice::from_raw_parts(right, right_len);
+        // Strictly-less: right-run elements equal to the pivot sort after
+        // it, i.e. into the second sub-merge.
+        let right_at = right_run.partition_point(|x| cmp(x, pivot) == Ordering::Less);
+        (left_at, right_at)
+    } else {
+        let right_at = right_len / 2;
+        let pivot = &*right.add(right_at);
+        let left_run = std::slice::from_raw_parts(left, left_len);
+        // Less-or-equal: left-run elements equal to the pivot sort before
+        // it, i.e. into the first sub-merge.
+        let left_at = left_run.partition_point(|x| cmp(x, pivot) != Ordering::Greater);
+        (left_at, right_at)
+    };
+    let (l, r, o) = (SendPtr(left), SendPtr(right), SendPtr(out));
+    crate::join(
+        move || {
+            // SAFETY: `[0, left_at)` × `[0, right_at)` → out `[0, left_at
+            // + right_at)` is disjoint from the sibling's ranges.
+            unsafe { par_merge(l.get(), left_at, r.get(), right_at, o.get(), cmp) }
+        },
+        move || {
+            // SAFETY: the complementary ranges, equally disjoint.
+            unsafe {
+                par_merge(
+                    l.get().add(left_at),
+                    left_len - left_at,
+                    r.get().add(right_at),
+                    right_len - right_at,
+                    o.get().add(left_at + right_at),
+                    cmp,
+                )
+            }
+        },
+    );
+}
+
+/// Sequential two-run merge by bitwise moves. Ties take `left` first.
+///
+/// # Safety
+/// As for [`par_merge`]. Elements are duplicated bitwise into `out`; the
+/// caller must treat `out` as the owner afterwards (the copy-back in
+/// [`sort_runs`] restores single ownership to the slice).
+unsafe fn seq_merge<T, F>(
+    left: *mut T,
+    left_len: usize,
+    right: *mut T,
+    right_len: usize,
+    out: *mut T,
+    cmp: &F,
+) where
     F: Fn(&T, &T) -> Ordering,
 {
-    let mut out = Vec::with_capacity(left.len() + right.len());
-    let (mut i, mut j) = (0, 0);
-    while i < left.len() && j < right.len() {
-        if cmp(&v[right[j]], &v[left[i]]) == Ordering::Less {
-            out.push(right[j]);
-            j += 1;
+    let (mut l, mut r, mut o) = (0, 0, out);
+    while l < left_len && r < right_len {
+        if cmp(&*right.add(r), &*left.add(l)) == Ordering::Less {
+            ptr::copy_nonoverlapping(right.add(r), o, 1);
+            r += 1;
         } else {
-            out.push(left[i]);
-            i += 1;
+            ptr::copy_nonoverlapping(left.add(l), o, 1);
+            l += 1;
         }
+        o = o.add(1);
     }
-    out.extend_from_slice(&left[i..]);
-    out.extend_from_slice(&right[j..]);
-    out
-}
-
-/// Rearranges `v` so that `v_new[k] = v_old[order[k]]`, using
-/// cycle-following swaps on the inverse permutation.
-fn apply_order<T>(v: &mut [T], order: &[usize]) {
-    // inverse[src] = dest: where the element currently at `src` must go.
-    let mut inverse = vec![0usize; order.len()];
-    for (dest, &src) in order.iter().enumerate() {
-        inverse[src] = dest;
-    }
-    for i in 0..v.len() {
-        while inverse[i] != i {
-            let j = inverse[i];
-            v.swap(i, j);
-            inverse.swap(i, j);
-        }
-    }
+    ptr::copy_nonoverlapping(left.add(l), o, left_len - l);
+    ptr::copy_nonoverlapping(right.add(r), o.add(left_len - l), right_len - r);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::Cell;
 
     // The hardware gate in `par_merge_sort_by` means the public path may
     // legitimately use std sorts on single-core CI machines, so the
@@ -176,9 +314,7 @@ mod tests {
             .collect();
         let mut expected = v.clone();
         expected.sort_unstable();
-        with_pool(4, || {
-            par_merge_sort_impl(&mut v, &|a, b| a.cmp(b), false, 4)
-        });
+        with_pool(4, || par_merge_sort_impl(&mut v, &|a, b| a.cmp(b), false));
         assert_eq!(v, expected);
     }
 
@@ -186,13 +322,46 @@ mod tests {
     fn parallel_path_is_stable() {
         let mut v: Vec<(i64, usize)> = (0..30_000).map(|i| ((i as i64 * 31) % 10, i)).collect();
         with_pool(4, || {
-            par_merge_sort_impl(&mut v, &|a, b| a.0.cmp(&b.0), true, 4)
+            par_merge_sort_impl(&mut v, &|a, b| a.0.cmp(&b.0), true)
         });
         for pair in v.windows(2) {
             assert!(pair[0].0 <= pair[1].0);
             if pair[0].0 == pair[1].0 {
                 assert!(pair[0].1 < pair[1].1, "stability violated: {pair:?}");
             }
+        }
+    }
+
+    #[test]
+    fn parallel_path_sorts_send_only_elements() {
+        // `Cell<i64>` is `Send` but not `Sync` — the bound real rayon has
+        // and the PR 2 index-merge sort could not meet. The merge phase
+        // must stay correct with zero shared references to the elements.
+        let mut v: Vec<Cell<i64>> = (0..40_000)
+            .map(|i| Cell::new((i * 48_271) % 65_537))
+            .collect();
+        with_pool(4, || {
+            par_merge_sort_impl(&mut v, &|a, b| a.get().cmp(&b.get()), true)
+        });
+        let got: Vec<i64> = v.iter().map(Cell::get).collect();
+        let mut expected: Vec<i64> = (0..40_000).map(|i| (i * 48_271) % 65_537).collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn parallel_path_deterministic_across_worker_counts() {
+        let input: Vec<(i64, usize)> = (0..60_000).map(|i| ((i as i64 * 131) % 257, i)).collect();
+        let mut reference = input.clone();
+        with_pool(1, || {
+            par_merge_sort_impl(&mut reference, &|a, b| a.0.cmp(&b.0), false)
+        });
+        for threads in [2, 4, 8] {
+            let mut v = input.clone();
+            with_pool(threads, || {
+                par_merge_sort_impl(&mut v, &|a, b| a.0.cmp(&b.0), false)
+            });
+            assert_eq!(v, reference, "threads = {threads}");
         }
     }
 
@@ -210,7 +379,6 @@ mod tests {
                         a.cmp(b)
                     },
                     false,
-                    4,
                 )
             })
         }));
@@ -222,43 +390,49 @@ mod tests {
     }
 
     #[test]
+    fn parallel_path_no_leaks_with_owned_elements() {
+        // Boxed elements through the full parallel path: Miri-style double
+        // drops or leaks would abort/fail under the allocator checks in
+        // debug runs, and the value check catches any lost element.
+        let mut v: Vec<Box<i64>> = (0..10_000).map(|i| Box::new((i * 7_919) % 1_000)).collect();
+        with_pool(4, || par_merge_sort_impl(&mut v, &|a, b| a.cmp(b), true));
+        let mut expected: Vec<i64> = (0..10_000).map(|i| (i * 7_919) % 1_000).collect();
+        expected.sort();
+        assert_eq!(v.iter().map(|b| **b).collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
     fn parallel_path_tiny_inputs() {
         let mut empty: Vec<i64> = Vec::new();
-        par_merge_sort_impl(&mut empty, &|a: &i64, b: &i64| a.cmp(b), true, 4);
+        par_merge_sort_impl(&mut empty, &|a: &i64, b: &i64| a.cmp(b), true);
         assert!(empty.is_empty());
         let mut one = vec![9i64];
-        par_merge_sort_impl(&mut one, &|a, b| a.cmp(b), false, 4);
+        par_merge_sort_impl(&mut one, &|a, b| a.cmp(b), false);
         assert_eq!(one, vec![9]);
         let mut few = vec![3i64, 1, 2];
-        with_pool(4, || {
-            par_merge_sort_impl(&mut few, &|a, b| a.cmp(b), true, 4)
-        });
+        with_pool(4, || par_merge_sort_impl(&mut few, &|a, b| a.cmp(b), true));
         assert_eq!(few, vec![1, 2, 3]);
     }
 
     #[test]
-    fn merge_prefers_left_on_ties() {
-        let v = [(1, 'a'), (1, 'b'), (0, 'c')];
-        // left run: indices 0 (key 1); right run: indices 2, 1 (keys 0, 1).
-        let merged = merge_indices(&v, &[0], &[2, 1], &|a, b| a.0.cmp(&b.0));
-        assert_eq!(merged, vec![2, 0, 1]);
-    }
-
-    #[test]
-    fn apply_order_permutes_in_place() {
-        let mut v = vec!['a', 'b', 'c', 'd'];
-        apply_order(&mut v, &[2, 0, 3, 1]);
-        assert_eq!(v, vec!['c', 'a', 'd', 'b']);
-    }
-
-    #[test]
-    fn apply_order_identity_and_reversal() {
-        let mut v: Vec<usize> = (0..100).collect();
-        let identity: Vec<usize> = (0..100).collect();
-        apply_order(&mut v, &identity);
-        assert_eq!(v, identity);
-        let reversal: Vec<usize> = (0..100).rev().collect();
-        apply_order(&mut v, &reversal);
-        assert_eq!(v, reversal);
+    fn seq_merge_prefers_left_on_ties() {
+        let mut left = [(1, 'l')];
+        let mut right = [(0, 'r'), (1, 'r')];
+        let mut out: Vec<std::mem::MaybeUninit<(i32, char)>> = Vec::with_capacity(3);
+        // SAFETY: exclusive stack arrays, out has capacity 3.
+        let merged: Vec<(i32, char)> = unsafe {
+            seq_merge(
+                left.as_mut_ptr(),
+                left.len(),
+                right.as_mut_ptr(),
+                right.len(),
+                out.as_mut_ptr().cast(),
+                &|a: &(i32, char), b: &(i32, char)| a.0.cmp(&b.0),
+            );
+            (0..3)
+                .map(|i| out.as_ptr().cast::<(i32, char)>().add(i).read())
+                .collect()
+        };
+        assert_eq!(merged, vec![(0, 'r'), (1, 'l'), (1, 'r')]);
     }
 }

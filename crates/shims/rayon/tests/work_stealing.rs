@@ -1,0 +1,340 @@
+//! Scheduler-level tests for the work-stealing executor: nested `join`
+//! inside pool tasks, steal-heavy skewed workloads, panic propagation
+//! through `join`, cross-worker-count determinism, and the `Send`-only
+//! (non-`Sync`) element bound on the public sorts.
+//!
+//! Pools here are deliberately oversubscribed (more workers than the CI
+//! machine may have cores) — correctness must not depend on real
+//! parallelism, only benefit from it.
+
+use rayon::prelude::*;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+}
+
+/// Recursive fibonacci over `join`: every level forks, so this exercises
+/// deep nesting, stealing of tiny jobs, and the un-stolen pop-back fast
+/// path in one go.
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = rayon::join(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+#[test]
+fn join_computes_both_results() {
+    let (a, b) = rayon::join(|| 6 * 7, || "ok".to_string());
+    assert_eq!(a, 42);
+    assert_eq!(b, "ok");
+}
+
+#[test]
+fn join_recursive_inside_pool() {
+    let got = pool(4).install(|| fib(18));
+    assert_eq!(got, 2_584);
+}
+
+#[test]
+fn join_without_pool_runs_inline() {
+    // On a fresh thread with no install, join must still work (global
+    // pool or inline, depending on RAYON_NUM_THREADS / core count).
+    let got = std::thread::spawn(|| fib(12)).join().unwrap();
+    assert_eq!(got, 144);
+}
+
+#[test]
+fn nested_join_inside_pool_tasks_no_deadlock() {
+    // join inside par_iter tasks inside install: three nesting levels on
+    // the same 2-worker pool. The caller-helps/steal protocol must drain
+    // every level even with all workers occupied by outer tasks.
+    let p = pool(2);
+    let totals: Vec<u64> = p.install(|| {
+        (0..8u64)
+            .into_par_iter()
+            .map(|block| {
+                let (x, y) = rayon::join(
+                    || {
+                        (0..2_000u64)
+                            .into_par_iter()
+                            .map(|v| v + block)
+                            .sum::<u64>()
+                    },
+                    || fib(10),
+                );
+                x + y
+            })
+            .collect()
+    });
+    let expected: Vec<u64> = (0..8u64)
+        .map(|block| (0..2_000u64).map(|v| v + block).sum::<u64>() + 55)
+        .collect();
+    assert_eq!(totals, expected);
+}
+
+#[test]
+fn steal_heavy_skewed_workload_completes_and_balances() {
+    // One tail stretch of the index space carries ~50x the work of the
+    // rest: with static dealing one piece gates the round; with stealing
+    // the tail subtree keeps splitting. Correctness check here; the
+    // executor bench measures the time side.
+    let n = 40_000usize;
+    let heavy_from = n - n / 8;
+    let work = |i: usize| -> u64 {
+        let spins = if i >= heavy_from { 50 } else { 1 };
+        let mut acc = i as u64;
+        for _ in 0..spins {
+            acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        }
+        acc
+    };
+    let expected: u64 = (0..n).map(work).fold(0, u64::wrapping_add);
+    for threads in [2, 4, 8] {
+        let got: u64 = pool(threads).install(|| {
+            (0..n)
+                .into_par_iter()
+                .map(work)
+                .fold(|| 0u64, |a, b| a.wrapping_add(b))
+                .reduce(|| 0, u64::wrapping_add)
+        });
+        assert_eq!(got, expected, "threads = {threads}");
+    }
+}
+
+#[test]
+fn panic_in_join_a_propagates_after_b_settles() {
+    let p = pool(4);
+    let b_ran = AtomicUsize::new(0);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        p.install(|| {
+            rayon::join(
+                || panic!("a panicked"),
+                || {
+                    b_ran.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+        })
+    }));
+    let payload = caught.expect_err("a's panic must propagate");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "a panicked");
+    // b either ran (stolen) or was cancelled; never twice.
+    assert!(b_ran.load(Ordering::SeqCst) <= 1);
+    // The pool survives and keeps serving.
+    assert_eq!(p.install(|| fib(10)), 55);
+}
+
+#[test]
+fn panic_in_join_b_propagates() {
+    let p = pool(4);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        p.install(|| rayon::join(|| 1 + 1, || -> u32 { panic!("b panicked") }))
+    }));
+    let payload = caught.expect_err("b's panic must propagate");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "b panicked");
+    assert_eq!(p.install(|| fib(10)), 55);
+}
+
+#[test]
+fn panic_deep_in_nested_join_propagates() {
+    let p = pool(3);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        p.install(|| {
+            rayon::join(
+                || rayon::join(|| fib(8), || panic!("deep panic")),
+                || fib(9),
+            )
+        })
+    }));
+    assert!(caught.is_err());
+    assert_eq!(p.install(|| fib(10)), 55);
+}
+
+/// The split-tree decomposition depends on the input length only, so
+/// piece-level `fold` accumulators — even float ones, where grouping
+/// changes the bits — must agree across every multi-threaded worker count
+/// and across runs (stealing may reorder execution, never results).
+#[test]
+fn float_fold_bits_identical_across_parallel_worker_counts() {
+    let data: Vec<f64> = (0..100_000)
+        .map(|i| ((i * 2_654_435_761u64) % 97) as f64 * 0.1)
+        .collect();
+    let sum_on = |threads: usize| -> u64 {
+        pool(threads)
+            .install(|| data.par_iter().copied().sum::<f64>())
+            .to_bits()
+    };
+    let reference = sum_on(2);
+    for threads in [3, 4, 8] {
+        assert_eq!(sum_on(threads), reference, "threads = {threads}");
+    }
+    // And across repeated runs on the same pool size (steal timing varies).
+    for _ in 0..5 {
+        assert_eq!(sum_on(4), reference);
+    }
+}
+
+#[test]
+fn collect_identical_across_worker_counts_and_runs() {
+    let v: Vec<u32> = (0..50_000).map(|i| i * 7 % 1_013).collect();
+    let run = |threads: usize| -> Vec<u32> {
+        pool(threads).install(|| {
+            v.par_iter()
+                .copied()
+                .filter(|&x| x % 3 != 0)
+                .map(|x| x.wrapping_mul(2_654_435_761))
+                .collect()
+        })
+    };
+    let reference = run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(run(threads), reference, "threads = {threads}");
+        assert_eq!(run(threads), reference, "threads = {threads}, rerun");
+    }
+}
+
+/// `Cell<T>` is `Send` but not `Sync`: this exercises the acceptance bound
+/// — the public sorts must compile and pass for `Send`-only elements, as
+/// with real rayon (the PR 2 index-merge sort required `Sync`).
+#[test]
+fn par_sort_send_only_elements() {
+    let make = || -> Vec<Cell<i64>> {
+        (0..30_000)
+            .map(|i| Cell::new((i * 48_271) % 4_093))
+            .collect()
+    };
+    let mut expected: Vec<i64> = make().iter().map(Cell::get).collect();
+    expected.sort();
+
+    let mut stable = make();
+    pool(4).install(|| stable.par_sort_by(|a, b| a.get().cmp(&b.get())));
+    assert_eq!(stable.iter().map(Cell::get).collect::<Vec<_>>(), expected);
+
+    let mut unstable = make();
+    pool(4).install(|| unstable.par_sort_unstable_by(|a, b| a.get().cmp(&b.get())));
+    assert_eq!(unstable.iter().map(Cell::get).collect::<Vec<_>>(), expected);
+}
+
+#[test]
+fn par_sort_identical_across_worker_counts() {
+    let input: Vec<(i64, usize)> = (0..50_000).map(|i| ((i as i64 * 131) % 509, i)).collect();
+    let run = |threads: usize| -> Vec<(i64, usize)> {
+        let mut v = input.clone();
+        pool(threads).install(|| v.par_sort_unstable_by(|a, b| a.0.cmp(&b.0)));
+        v
+    };
+    let reference = run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(run(threads), reference, "threads = {threads}");
+    }
+}
+
+#[test]
+fn par_chunks_mut_writes_disjoint_rows() {
+    let n = 64usize;
+    let mut flat = vec![0u64; n * n];
+    pool(4).install(|| {
+        flat.par_chunks_mut(n).enumerate().for_each(|(row, out)| {
+            for (col, slot) in out.iter_mut().enumerate() {
+                *slot = (row * n + col) as u64;
+            }
+        });
+    });
+    let expected: Vec<u64> = (0..(n * n) as u64).collect();
+    assert_eq!(flat, expected);
+}
+
+#[test]
+fn par_chunks_mut_ragged_last_chunk() {
+    let mut v = vec![1u32; 1_000];
+    // 1000 = 7 * 142 + 6: the last chunk is shorter.
+    pool(4).install(|| {
+        v.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            assert!(chunk.len() == 7 || (i == 142 && chunk.len() == 6));
+            for x in chunk {
+                *x += i as u32;
+            }
+        });
+    });
+    for (k, &x) in v.iter().enumerate() {
+        assert_eq!(x, 1 + (k / 7) as u32);
+    }
+}
+
+#[test]
+fn with_max_len_forces_parallel_decomposition_below_cheap_gate() {
+    // 10 items is far below the 512-item cheap-work gate, but the hint
+    // declares them heavy: fold must see one accumulator per item (the
+    // piece count equals the accumulator count), not a single inline one.
+    let accs: Vec<usize> = pool(4).install(|| {
+        (0..10usize)
+            .into_par_iter()
+            .with_max_len(1)
+            .fold(|| 0usize, |acc, _| acc + 1)
+            .collect()
+    });
+    assert_eq!(accs, vec![1; 10]);
+    // The hint survives a later enumerate (indexed-adapter propagation).
+    let enumerated: Vec<usize> = pool(4).install(|| {
+        (0..10usize)
+            .into_par_iter()
+            .with_max_len(1)
+            .enumerate()
+            .fold(|| 0usize, |acc, _| acc + 1)
+            .collect()
+    });
+    assert_eq!(enumerated, vec![1; 10]);
+    // On a single-threaded pool the hint never forces pool dispatch.
+    let inline: Vec<usize> = pool(1).install(|| {
+        (0..10usize)
+            .into_par_iter()
+            .with_max_len(1)
+            .fold(|| 0usize, |acc, _| acc + 1)
+            .collect()
+    });
+    assert_eq!(inline, vec![10]);
+}
+
+#[test]
+fn with_max_len_results_identical_across_worker_counts() {
+    let run = |threads: usize| -> Vec<u64> {
+        pool(threads).install(|| {
+            (0..1_000u64)
+                .into_par_iter()
+                .with_max_len(7)
+                .map(|x| x.wrapping_mul(2_654_435_761))
+                .collect()
+        })
+    };
+    let reference: Vec<u64> = (0..1_000u64)
+        .map(|x| x.wrapping_mul(2_654_435_761))
+        .collect();
+    for threads in [2, 4, 8] {
+        assert_eq!(run(threads), reference, "threads = {threads}");
+    }
+}
+
+#[test]
+fn many_concurrent_joins_from_outside_threads() {
+    // Several external (non-worker) threads hammer the same pool's
+    // injector concurrently; each must get its own results back.
+    let p = std::sync::Arc::new(pool(4));
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            let p = std::sync::Arc::clone(&p);
+            std::thread::spawn(move || p.install(|| fib(14 + t % 2)))
+        })
+        .collect();
+    for (t, h) in handles.into_iter().enumerate() {
+        let expected = if t % 2 == 0 { 377 } else { 610 };
+        assert_eq!(h.join().unwrap(), expected);
+    }
+}
