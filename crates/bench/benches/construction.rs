@@ -1,9 +1,11 @@
 //! Filtered-graph construction benchmarks: sequential TMFG, prefix-batched
-//! TMFG (the Figure 4/5 "tmfg" stage), and the PMFG baseline.
+//! TMFG (the Figure 4/5 "tmfg" stage), and the PMFG — both the sequential
+//! baseline and the round-based parallel construction, whose ratio tracks
+//! the paper's headline TMFG-vs-PMFG runtime gap (Figures 1/3).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pfg_bench::{BenchDataset, SuiteConfig};
-use pfg_core::{pmfg, tmfg, TmfgConfig};
+use pfg_core::{pmfg, pmfg_sequential, tmfg, TmfgConfig};
 use pfg_data::ucr_catalogue;
 use std::hint::black_box;
 
@@ -36,13 +38,23 @@ fn bench_tmfg(c: &mut Criterion) {
 }
 
 fn bench_pmfg(c: &mut Criterion) {
-    // PMFG runs a planarity test per candidate edge; keep it small.
-    let data = dataset(0.02);
+    // PMFG runs a planarity test per candidate edge; keep the sizes
+    // moderate. "n" is the round-based parallel construction (the label
+    // the seed used for the sequential one, so bench_diff tracks the
+    // trajectory of the default `pmfg()` entry point across PRs);
+    // "seq_n" is the one-candidate-at-a-time baseline on the same
+    // scratch-reusing planarity core.
     let mut group = c.benchmark_group("pmfg");
     group.sample_size(10);
-    group.bench_function(BenchmarkId::new("n", data.len()), |b| {
-        b.iter(|| black_box(pmfg(&data.correlation).expect("valid")))
-    });
+    for scale in [0.02, 0.05] {
+        let data = dataset(scale);
+        group.bench_function(BenchmarkId::new("n", data.len()), |b| {
+            b.iter(|| black_box(pmfg(&data.correlation).expect("valid")))
+        });
+        group.bench_function(BenchmarkId::new("seq_n", data.len()), |b| {
+            b.iter(|| black_box(pmfg_sequential(&data.correlation).expect("valid")))
+        });
+    }
     group.finish();
 }
 

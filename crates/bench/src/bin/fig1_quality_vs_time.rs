@@ -40,11 +40,18 @@ fn main() {
                 secs(output.elapsed),
                 output.ari
             );
+            let mut params = format!("n={}", dataset.len());
+            if let Some(p) = output.pmfg_stats {
+                // Speculative-test efficiency of the round-based PMFG:
+                // the share of rejections decided off the critical path.
+                println!("  └ {}", p.summary_line());
+                params.push_str(&p.params_suffix());
+            }
             Record {
                 experiment: "fig1".into(),
                 dataset: dataset.name.clone(),
                 method: method.name(),
-                params: format!("n={}", dataset.len()),
+                params,
                 seconds: output.elapsed.as_secs_f64(),
                 ari: Some(output.ari),
                 value: None,

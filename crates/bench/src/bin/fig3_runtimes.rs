@@ -39,11 +39,18 @@ fn run_suite(threads: usize, config: &pfg_bench::SuiteConfig) {
                 secs(output.elapsed),
                 output.ari
             );
+            let mut params = format!("threads={threads},n={}", dataset.len());
+            if let Some(p) = output.pmfg_stats {
+                // The PMFG row is the figure's slow baseline; report how
+                // much of its rejection work ran speculatively in parallel.
+                println!("  └ {}", p.summary_line());
+                params.push_str(&p.params_suffix());
+            }
             Record {
                 experiment: "fig3".into(),
                 dataset: dataset.name.clone(),
                 method: method.name(),
-                params: format!("threads={threads},n={}", dataset.len()),
+                params,
                 seconds: output.elapsed.as_secs_f64(),
                 ari: Some(output.ari),
                 value: None,

@@ -73,6 +73,63 @@ impl TmfgRunStats {
     }
 }
 
+/// Construction statistics of the round-based parallel PMFG: how much of
+/// the planarity-test work was decided speculatively (off the sequential
+/// critical path) versus at commit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmfgRunStats {
+    /// Rounds of the batched construction loop.
+    pub rounds: usize,
+    /// Candidate edges whose planarity was decided.
+    pub candidates_examined: usize,
+    /// Total rejected candidates (speculative + commit-time).
+    pub rejections: usize,
+    /// Rejections decided in a parallel phase — final by monotonicity.
+    pub parallel_rejections: usize,
+}
+
+impl PmfgRunStats {
+    fn of(p: &pfg_core::Pmfg) -> Self {
+        Self {
+            rounds: p.rounds,
+            candidates_examined: p.candidates_examined,
+            rejections: p.rejections,
+            parallel_rejections: p.parallel_rejections,
+        }
+    }
+
+    /// Fraction of all rejections decided speculatively in parallel
+    /// (`1.0` = the entire rejection workload left the critical path).
+    pub fn speculative_efficiency(&self) -> f64 {
+        if self.rejections == 0 {
+            1.0
+        } else {
+            self.parallel_rejections as f64 / self.rejections as f64
+        }
+    }
+
+    /// Human-readable one-liner for the figure binaries' tables.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "pmfg rounds={} examined={} par_rej={}/{} spec_eff={:.3}",
+            self.rounds,
+            self.candidates_examined,
+            self.parallel_rejections,
+            self.rejections,
+            self.speculative_efficiency()
+        )
+    }
+
+    /// Suffix appended to a `Record`'s `params` field so the counters land
+    /// in the machine-readable output too.
+    pub fn params_suffix(&self) -> String {
+        format!(
+            ",rounds={},par_rej={},rej={}",
+            self.rounds, self.parallel_rejections, self.rejections
+        )
+    }
+}
+
 /// The outcome of running one method on one data set.
 #[derive(Debug, Clone)]
 pub struct MethodOutput {
@@ -86,6 +143,8 @@ pub struct MethodOutput {
     pub edge_weight_sum: Option<f64>,
     /// Construction counters, for TMFG-based methods.
     pub tmfg_stats: Option<TmfgRunStats>,
+    /// Construction counters, for the PMFG-based method.
+    pub pmfg_stats: Option<PmfgRunStats>,
 }
 
 /// Runs `method` on `dataset`, cutting dendrograms to the ground-truth
@@ -93,7 +152,7 @@ pub struct MethodOutput {
 pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
     let k = dataset.num_classes;
     let start = Instant::now();
-    let (labels, edge_weight_sum, tmfg_stats) = match method {
+    let (labels, edge_weight_sum, tmfg_stats, pmfg_stats) = match method {
         Method::ParTdbht { prefix } => {
             let result = ParTdbht::with_prefix(prefix)
                 .run(&dataset.correlation, &dataset.dissimilarity)
@@ -102,6 +161,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
                 result.clusters(k),
                 Some(result.tmfg.edge_weight_sum()),
                 Some(TmfgRunStats::of(&result.tmfg)),
+                None,
             )
         }
         Method::SeqTdbht => {
@@ -114,22 +174,31 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
                 dbht.dendrogram.cut_to_clusters(k),
                 Some(weight),
                 Some(stats),
+                None,
             )
         }
         Method::PmfgDbht => {
             let p = pmfg(&dataset.correlation).expect("valid benchmark matrices");
             let weight = p.edge_weight_sum();
+            let stats = PmfgRunStats::of(&p);
             let dbht =
                 dbht_for_planar_graph(&p.graph, &dataset.dissimilarity).expect("valid DBHT input");
-            (dbht.dendrogram.cut_to_clusters(k), Some(weight), None)
+            (
+                dbht.dendrogram.cut_to_clusters(k),
+                Some(weight),
+                None,
+                Some(stats),
+            )
         }
         Method::CompleteLinkage => (
             hac(&dataset.dissimilarity, Linkage::Complete).cut_to_clusters(k),
             None,
             None,
+            None,
         ),
         Method::AverageLinkage => (
             hac(&dataset.dissimilarity, Linkage::Average).cut_to_clusters(k),
+            None,
             None,
             None,
         ),
@@ -143,7 +212,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
                     ..KMeansConfig::default()
                 },
             );
-            (result.labels, None, None)
+            (result.labels, None, None, None)
         }
         Method::KMeansSpectral { neighbors } => {
             let embedded = spectral_embedding(
@@ -164,7 +233,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
                     ..KMeansConfig::default()
                 },
             );
-            (result.labels, None, None)
+            (result.labels, None, None, None)
         }
     };
     let elapsed = start.elapsed();
@@ -175,6 +244,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
         ari,
         edge_weight_sum,
         tmfg_stats,
+        pmfg_stats,
     }
 }
 
@@ -206,6 +276,14 @@ mod tests {
             assert_eq!(output.labels.len(), dataset.len(), "{}", method.name());
             assert!(output.ari >= -1.0 && output.ari <= 1.0);
             assert!(output.elapsed.as_nanos() > 0);
+            if method == Method::PmfgDbht {
+                let stats = output.pmfg_stats.expect("PMFG reports its counters");
+                assert!(stats.rounds >= 1);
+                assert!(stats.parallel_rejections <= stats.rejections);
+                assert!((0.0..=1.0).contains(&stats.speculative_efficiency()));
+            } else {
+                assert!(output.pmfg_stats.is_none(), "{}", method.name());
+            }
         }
     }
 

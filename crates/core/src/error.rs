@@ -20,6 +20,9 @@ pub enum CoreError {
     },
     /// The prefix size must be at least 1.
     InvalidPrefix,
+    /// The PMFG batch schedule is invalid: the initial batch must be at
+    /// least 1 and no larger than the maximum batch.
+    InvalidBatch,
     /// The similarity matrix contains a NaN entry. NaN gains are never
     /// selected by the batch selector, so a vertex whose similarities are
     /// all NaN could never be inserted; the input is rejected up front
@@ -46,6 +49,10 @@ impl fmt::Display for CoreError {
                 "similarity matrix is {similarity}x{similarity} but dissimilarity matrix is {dissimilarity}x{dissimilarity}"
             ),
             CoreError::InvalidPrefix => write!(f, "prefix size must be at least 1"),
+            CoreError::InvalidBatch => write!(
+                f,
+                "PMFG batch schedule is invalid: need 1 <= initial_batch <= max_batch"
+            ),
             CoreError::NanSimilarity { row, col } => {
                 write!(f, "similarity matrix entry ({row}, {col}) is NaN")
             }
@@ -69,5 +76,6 @@ mod tests {
         };
         assert!(e.to_string().contains("5x5"));
         assert!(CoreError::InvalidPrefix.to_string().contains("prefix"));
+        assert!(CoreError::InvalidBatch.to_string().contains("batch"));
     }
 }

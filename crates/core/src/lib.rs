@@ -7,7 +7,10 @@
 //!   construction (Algorithm 1), including the prefix-batched variant that
 //!   inserts multiple vertices per round, and the sequential TMFG as the
 //!   `prefix = 1` special case;
-//! * [`mod@pmfg`] — the Planar Maximally Filtered Graph baseline;
+//! * [`mod@pmfg`] — the Planar Maximally Filtered Graph as a round-based
+//!   parallel construction (speculative batch tests with final monotone
+//!   rejections), plus the sequential baseline it is differentially
+//!   tested against;
 //! * [`bubble_tree`] — the bubble tree built on the fly during TMFG
 //!   construction (Algorithm 2);
 //! * [`dbht`] — the parallel Directed Bubble Hierarchy Tree optimized for
@@ -51,6 +54,6 @@ pub use dendrogram::Dendrogram;
 pub use error::CoreError;
 pub use face::Triangle;
 pub use pipeline::{ParTdbht, ParTdbhtConfig, ParTdbhtResult, StageTimings};
-pub use pmfg::pmfg;
+pub use pmfg::{pmfg, pmfg_sequential, pmfg_with_config, Pmfg, PmfgConfig};
 pub use tmfg::{tmfg, Tmfg, TmfgConfig};
 pub use tmfg::{BatchFreshness, RoundStats};

@@ -4,8 +4,10 @@
 //! `n × n` similarity matrix ([`SymmetricMatrix`]) and produce sparse planar
 //! graphs ([`WeightedGraph`]) on which the DBHT algorithm runs breadth-first
 //! searches, Dijkstra single-source shortest paths, and all-pairs shortest
-//! paths. The PMFG baseline additionally needs a planarity test
-//! ([`planarity::is_planar`]).
+//! paths. The PMFG additionally needs a planarity test: the scratch-reusing
+//! left–right core ([`planarity::LrScratch`]) tests a borrowed graph plus
+//! one speculative edge without cloning, mutating, or allocating, which is
+//! what the round-based parallel PMFG hammers in its batch phase.
 //!
 //! Everything here is implemented from scratch on top of the standard
 //! library plus rayon for parallel loops.
@@ -19,7 +21,7 @@ pub mod weighted_graph;
 
 pub use bfs::{bfs_distances, bfs_reachable, bfs_reachable_within};
 pub use matrix::SymmetricMatrix;
-pub use planarity::is_planar;
+pub use planarity::{is_planar, stays_planar_with_edge, LrScratch};
 pub use shortest_paths::{all_pairs_shortest_paths, dijkstra};
 pub use union_find::UnionFind;
 pub use weighted_graph::WeightedGraph;

@@ -1,13 +1,34 @@
-//! Planarity testing via the left–right (LR) criterion.
+//! Planarity testing via the left–right (LR) criterion, on a dense,
+//! scratch-reusing core built for hot loops.
 //!
-//! The PMFG baseline (§II of the paper) repeatedly adds the heaviest
-//! remaining edge if and only if the graph stays planar, which requires a
-//! planarity test after every tentative insertion. We implement the
-//! left–right planarity algorithm of de Fraysseix and Rosenstiehl in the
-//! formulation of Brandes ("The left-right planarity test"), boolean
-//! version (no embedding is produced, which is all PMFG needs).
+//! The PMFG (§II of the paper) adds the heaviest remaining edge iff the
+//! graph stays planar, which means a planarity test per candidate edge —
+//! thousands of tests against graphs that differ by a single edge. The
+//! round-based parallel PMFG in `pfg_core` additionally runs many such
+//! tests concurrently. This module is built for that access pattern:
 //!
-//! The algorithm runs two depth-first passes:
+//! * **Dense indexed state.** Every undirected edge gets an integer id
+//!   `0..m`; all per-edge tables of the LR algorithm (`lowpt`, `lowpt2`,
+//!   nesting depth, orientation, interval references, …) are flat `Vec`s
+//!   indexed by edge id instead of hash maps keyed by vertex pairs.
+//! * **Reusable scratch.** All working memory lives in an [`LrScratch`]
+//!   arena. Repeated tests on similarly-sized graphs reuse the same
+//!   buffers and allocate nothing after warm-up; a fresh graph shape just
+//!   grows (or logically shrinks) the buffers.
+//! * **Borrowed one-extra-edge view.** Speculative tests ("would `G + e`
+//!   still be planar?") run through [`LrScratch::stays_planar_with_edge`],
+//!   which overlays the candidate edge on a borrowed graph. The graph is
+//!   never cloned or mutated, so many speculative tests can share one
+//!   immutable graph — this is what makes the parallel PMFG's batch phase
+//!   safe and cheap.
+//! * **Iterative DFS.** Both passes run on explicit stacks held in the
+//!   scratch, so deep planar graphs (paths, filtered graphs on large `n`)
+//!   cannot overflow the call stack.
+//!
+//! The algorithm itself is the left–right planarity criterion of
+//! de Fraysseix and Rosenstiehl in the formulation of Brandes ("The
+//! left-right planarity test"), boolean version (no embedding is produced,
+//! which is all PMFG needs). It runs two depth-first passes:
 //!
 //! 1. an *orientation* pass that orients edges away from the DFS roots and
 //!    computes `lowpt`, `lowpt2` and a nesting order for the outgoing edges
@@ -17,22 +38,31 @@
 //!    both sides.
 
 use crate::weighted_graph::WeightedGraph;
-use std::collections::HashMap;
 
-/// A directed half-edge `(from, to)`.
-type Edge = (usize, usize);
+/// Sentinel for "no edge" / "no vertex" / "unvisited" in the dense tables.
+const NONE: u32 = u32::MAX;
 
-const UNVISITED: usize = usize::MAX;
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// An interval of back edges, identified by dense edge ids (`NONE` = empty
+/// endpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Interval {
-    low: Option<Edge>,
-    high: Option<Edge>,
+    low: u32,
+    high: u32,
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Interval {
+            low: NONE,
+            high: NONE,
+        }
+    }
 }
 
 impl Interval {
+    #[inline]
     fn is_empty(&self) -> bool {
-        self.low.is_none() && self.high.is_none()
+        self.low == NONE && self.high == NONE
     }
 }
 
@@ -43,192 +73,483 @@ struct ConflictPair {
 }
 
 impl ConflictPair {
+    #[inline]
     fn swap(&mut self) {
         std::mem::swap(&mut self.left, &mut self.right);
     }
 }
 
-struct LrState {
-    adj: Vec<Vec<usize>>,
-    height: Vec<usize>,
-    parent_edge: Vec<Option<Edge>>,
-    lowpt: HashMap<Edge, usize>,
-    lowpt2: HashMap<Edge, usize>,
-    nesting_depth: HashMap<Edge, i64>,
-    oriented: HashMap<Edge, ()>,
-    ordered_adjs: Vec<Vec<usize>>,
-    reference: HashMap<Edge, Option<Edge>>,
-    lowpt_edge: HashMap<Edge, Edge>,
-    stack: Vec<ConflictPair>,
-    stack_bottom: HashMap<Edge, usize>,
+/// A DFS frame: the vertex and a cursor into its (CSR or ordered)
+/// adjacency range.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    v: u32,
+    idx: u32,
 }
 
-impl LrState {
-    fn new(graph: &WeightedGraph) -> Self {
-        let n = graph.num_vertices();
-        let adj: Vec<Vec<usize>> = (0..n)
-            .map(|u| graph.neighbors(u).iter().map(|&(v, _)| v).collect())
-            .collect();
-        Self {
-            adj,
-            height: vec![UNVISITED; n],
-            parent_edge: vec![None; n],
-            lowpt: HashMap::new(),
-            lowpt2: HashMap::new(),
-            nesting_depth: HashMap::new(),
-            oriented: HashMap::new(),
-            ordered_adjs: vec![Vec::new(); n],
-            reference: HashMap::new(),
-            lowpt_edge: HashMap::new(),
-            stack: Vec::new(),
-            stack_bottom: HashMap::new(),
-        }
+/// A borrowed graph plus at most one speculative extra edge.
+///
+/// The planarity core reads the graph through this view, so testing
+/// `G + (u, v)` requires neither cloning `G` nor temporarily inserting the
+/// edge — the extra edge only exists inside the scratch's dense tables.
+#[derive(Clone, Copy)]
+struct ExtraEdgeView<'a> {
+    graph: &'a WeightedGraph,
+    /// Speculative extra edge, if any. Must not duplicate a graph edge.
+    extra: Option<(u32, u32)>,
+}
+
+impl<'a> ExtraEdgeView<'a> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
     }
 
     #[inline]
-    fn lowpt_of(&self, e: Edge) -> usize {
-        self.lowpt[&e]
+    fn num_edges(&self) -> usize {
+        self.graph.num_edges() + usize::from(self.extra.is_some())
+    }
+}
+
+/// Reusable working memory for the left–right planarity test.
+///
+/// One scratch serves any number of tests, on graphs of any shape; buffers
+/// are resized (never shrunk) on each call, so a warm scratch performs a
+/// test without allocating. A scratch is cheap to create but *not* cheap
+/// to warm up, so hot loops should hold one per thread and reuse it —
+/// the parallel PMFG keeps one in thread-local storage per pool worker.
+///
+/// ```
+/// use pfg_graph::{LrScratch, WeightedGraph};
+///
+/// let mut g = WeightedGraph::new(5);
+/// for (u, v) in [(0, 1), (1, 2), (2, 0), (0, 3), (1, 3), (2, 3)] {
+///     g.add_edge(u, v, 1.0);
+/// }
+/// let mut scratch = LrScratch::new();
+/// assert!(scratch.is_planar(&g));
+/// // Speculative test: the graph is borrowed, never cloned or mutated.
+/// assert!(scratch.stays_planar_with_edge(&g, 0, 4));
+/// assert_eq!(g.num_edges(), 6);
+/// ```
+#[derive(Debug, Default)]
+pub struct LrScratch {
+    // CSR adjacency of the viewed graph: vertex v's incident half-edges
+    // live in slots xadj[v]..xadj[v+1] of (vadj, eadj).
+    xadj: Vec<u32>,
+    vadj: Vec<u32>,
+    eadj: Vec<u32>,
+    /// Per-vertex fill cursor used while building the CSR.
+    cursor: Vec<u32>,
+    /// Endpoints of each undirected edge (id-indexed).
+    ends: Vec<[u32; 2]>,
+    // Per-vertex DFS state.
+    height: Vec<u32>,
+    parent_edge: Vec<u32>,
+    // Per-edge DFS state (all id-indexed).
+    src: Vec<u32>,
+    lowpt: Vec<u32>,
+    lowpt2: Vec<u32>,
+    nesting: Vec<u32>,
+    reference: Vec<u32>,
+    lowpt_edge: Vec<u32>,
+    stack_bottom: Vec<u32>,
+    // Outgoing oriented edges of each vertex, sorted by nesting depth:
+    // vertex v's ordered edges are ordered[ord_off[v]..ord_off[v+1]].
+    ord_off: Vec<u32>,
+    ordered: Vec<u32>,
+    // Explicit stacks.
+    conflicts: Vec<ConflictPair>,
+    dfs: Vec<Frame>,
+    roots: Vec<u32>,
+}
+
+impl LrScratch {
+    /// Creates an empty scratch. Buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    // ---- Phase 1: orientation DFS ------------------------------------------------
+    /// Returns `true` if `graph` is planar.
+    ///
+    /// Graphs with at most 4 vertices are always planar; graphs with more
+    /// than `3n − 6` edges are rejected immediately by Euler's bound.
+    pub fn is_planar(&mut self, graph: &WeightedGraph) -> bool {
+        let n = graph.num_vertices();
+        if n <= 4 {
+            return true;
+        }
+        if graph.num_edges() > 3 * n - 6 {
+            return false;
+        }
+        self.run(ExtraEdgeView { graph, extra: None })
+    }
 
-    fn dfs_orientation(&mut self, v: usize) {
-        let e = self.parent_edge[v];
-        let neighbors = self.adj[v].clone();
-        for w in neighbors {
-            let vw: Edge = (v, w);
-            if self.oriented.contains_key(&vw) || self.oriented.contains_key(&(w, v)) {
+    /// Returns `true` if adding edge `(u, v)` to `graph` would keep it
+    /// planar. The graph is borrowed — never cloned or mutated — so
+    /// concurrent speculative tests can share one `&WeightedGraph`.
+    ///
+    /// The caller must ensure `u != v` and that `(u, v)` is not already an
+    /// edge of `graph` (checked with `debug_assert!`; the PMFG candidate
+    /// stream never re-tests a decided edge).
+    pub fn stays_planar_with_edge(&mut self, graph: &WeightedGraph, u: usize, v: usize) -> bool {
+        debug_assert!(u != v, "self loops are never planar candidates");
+        debug_assert!(
+            u < graph.num_vertices() && v < graph.num_vertices(),
+            "vertex out of range"
+        );
+        debug_assert!(
+            !graph.has_edge(u, v),
+            "speculative edge ({u}, {v}) already present"
+        );
+        let n = graph.num_vertices();
+        if n <= 4 {
+            return true;
+        }
+        if graph.num_edges() + 1 > 3 * n - 6 {
+            return false;
+        }
+        self.run(ExtraEdgeView {
+            graph,
+            extra: Some((u as u32, v as u32)),
+        })
+    }
+
+    // ---- Setup -----------------------------------------------------------------
+
+    /// Loads the view into the dense tables: CSR adjacency, edge ids, and
+    /// cleared per-vertex/per-edge DFS state. `O(n + m)` writes, zero
+    /// allocations once the buffers have grown to the view's size.
+    fn load(&mut self, view: ExtraEdgeView<'_>) {
+        let n = view.num_vertices();
+        let m = view.num_edges();
+        // Degree counts (extra edge contributes to both endpoints).
+        self.xadj.clear();
+        self.xadj.resize(n + 1, 0);
+        for v in 0..n {
+            self.xadj[v + 1] = view.graph.degree(v) as u32;
+        }
+        if let Some((u, v)) = view.extra {
+            self.xadj[u as usize + 1] += 1;
+            self.xadj[v as usize + 1] += 1;
+        }
+        for v in 0..n {
+            self.xadj[v + 1] += self.xadj[v];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.xadj[..n]);
+        self.vadj.clear();
+        self.vadj.resize(2 * m, 0);
+        self.eadj.clear();
+        self.eadj.resize(2 * m, 0);
+        self.ends.clear();
+        self.ends.resize(m, [0, 0]);
+        let mut next_id = 0u32;
+        let mut place = |slf: &mut Self, u: u32, v: u32| {
+            let e = next_id;
+            next_id += 1;
+            slf.ends[e as usize] = [u, v];
+            let cu = slf.cursor[u as usize] as usize;
+            slf.vadj[cu] = v;
+            slf.eadj[cu] = e;
+            slf.cursor[u as usize] += 1;
+            let cv = slf.cursor[v as usize] as usize;
+            slf.vadj[cv] = u;
+            slf.eadj[cv] = e;
+            slf.cursor[v as usize] += 1;
+        };
+        for (u, v, _) in view.graph.edges() {
+            place(self, u as u32, v as u32);
+        }
+        if let Some((u, v)) = view.extra {
+            place(self, u, v);
+        }
+        debug_assert_eq!(next_id as usize, m);
+        // Per-vertex state.
+        self.height.clear();
+        self.height.resize(n, NONE);
+        self.parent_edge.clear();
+        self.parent_edge.resize(n, NONE);
+        // Per-edge state.
+        self.src.clear();
+        self.src.resize(m, NONE);
+        self.lowpt.clear();
+        self.lowpt.resize(m, 0);
+        self.lowpt2.clear();
+        self.lowpt2.resize(m, 0);
+        self.nesting.clear();
+        self.nesting.resize(m, 0);
+        self.reference.clear();
+        self.reference.resize(m, NONE);
+        self.lowpt_edge.clear();
+        self.lowpt_edge.resize(m, NONE);
+        self.stack_bottom.clear();
+        self.stack_bottom.resize(m, 0);
+        self.conflicts.clear();
+        self.roots.clear();
+    }
+
+    /// Directed target of oriented edge `e` (the endpoint that is not its
+    /// orientation source).
+    #[inline]
+    fn dst(&self, e: u32) -> u32 {
+        let [a, b] = self.ends[e as usize];
+        if self.src[e as usize] == a {
+            b
+        } else {
+            a
+        }
+    }
+
+    // ---- Phase 1: orientation DFS (iterative) ----------------------------------
+
+    /// Orients every edge away from the DFS roots, computing `lowpt`,
+    /// `lowpt2` and the nesting depth of each oriented edge.
+    fn orient_all(&mut self) {
+        let n = self.height.len();
+        for r in 0..n as u32 {
+            if self.height[r as usize] != NONE {
                 continue;
             }
-            self.oriented.insert(vw, ());
-            self.lowpt.insert(vw, self.height[v]);
-            self.lowpt2.insert(vw, self.height[v]);
-            if self.height[w] == UNVISITED {
-                // tree edge
-                self.parent_edge[w] = Some(vw);
-                self.height[w] = self.height[v] + 1;
-                self.dfs_orientation(w);
-            } else {
-                // back edge
-                self.lowpt.insert(vw, self.height[w]);
-            }
-            // determine nesting depth
-            let mut nesting = 2 * self.lowpt[&vw] as i64;
-            if self.lowpt2[&vw] < self.height[v] {
-                nesting += 1; // chordal: nest inside
-            }
-            self.nesting_depth.insert(vw, nesting);
-            // fold lowpoints into parent edge e
-            if let Some(e) = e {
-                let (lp_vw, lp2_vw) = (self.lowpt[&vw], self.lowpt2[&vw]);
-                let (lp_e, lp2_e) = (self.lowpt[&e], self.lowpt2[&e]);
-                if lp_vw < lp_e {
-                    self.lowpt2.insert(e, lp_e.min(lp2_vw));
-                    self.lowpt.insert(e, lp_vw);
-                } else if lp_vw > lp_e {
-                    self.lowpt2.insert(e, lp2_e.min(lp_vw));
-                } else {
-                    self.lowpt2.insert(e, lp2_e.min(lp2_vw));
-                }
-            }
-        }
-    }
-
-    // ---- Phase 2: testing DFS ----------------------------------------------------
-
-    fn interval_conflicting(&self, interval: &Interval, b: Edge) -> bool {
-        match interval.high {
-            None => false,
-            Some(high) => self.lowpt_of(high) > self.lowpt_of(b),
-        }
-    }
-
-    fn pair_lowest(&self, pair: &ConflictPair) -> usize {
-        match (pair.left.low, pair.right.low) {
-            (None, Some(r)) => self.lowpt_of(r),
-            (Some(l), None) => self.lowpt_of(l),
-            (Some(l), Some(r)) => self.lowpt_of(l).min(self.lowpt_of(r)),
-            (None, None) => usize::MAX,
-        }
-    }
-
-    fn dfs_testing(&mut self, v: usize) -> bool {
-        let e = self.parent_edge[v];
-        let ordered = self.ordered_adjs[v].clone();
-        for (i, &w) in ordered.iter().enumerate() {
-            let ei: Edge = (v, w);
-            self.stack_bottom.insert(ei, self.stack.len());
-            if Some(ei) == self.parent_edge[w] {
-                // tree edge: recurse
-                if !self.dfs_testing(w) {
-                    return false;
-                }
-            } else {
-                // back edge
-                self.lowpt_edge.insert(ei, ei);
-                self.stack.push(ConflictPair {
-                    left: Interval::default(),
-                    right: Interval {
-                        low: Some(ei),
-                        high: Some(ei),
-                    },
-                });
-            }
-            // integrate new return edges
-            if self.lowpt[&ei] < self.height[v] {
-                if i == 0 {
-                    if let Some(e) = e {
-                        let le = self.lowpt_edge[&ei];
-                        self.lowpt_edge.insert(e, le);
+            self.height[r as usize] = 0;
+            self.roots.push(r);
+            self.dfs.clear();
+            self.dfs.push(Frame {
+                v: r,
+                idx: self.xadj[r as usize],
+            });
+            while let Some(&Frame { v, idx }) = self.dfs.last() {
+                let end = self.xadj[v as usize + 1];
+                let mut idx = idx;
+                let mut descended = false;
+                while idx < end {
+                    let slot = idx as usize;
+                    let w = self.vadj[slot];
+                    let e = self.eadj[slot];
+                    if self.src[e as usize] != NONE {
+                        // Already oriented from the other endpoint.
+                        idx += 1;
+                        continue;
                     }
-                } else if !self.add_constraints(ei, e) {
-                    return false;
+                    self.src[e as usize] = v;
+                    let hv = self.height[v as usize];
+                    self.lowpt[e as usize] = hv;
+                    self.lowpt2[e as usize] = hv;
+                    if self.height[w as usize] == NONE {
+                        // Tree edge: descend; `finish_edge(e)` runs when
+                        // the child's subtree completes (idx still points
+                        // at e so the parent frame can find it again).
+                        self.parent_edge[w as usize] = e;
+                        self.height[w as usize] = hv + 1;
+                        let fi = self.dfs.len() - 1;
+                        self.dfs[fi].idx = idx;
+                        self.dfs.push(Frame {
+                            v: w,
+                            idx: self.xadj[w as usize],
+                        });
+                        descended = true;
+                        break;
+                    }
+                    // Back edge.
+                    self.lowpt[e as usize] = self.height[w as usize];
+                    self.finish_edge(e, v);
+                    idx += 1;
+                }
+                if descended {
+                    continue;
+                }
+                self.dfs.pop();
+                if let Some(&Frame { v: pv, idx: pidx }) = self.dfs.last() {
+                    // Post-process the tree edge we descended through.
+                    let e = self.eadj[pidx as usize];
+                    self.finish_edge(e, pv);
+                    let fi = self.dfs.len() - 1;
+                    self.dfs[fi].idx = pidx + 1;
                 }
             }
         }
-        // remove back edges returning to the parent
-        if let Some(e) = e {
-            self.remove_back_edges(e);
+    }
+
+    /// Computes the nesting depth of freshly-oriented edge `e` (source `v`)
+    /// and folds its lowpoints into `v`'s parent edge.
+    fn finish_edge(&mut self, e: u32, v: u32) {
+        let ei = e as usize;
+        let mut nest = 2 * self.lowpt[ei];
+        if self.lowpt2[ei] < self.height[v as usize] {
+            nest += 1; // chordal: nest inside
+        }
+        self.nesting[ei] = nest;
+        let pe = self.parent_edge[v as usize];
+        if pe != NONE {
+            let pi = pe as usize;
+            let (lp, lp2) = (self.lowpt[ei], self.lowpt2[ei]);
+            let (plp, plp2) = (self.lowpt[pi], self.lowpt2[pi]);
+            match lp.cmp(&plp) {
+                std::cmp::Ordering::Less => {
+                    self.lowpt2[pi] = plp.min(lp2);
+                    self.lowpt[pi] = lp;
+                }
+                std::cmp::Ordering::Greater => {
+                    self.lowpt2[pi] = plp2.min(lp);
+                }
+                std::cmp::Ordering::Equal => {
+                    self.lowpt2[pi] = plp2.min(lp2);
+                }
+            }
+        }
+    }
+
+    /// Groups the oriented edges by source vertex, sorted by nesting depth
+    /// (ties by edge id, so the order is deterministic).
+    fn order_adjacency(&mut self) {
+        let n = self.height.len();
+        self.ordered.clear();
+        self.ord_off.clear();
+        for v in 0..n {
+            self.ord_off.push(self.ordered.len() as u32);
+            for slot in self.xadj[v]..self.xadj[v + 1] {
+                let e = self.eadj[slot as usize];
+                if self.src[e as usize] == v as u32 {
+                    self.ordered.push(e);
+                }
+            }
+            let start = self.ord_off[v] as usize;
+            let nesting = &self.nesting;
+            self.ordered[start..].sort_unstable_by_key(|&e| (nesting[e as usize], e));
+        }
+        self.ord_off.push(self.ordered.len() as u32);
+    }
+
+    // ---- Phase 2: testing DFS (iterative) --------------------------------------
+
+    #[inline]
+    fn interval_conflicting(&self, interval: &Interval, b: u32) -> bool {
+        interval.high != NONE && self.lowpt[interval.high as usize] > self.lowpt[b as usize]
+    }
+
+    fn pair_lowest(&self, pair: &ConflictPair) -> u32 {
+        let l = pair.left.low;
+        let r = pair.right.low;
+        match (l, r) {
+            (NONE, NONE) => u32::MAX,
+            (NONE, r) => self.lowpt[r as usize],
+            (l, NONE) => self.lowpt[l as usize],
+            (l, r) => self.lowpt[l as usize].min(self.lowpt[r as usize]),
+        }
+    }
+
+    /// Runs the testing DFS from root `r`. Returns `false` on a left–right
+    /// conflict (the graph is not planar).
+    fn test_from(&mut self, r: u32) -> bool {
+        self.dfs.clear();
+        self.dfs.push(Frame {
+            v: r,
+            idx: self.ord_off[r as usize],
+        });
+        let mut returning = false;
+        while let Some(&Frame { v, idx }) = self.dfs.last() {
+            let mut idx = idx;
+            if returning {
+                // Just completed the subtree of tree edge ordered[idx].
+                let e = self.ordered[idx as usize];
+                if !self.integrate(e, v, idx) {
+                    return false;
+                }
+                idx += 1;
+                returning = false;
+            }
+            let end = self.ord_off[v as usize + 1];
+            let mut descended = false;
+            while idx < end {
+                let e = self.ordered[idx as usize];
+                self.stack_bottom[e as usize] = self.conflicts.len() as u32;
+                let w = self.dst(e);
+                if self.parent_edge[w as usize] == e {
+                    // Tree edge: descend; `integrate(e)` runs on return.
+                    let fi = self.dfs.len() - 1;
+                    self.dfs[fi].idx = idx;
+                    self.dfs.push(Frame {
+                        v: w,
+                        idx: self.ord_off[w as usize],
+                    });
+                    descended = true;
+                    break;
+                }
+                // Back edge: a fresh one-edge interval on the right side.
+                self.lowpt_edge[e as usize] = e;
+                self.conflicts.push(ConflictPair {
+                    left: Interval::default(),
+                    right: Interval { low: e, high: e },
+                });
+                if !self.integrate(e, v, idx) {
+                    return false;
+                }
+                idx += 1;
+            }
+            if descended {
+                continue;
+            }
+            self.dfs.pop();
+            let pe = self.parent_edge[v as usize];
+            if pe != NONE {
+                self.remove_back_edges(pe);
+            }
+            returning = true;
         }
         true
     }
 
-    fn add_constraints(&mut self, ei: Edge, e: Option<Edge>) -> bool {
-        let e = match e {
-            Some(e) => e,
-            None => return true,
-        };
-        let bottom = *self.stack_bottom.get(&ei).unwrap_or(&0);
+    /// Integrates the return edges of `e` (the `idx`-th ordered edge of
+    /// `v`) into the conflict stack: the first outgoing edge just forwards
+    /// its lowpoint edge to the parent, later siblings must merge without
+    /// a both-sides conflict.
+    fn integrate(&mut self, e: u32, v: u32, idx: u32) -> bool {
+        if self.lowpt[e as usize] < self.height[v as usize] {
+            let pe = self.parent_edge[v as usize];
+            if idx == self.ord_off[v as usize] {
+                if pe != NONE {
+                    self.lowpt_edge[pe as usize] = self.lowpt_edge[e as usize];
+                }
+            } else if !self.add_constraints(e, pe) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn add_constraints(&mut self, ei: u32, e: u32) -> bool {
+        if e == NONE {
+            return true;
+        }
+        let bottom = self.stack_bottom[ei as usize] as usize;
         let mut p = ConflictPair::default();
-        // merge return edges of ei into p.right
-        while let Some(mut q) = self.stack.pop() {
+        // Merge return edges of ei into p.right.
+        while self.conflicts.len() > bottom {
+            let mut q = self.conflicts.pop().expect("len > bottom");
             if !q.left.is_empty() {
                 q.swap();
             }
             if !q.left.is_empty() {
                 return false; // not planar
             }
-            let q_r_low = q.right.low.expect("right interval must be non-empty");
-            if self.lowpt_of(q_r_low) > self.lowpt_of(e) {
-                // merge intervals
+            let q_r_low = q.right.low;
+            debug_assert_ne!(q_r_low, NONE, "right interval must be non-empty");
+            if self.lowpt[q_r_low as usize] > self.lowpt[e as usize] {
+                // Merge intervals.
                 if p.right.is_empty() {
                     p.right.high = q.right.high;
                 } else {
-                    let p_r_low = p.right.low.expect("non-empty interval has low");
-                    self.reference.insert(p_r_low, q.right.high);
+                    self.reference[p.right.low as usize] = q.right.high;
                 }
                 p.right.low = q.right.low;
             } else {
-                // align
-                self.reference.insert(q_r_low, Some(self.lowpt_edge[&e]));
-            }
-            if self.stack.len() == bottom {
-                break;
+                // Align.
+                self.reference[q_r_low as usize] = self.lowpt_edge[e as usize];
             }
         }
-        // merge conflicting return edges of previous sibling edges into p.left
+        // Merge conflicting return edges of previous sibling edges into p.left.
         loop {
-            let conflicts = match self.stack.last() {
+            let conflicts = match self.conflicts.last() {
                 Some(top) => {
                     self.interval_conflicting(&top.left, ei)
                         || self.interval_conflicting(&top.right, ei)
@@ -238,119 +559,90 @@ impl LrState {
             if !conflicts {
                 break;
             }
-            let mut q = self.stack.pop().expect("checked non-empty");
+            let mut q = self.conflicts.pop().expect("checked non-empty");
             if self.interval_conflicting(&q.right, ei) {
                 q.swap();
             }
             if self.interval_conflicting(&q.right, ei) {
                 return false; // not planar
             }
-            // merge interval below lowpt(ei) into p.right
-            if let Some(p_r_low) = p.right.low {
-                self.reference.insert(p_r_low, q.right.high);
+            // Merge the interval below lowpt(ei) into p.right.
+            if p.right.low != NONE {
+                self.reference[p.right.low as usize] = q.right.high;
             }
-            if q.right.low.is_some() {
+            if q.right.low != NONE {
                 p.right.low = q.right.low;
             }
             if p.left.is_empty() {
                 p.left.high = q.left.high;
             } else {
-                let p_l_low = p.left.low.expect("non-empty interval has low");
-                self.reference.insert(p_l_low, q.left.high);
+                self.reference[p.left.low as usize] = q.left.high;
             }
             p.left.low = q.left.low;
         }
         if !(p.left.is_empty() && p.right.is_empty()) {
-            self.stack.push(p);
+            self.conflicts.push(p);
         }
         true
     }
 
-    fn remove_back_edges(&mut self, e: Edge) {
-        let u = e.0;
-        // drop entire conflict pairs whose lowest return point is at height[u]
-        while let Some(top) = self.stack.last() {
-            if self.pair_lowest(top) == self.height[u] {
-                self.stack.pop();
+    fn remove_back_edges(&mut self, e: u32) {
+        let u = self.src[e as usize];
+        let hu = self.height[u as usize];
+        // Drop entire conflict pairs whose lowest return point is at height[u].
+        while let Some(top) = self.conflicts.last() {
+            if self.pair_lowest(top) == hu {
+                self.conflicts.pop();
             } else {
                 break;
             }
         }
-        // trim one more conflict pair
-        if let Some(mut p) = self.stack.pop() {
-            // trim left interval
-            while let Some(high) = p.left.high {
-                if high.1 == u {
-                    p.left.high = self.reference.get(&high).copied().flatten();
-                } else {
-                    break;
-                }
+        // Trim one more conflict pair.
+        if let Some(mut p) = self.conflicts.pop() {
+            // Trim the left interval.
+            while p.left.high != NONE && self.dst(p.left.high) == u {
+                p.left.high = self.reference[p.left.high as usize];
             }
-            if p.left.high.is_none() && p.left.low.is_some() {
-                let low = p.left.low.expect("checked");
-                self.reference.insert(low, p.right.low);
-                p.left.low = None;
+            if p.left.high == NONE && p.left.low != NONE {
+                self.reference[p.left.low as usize] = p.right.low;
+                p.left.low = NONE;
             }
-            // trim right interval
-            while let Some(high) = p.right.high {
-                if high.1 == u {
-                    p.right.high = self.reference.get(&high).copied().flatten();
-                } else {
-                    break;
-                }
+            // Trim the right interval.
+            while p.right.high != NONE && self.dst(p.right.high) == u {
+                p.right.high = self.reference[p.right.high as usize];
             }
-            if p.right.high.is_none() && p.right.low.is_some() {
-                let low = p.right.low.expect("checked");
-                self.reference.insert(low, p.left.low);
-                p.right.low = None;
+            if p.right.high == NONE && p.right.low != NONE {
+                self.reference[p.right.low as usize] = p.left.low;
+                p.right.low = NONE;
             }
-            self.stack.push(p);
+            self.conflicts.push(p);
         }
-        // side of e is the side of a highest return edge
-        if self.lowpt[&e] < self.height[u] {
-            if let Some(top) = self.stack.last() {
+        // The side of e is the side of a highest return edge.
+        if self.lowpt[e as usize] < hu {
+            if let Some(top) = self.conflicts.last() {
                 let hl = top.left.high;
                 let hr = top.right.high;
-                let chosen = match (hl, hr) {
-                    (Some(l), Some(r)) => {
-                        if self.lowpt_of(l) > self.lowpt_of(r) {
-                            Some(l)
-                        } else {
-                            Some(r)
-                        }
-                    }
-                    (Some(l), None) => Some(l),
-                    (_, r) => r,
+                let chosen = if hl != NONE
+                    && (hr == NONE || self.lowpt[hl as usize] > self.lowpt[hr as usize])
+                {
+                    hl
+                } else {
+                    hr
                 };
-                self.reference.insert(e, chosen);
+                self.reference[e as usize] = chosen;
             }
         }
     }
 
-    fn run(mut self) -> bool {
-        let n = self.adj.len();
-        // Phase 1: orientation from every root
-        let mut roots = Vec::new();
-        for v in 0..n {
-            if self.height[v] == UNVISITED {
-                self.height[v] = 0;
-                roots.push(v);
-                self.dfs_orientation(v);
-            }
-        }
-        // Order adjacency lists by nesting depth (outgoing oriented edges only)
-        for v in 0..n {
-            let mut outgoing: Vec<usize> = self.adj[v]
-                .iter()
-                .copied()
-                .filter(|&w| self.oriented.contains_key(&(v, w)))
-                .collect();
-            outgoing.sort_by_key(|&w| self.nesting_depth[&(v, w)]);
-            self.ordered_adjs[v] = outgoing;
-        }
-        // Phase 2: testing from every root
-        for v in roots {
-            if !self.dfs_testing(v) {
+    /// Full test on a loaded view: orientation, adjacency ordering, then
+    /// the testing DFS from every root.
+    fn run(&mut self, view: ExtraEdgeView<'_>) -> bool {
+        self.load(view);
+        self.orient_all();
+        self.order_adjacency();
+        for i in 0..self.roots.len() {
+            let r = self.roots[i];
+            if !self.test_from(r) {
                 return false;
             }
         }
@@ -360,27 +652,18 @@ impl LrState {
 
 /// Returns `true` if `graph` is planar.
 ///
-/// Runs the left–right planarity criterion. Graphs with at most 4 vertices
-/// are always planar; graphs with more than `3n − 6` edges are rejected
-/// immediately by Euler's bound.
+/// One-shot convenience over [`LrScratch::is_planar`]; allocates a fresh
+/// scratch per call. Hot loops should hold an [`LrScratch`] instead.
 pub fn is_planar(graph: &WeightedGraph) -> bool {
-    let n = graph.num_vertices();
-    let m = graph.num_edges();
-    if n <= 4 {
-        return true;
-    }
-    if m > 3 * n - 6 {
-        return false;
-    }
-    LrState::new(graph).run()
+    LrScratch::new().is_planar(graph)
 }
 
 /// Returns `true` if adding edge `(u, v)` to `graph` would keep it planar.
-/// The graph itself is not modified.
+/// The graph is borrowed and never modified (or cloned).
+///
+/// One-shot convenience over [`LrScratch::stays_planar_with_edge`].
 pub fn stays_planar_with_edge(graph: &WeightedGraph, u: usize, v: usize) -> bool {
-    let mut candidate = graph.clone();
-    candidate.add_edge(u, v, 1.0);
-    is_planar(&candidate)
+    LrScratch::new().stays_planar_with_edge(graph, u, v)
 }
 
 #[cfg(test)]
@@ -431,6 +714,19 @@ mod tests {
         g
     }
 
+    /// Subdivides every edge of `g` once (replaces `(u, v)` with
+    /// `(u, x), (x, v)` through a fresh vertex `x`). Subdivision preserves
+    /// (non-)planarity.
+    fn subdivide(g: &WeightedGraph) -> WeightedGraph {
+        let n = g.num_vertices();
+        let mut out = WeightedGraph::new(n + g.num_edges());
+        for (next, (u, v, w)) in (n..).zip(g.edges()) {
+            out.add_edge(u, next, w);
+            out.add_edge(next, v, w);
+        }
+        out
+    }
+
     #[test]
     fn small_graphs_are_planar() {
         assert!(is_planar(&WeightedGraph::new(0)));
@@ -465,6 +761,22 @@ mod tests {
     }
 
     #[test]
+    fn k5_and_k33_subdivisions_are_not_planar() {
+        // Kuratowski subdivisions have the original (non-)planarity but a
+        // sparse edge count, so Euler's bound cannot short-circuit them —
+        // the LR passes themselves must find the conflict.
+        let k5_sub = subdivide(&complete_graph(5));
+        assert!(k5_sub.num_edges() <= 3 * k5_sub.num_vertices() - 6);
+        assert!(!is_planar(&k5_sub));
+        let k33_sub = subdivide(&complete_bipartite(3, 3));
+        assert!(!is_planar(&k33_sub));
+        // A double subdivision is still a K5 subdivision.
+        assert!(!is_planar(&subdivide(&k5_sub)));
+        // Subdividing a planar graph keeps it planar.
+        assert!(is_planar(&subdivide(&triangulation(12))));
+    }
+
+    #[test]
     fn trees_and_cycles_are_planar() {
         let mut path = WeightedGraph::new(10);
         for i in 0..9 {
@@ -476,6 +788,22 @@ mod tests {
             cycle.add_edge(i, (i + 1) % 10, 1.0);
         }
         assert!(is_planar(&cycle));
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_the_stack() {
+        // The DFS passes run on explicit stacks; a 200k-vertex path would
+        // overflow the call stack under the old recursive implementation.
+        let n = 200_000;
+        let mut path = WeightedGraph::new(n);
+        for i in 0..n - 1 {
+            path.add_edge(i, i + 1, 1.0);
+        }
+        assert!(is_planar(&path));
+        // Closing the long cycle keeps it planar; a chord also keeps it
+        // planar; both at once still planar (outerplanar + one chord).
+        let mut scratch = LrScratch::new();
+        assert!(scratch.stays_planar_with_edge(&path, 0, n - 1));
     }
 
     #[test]
@@ -562,11 +890,12 @@ mod tests {
         let n = 30;
         let g = triangulation(n);
         // A maximal planar graph cannot accept any additional edge.
+        let mut scratch = LrScratch::new();
         let mut checked = 0;
         for u in 0..n {
             for v in (u + 1)..n {
                 if !g.has_edge(u, v) {
-                    assert!(!stays_planar_with_edge(&g, u, v));
+                    assert!(!scratch.stays_planar_with_edge(&g, u, v));
                     checked += 1;
                     if checked > 20 {
                         return; // enough samples; keep the test fast
@@ -588,5 +917,60 @@ mod tests {
         h.add_edge(0, 1, 1.0);
         assert!(stays_planar_with_edge(&h, 2, 3));
         assert_eq!(h.num_edges(), 1);
+    }
+
+    #[test]
+    fn one_scratch_serves_differently_shaped_graphs() {
+        // Reuse a single scratch across graphs of wildly different sizes
+        // and planarity; every answer must match a fresh scratch's.
+        let mut scratch = LrScratch::new();
+        let shapes: Vec<(WeightedGraph, bool)> = vec![
+            (triangulation(80), true),
+            (complete_graph(5), false),
+            (WeightedGraph::new(0), true),
+            (complete_bipartite(3, 3), false),
+            (triangulation(7), true),
+            (subdivide(&complete_graph(5)), false),
+            (WeightedGraph::new(3), true),
+            (complete_bipartite(2, 9), true),
+        ];
+        for _ in 0..3 {
+            for (g, planar) in &shapes {
+                assert_eq!(scratch.is_planar(g), *planar);
+                assert_eq!(LrScratch::new().is_planar(g), *planar);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_speculative_tests_agree_with_committed_tests() {
+        // For every non-edge of several graphs, the borrowed-view result
+        // must equal the result of really inserting the edge.
+        let graphs = [triangulation(9), complete_bipartite(2, 5), {
+            let mut p = WeightedGraph::new(8);
+            for i in 0..7 {
+                p.add_edge(i, i + 1, 1.0);
+            }
+            p
+        }];
+        let mut scratch = LrScratch::new();
+        for g in &graphs {
+            let n = g.num_vertices();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if g.has_edge(u, v) {
+                        continue;
+                    }
+                    let speculative = scratch.stays_planar_with_edge(g, u, v);
+                    let mut committed = g.clone();
+                    committed.add_edge(u, v, 1.0);
+                    assert_eq!(
+                        speculative,
+                        is_planar(&committed),
+                        "edge ({u}, {v}) on n={n}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -48,15 +48,24 @@ impl WeightedGraph {
 
     /// Adds the undirected edge `(u, v)` with weight `w`.
     ///
+    /// **Contract:** the edge must not already exist. The filtered-graph
+    /// algorithms never re-add a decided edge, and an `O(degree)` duplicate
+    /// scan on every insertion would make dense builds superlinear, so
+    /// duplicates are checked with `debug_assert!` only — a release-mode
+    /// violation silently creates a parallel edge, which the planarity and
+    /// shortest-path code does not support. Callers inserting edges from
+    /// untrusted sources should guard with [`WeightedGraph::has_edge`].
+    ///
     /// # Panics
-    /// Panics on self loops, out-of-range endpoints, or duplicate edges.
+    /// Panics on self loops or out-of-range endpoints (all builds), and on
+    /// duplicate edges in debug builds.
     pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
         assert!(u != v, "self loops are not allowed");
         assert!(
             u < self.adj.len() && v < self.adj.len(),
             "vertex out of range"
         );
-        assert!(!self.has_edge(u, v), "duplicate edge ({u}, {v})");
+        debug_assert!(!self.has_edge(u, v), "duplicate edge ({u}, {v})");
         self.adj[u].push((v, w));
         self.adj[v].push((u, w));
         self.num_edges += 1;

@@ -53,13 +53,13 @@ pub mod prelude {
     };
     pub use pfg_core::dbht::{dbht_for_planar_graph, dbht_for_tmfg};
     pub use pfg_core::{
-        pmfg, tmfg, BatchFreshness, Dendrogram, ParTdbht, ParTdbhtConfig, ParTdbhtResult,
-        RoundStats, Tmfg, TmfgConfig,
+        pmfg, pmfg_sequential, pmfg_with_config, tmfg, BatchFreshness, Dendrogram, ParTdbht,
+        ParTdbhtConfig, ParTdbhtResult, Pmfg, PmfgConfig, RoundStats, Tmfg, TmfgConfig,
     };
     pub use pfg_data::{
         correlation_matrix, dissimilarity_from_correlation, ucr_catalogue, StockMarket,
         StockMarketConfig, TimeSeriesConfig, TimeSeriesDataset, SECTORS,
     };
-    pub use pfg_graph::{SymmetricMatrix, WeightedGraph};
+    pub use pfg_graph::{LrScratch, SymmetricMatrix, WeightedGraph};
     pub use pfg_metrics::{adjusted_mutual_information, adjusted_rand_index};
 }

@@ -156,8 +156,8 @@ fn hac_dendrogram_wellformed() {
     }
 }
 
-/// PMFG structural invariants on small random inputs (kept small because
-/// each candidate edge runs a planarity test).
+/// PMFG structural invariants on small random inputs, for both the
+/// round-based parallel builder and the sequential baseline.
 #[test]
 fn pmfg_structural_invariants() {
     for case in 0..CASES {
@@ -169,5 +169,158 @@ fn pmfg_structural_invariants() {
         assert_eq!(result.graph.num_edges(), 3 * n - 6, "{ctx}");
         assert!(pfg_graph::is_planar(&result.graph), "{ctx}");
         assert!(result.graph.is_connected(), "{ctx}");
+        let sequential = pmfg_sequential(&s).unwrap();
+        assert_eq!(sequential.graph.num_edges(), 3 * n - 6, "{ctx}");
+    }
+}
+
+/// A random block-structured similarity matrix: `blocks` clusters with
+/// high in-cluster and low cross-cluster similarity plus jitter, the
+/// regime where PMFG rejections concentrate early (cluster-internal
+/// candidates saturate faces fast).
+fn clustered_matrix(
+    rng: &mut StdRng,
+    min_n: usize,
+    max_n: usize,
+    blocks: usize,
+) -> SymmetricMatrix {
+    let n = rng.gen_range(min_n..=max_n);
+    let entries = n * (n - 1) / 2;
+    let jitter: Vec<f64> = (0..entries).map(|_| rng.gen_range(0.0f64..0.15)).collect();
+    let mut iter = jitter.into_iter();
+    SymmetricMatrix::from_fn(n, |i, j| {
+        if i == j {
+            1.0
+        } else {
+            let base = if i % blocks == j % blocks { 0.7 } else { 0.1 };
+            base + iter.next().unwrap()
+        }
+    })
+}
+
+/// The round-based parallel PMFG must produce the exact sequential edge
+/// set — weights, order, everything — at every worker count, and its
+/// speculative counters must not depend on the worker count either, on
+/// random and clustered matrices.
+#[test]
+fn pmfg_parallel_matches_sequential_across_thread_counts() {
+    for case in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0x7700 + case);
+        let s = if case % 2 == 0 {
+            similarity_matrix(&mut rng, 20, 40)
+        } else {
+            clustered_matrix(&mut rng, 20, 40, 4)
+        };
+        let ctx = format!("case {case}: n={}", s.n());
+        let sequential = pmfg_sequential(&s).unwrap();
+        let seq_edges: Vec<_> = sequential.graph.edges().collect();
+        let mut counters: Option<(usize, usize, usize)> = None;
+        for threads in [1usize, 2, 8] {
+            let parallel = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| pmfg(&s).unwrap());
+            let par_edges: Vec<_> = parallel.graph.edges().collect();
+            assert_eq!(seq_edges, par_edges, "{ctx}, {threads} threads");
+            let these = (
+                parallel.rounds,
+                parallel.candidates_examined,
+                parallel.parallel_rejections,
+            );
+            match counters {
+                None => counters = Some(these),
+                Some(first) => assert_eq!(first, these, "{ctx}, {threads} threads"),
+            }
+        }
+    }
+}
+
+/// Random TMFG-style triangulations (grow K4 by inserting each vertex
+/// into a random face) are maximal planar: the LR core must accept them
+/// and reject every additional edge — with one scratch reused across all
+/// differently-shaped cases.
+#[test]
+fn random_triangulations_are_planar_and_maximal() {
+    let mut scratch = LrScratch::new();
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7800 + case);
+        let n = rng.gen_range(5usize..60);
+        let mut g = WeightedGraph::new(n);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                g.add_edge(u, v, 1.0);
+            }
+        }
+        let mut faces = vec![(0, 1, 2), (0, 1, 3), (0, 2, 3), (1, 2, 3)];
+        for v in 4..n {
+            let pos = rng.gen_range(0..faces.len());
+            let (a, b, c) = faces.swap_remove(pos);
+            g.add_edge(v, a, 1.0);
+            g.add_edge(v, b, 1.0);
+            g.add_edge(v, c, 1.0);
+            faces.push((v, a, b));
+            faces.push((v, b, c));
+            faces.push((v, a, c));
+        }
+        let ctx = format!("case {case}: n={n}");
+        assert_eq!(g.num_edges(), 3 * n - 6, "{ctx}");
+        assert!(scratch.is_planar(&g), "{ctx}");
+        // Sample a handful of absent edges; none may be addable.
+        let mut checked = 0;
+        'outer: for u in 0..n {
+            for v in (u + 1)..n {
+                if !g.has_edge(u, v) {
+                    assert!(
+                        !scratch.stays_planar_with_edge(&g, u, v),
+                        "{ctx}: ({u},{v})"
+                    );
+                    checked += 1;
+                    if checked >= 8 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Kuratowski subdivisions keep their non-planarity through the shared
+/// scratch, interleaved with planar graphs of different shapes (exercises
+/// scratch reuse across sizes in both directions).
+#[test]
+fn scratch_reuse_rejects_kuratowski_subdivisions() {
+    let mut scratch = LrScratch::new();
+    let subdivide = |g: &WeightedGraph| {
+        let n = g.num_vertices();
+        let mut out = WeightedGraph::new(n + g.num_edges());
+        for (next, (u, v, w)) in (n..).zip(g.edges()) {
+            out.add_edge(u, next, w);
+            out.add_edge(next, v, w);
+        }
+        out
+    };
+    let mut k5 = WeightedGraph::new(5);
+    for u in 0..5 {
+        for v in (u + 1)..5 {
+            k5.add_edge(u, v, 1.0);
+        }
+    }
+    let mut k33 = WeightedGraph::new(6);
+    for u in 0..3 {
+        for v in 0..3 {
+            k33.add_edge(u, 3 + v, 1.0);
+        }
+    }
+    let mut big_planar = WeightedGraph::new(400);
+    for i in 0..399 {
+        big_planar.add_edge(i, i + 1, 1.0);
+    }
+    for _ in 0..3 {
+        assert!(!scratch.is_planar(&subdivide(&k5)));
+        assert!(scratch.is_planar(&big_planar));
+        assert!(!scratch.is_planar(&subdivide(&k33)));
+        assert!(scratch.is_planar(&WeightedGraph::new(2)));
+        assert!(!scratch.is_planar(&subdivide(&subdivide(&k5))));
     }
 }
