@@ -1,12 +1,16 @@
-//! DBHT stage benchmarks: all-pairs shortest paths (the dominant cost),
-//! direction + assignment, and the hierarchy step (Figure 5's categories).
+//! DBHT stage benchmarks: the dense APSP baseline against the restricted
+//! (demand-driven) distance build, direction + assignment, and the
+//! hierarchy step with both HAC engines (Figure 5's categories).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pfg_bench::{BenchDataset, SuiteConfig};
-use pfg_core::dbht::{assignment, direction, hierarchy};
-use pfg_core::{tmfg, TmfgConfig};
+use pfg_core::dbht::{
+    assignment, converging_vertices, direction, dissimilarity_graph, hierarchy,
+    restricted_distances,
+};
+use pfg_core::{tmfg, HacBackend, TmfgConfig};
 use pfg_data::ucr_catalogue;
-use pfg_graph::{all_pairs_shortest_paths, WeightedGraph};
+use pfg_graph::{all_pairs_shortest_paths, SourceRows};
 use std::hint::black_box;
 
 fn bench_dbht_stages(c: &mut Criterion) {
@@ -22,27 +26,42 @@ fn bench_dbht_stages(c: &mut Criterion) {
         },
     );
     let t = tmfg(&data.correlation, TmfgConfig::with_prefix(10)).expect("valid");
-    let mut dgraph = WeightedGraph::new(data.len());
-    for (u, v, _) in t.graph.edges() {
-        dgraph.add_edge(u, v, data.dissimilarity.get(u, v));
-    }
-    let spd = all_pairs_shortest_paths(&dgraph);
+    let dgraph = dissimilarity_graph(&t.graph, &data.dissimilarity);
     let directed = direction::direct_tmfg_bubble_tree(&t.bubble_tree, &t.graph);
-    let assigned = assignment::assign_vertices(&t.graph, &directed, &spd);
+    let sources = converging_vertices(&directed);
+    let rows = SourceRows::compute(&dgraph, &sources);
+    let assigned = assignment::assign_vertices(&t.graph, &directed, &rows);
+    let distances = restricted_distances(&dgraph, rows.clone(), &assigned);
 
     let mut group = c.benchmark_group("dbht");
     group.sample_size(10);
-    group.bench_function("apsp", |b| {
+    group.bench_function("apsp_full", |b| {
         b.iter(|| black_box(all_pairs_shortest_paths(&dgraph)))
+    });
+    group.bench_function("apsp_restricted", |b| {
+        b.iter(|| {
+            let rows = SourceRows::compute(&dgraph, &sources);
+            black_box(restricted_distances(&dgraph, rows, &assigned))
+        })
     });
     group.bench_function("direction", |b| {
         b.iter(|| black_box(direction::direct_tmfg_bubble_tree(&t.bubble_tree, &t.graph)))
     });
     group.bench_function("assignment", |b| {
-        b.iter(|| black_box(assignment::assign_vertices(&t.graph, &directed, &spd)))
+        b.iter(|| black_box(assignment::assign_vertices(&t.graph, &directed, &rows)))
     });
     group.bench_function("hierarchy", |b| {
-        b.iter(|| black_box(hierarchy::build_hierarchy(&directed, &assigned, &spd)))
+        b.iter(|| black_box(hierarchy::build_hierarchy(&directed, &assigned, &distances)))
+    });
+    group.bench_function("hierarchy_nnchain", |b| {
+        b.iter(|| {
+            black_box(hierarchy::build_hierarchy_with(
+                &directed,
+                &assigned,
+                &distances,
+                HacBackend::NnChain,
+            ))
+        })
     });
     group.finish();
 }

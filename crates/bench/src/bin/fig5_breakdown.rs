@@ -1,6 +1,11 @@
 //! Figure 5: breakdown of PAR-TDBHT runtime across the tmfg / apsp /
-//! bubble-tree / hierarchy stages, per prefix size, on one thread and on
-//! all cores, on the ECG5000-like data set.
+//! direction / assignment / hierarchy stages, per prefix size, on one
+//! thread and on all cores, on the ECG5000-like data set.
+//!
+//! Earlier revisions lumped direction + assignment into a single
+//! "bubble-tree" stage; the per-stage split lets `bench_diff` attribute
+//! regressions to the exact pass. Each row also reports the restricted
+//! APSP's output fraction (computed pairs / n²) as a `Record` value.
 //!
 //! Usage: `cargo run --release -p pfg-bench --bin fig5_breakdown [scale]`
 
@@ -11,8 +16,8 @@ use pfg_data::ucr_catalogue;
 fn run(threads: usize, dataset: &BenchDataset) {
     println!("## {} thread(s)", threads);
     println!(
-        "{:>8} {:>10} {:>10} {:>12} {:>11} {:>10}",
-        "prefix", "tmfg(s)", "apsp(s)", "bubble(s)", "hier(s)", "total(s)"
+        "{:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "prefix", "tmfg(s)", "apsp(s)", "dir(s)", "asgn(s)", "hier(s)", "total(s)", "apsp-frac"
     );
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
@@ -25,29 +30,33 @@ fn run(threads: usize, dataset: &BenchDataset) {
                 .expect("valid matrices")
         });
         let t = result.timings;
+        let stats = result.dbht_stats;
         println!(
-            "{:>8} {:>10.3} {:>10.3} {:>12.3} {:>11.3} {:>10.3}",
+            "{:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>10.3}",
             prefix,
             t.tmfg.as_secs_f64(),
             t.apsp.as_secs_f64(),
-            t.bubble_tree.as_secs_f64(),
+            t.direction.as_secs_f64(),
+            t.assignment.as_secs_f64(),
             t.hierarchy.as_secs_f64(),
-            t.total().as_secs_f64()
+            t.total().as_secs_f64(),
+            stats.restricted_fraction()
         );
         for (stage, secs) in [
             ("tmfg", t.tmfg.as_secs_f64()),
             ("apsp", t.apsp.as_secs_f64()),
-            ("bubble-tree", t.bubble_tree.as_secs_f64()),
+            ("direction", t.direction.as_secs_f64()),
+            ("assignment", t.assignment.as_secs_f64()),
             ("hierarchy", t.hierarchy.as_secs_f64()),
         ] {
             Record {
                 experiment: "fig5".into(),
                 dataset: dataset.name.clone(),
                 method: format!("PAR-TDBHT-{prefix}"),
-                params: format!("threads={threads},stage={stage}"),
+                params: format!("threads={threads},stage={stage}{}", stats.params_suffix()),
                 seconds: secs,
                 ari: None,
-                value: None,
+                value: Some(stats.restricted_fraction()),
             }
             .emit();
         }

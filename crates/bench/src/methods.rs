@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 use pfg_baselines::kmeans::Seeding;
 use pfg_baselines::{hac, kmeans, spectral_embedding, KMeansConfig, Linkage, SpectralConfig};
 use pfg_core::dbht::{dbht_for_planar_graph, dbht_for_tmfg};
-use pfg_core::{pmfg, tmfg, ParTdbht, TmfgConfig};
+use pfg_core::{pmfg, tmfg, DbhtRunStats, ParTdbht, TmfgConfig};
 use pfg_metrics::adjusted_rand_index;
 
 use crate::suite::BenchDataset;
@@ -145,6 +145,9 @@ pub struct MethodOutput {
     pub tmfg_stats: Option<TmfgRunStats>,
     /// Construction counters, for the PMFG-based method.
     pub pmfg_stats: Option<PmfgRunStats>,
+    /// DBHT back-half counters (HAC rounds, restricted-APSP output), for
+    /// the DBHT-based methods.
+    pub dbht_stats: Option<DbhtRunStats>,
 }
 
 /// Runs `method` on `dataset`, cutting dendrograms to the ground-truth
@@ -152,7 +155,7 @@ pub struct MethodOutput {
 pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
     let k = dataset.num_classes;
     let start = Instant::now();
-    let (labels, edge_weight_sum, tmfg_stats, pmfg_stats) = match method {
+    let (labels, edge_weight_sum, tmfg_stats, pmfg_stats, dbht_stats) = match method {
         Method::ParTdbht { prefix } => {
             let result = ParTdbht::with_prefix(prefix)
                 .run(&dataset.correlation, &dataset.dissimilarity)
@@ -162,6 +165,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
                 Some(result.tmfg.edge_weight_sum()),
                 Some(TmfgRunStats::of(&result.tmfg)),
                 None,
+                Some(result.dbht_stats),
             )
         }
         Method::SeqTdbht => {
@@ -175,6 +179,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
                 Some(weight),
                 Some(stats),
                 None,
+                Some(dbht.stats),
             )
         }
         Method::PmfgDbht => {
@@ -188,6 +193,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
                 Some(weight),
                 None,
                 Some(stats),
+                Some(dbht.stats),
             )
         }
         Method::CompleteLinkage => (
@@ -195,9 +201,11 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
             None,
             None,
             None,
+            None,
         ),
         Method::AverageLinkage => (
             hac(&dataset.dissimilarity, Linkage::Average).cut_to_clusters(k),
+            None,
             None,
             None,
             None,
@@ -212,7 +220,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
                     ..KMeansConfig::default()
                 },
             );
-            (result.labels, None, None, None)
+            (result.labels, None, None, None, None)
         }
         Method::KMeansSpectral { neighbors } => {
             let embedded = spectral_embedding(
@@ -233,7 +241,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
                     ..KMeansConfig::default()
                 },
             );
-            (result.labels, None, None, None)
+            (result.labels, None, None, None, None)
         }
     };
     let elapsed = start.elapsed();
@@ -245,6 +253,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
         edge_weight_sum,
         tmfg_stats,
         pmfg_stats,
+        dbht_stats,
     }
 }
 
@@ -283,6 +292,23 @@ mod tests {
                 assert!((0.0..=1.0).contains(&stats.speculative_efficiency()));
             } else {
                 assert!(output.pmfg_stats.is_none(), "{}", method.name());
+            }
+            let dbht_based = matches!(
+                method,
+                Method::ParTdbht { .. } | Method::SeqTdbht | Method::PmfgDbht
+            );
+            if dbht_based {
+                let stats = output.dbht_stats.expect("DBHT methods report counters");
+                assert!(stats.hac_merges >= 1, "{}", method.name());
+                assert!(stats.hac_rounds >= 1, "{}", method.name());
+                assert!(
+                    (0.0..=1.0).contains(&stats.restricted_fraction()),
+                    "{}: fraction {}",
+                    method.name(),
+                    stats.restricted_fraction()
+                );
+            } else {
+                assert!(output.dbht_stats.is_none(), "{}", method.name());
             }
         }
     }

@@ -11,7 +11,7 @@
 use pfg_primitives::PriorityCell;
 use rayon::prelude::*;
 
-use pfg_graph::{SymmetricMatrix, WeightedGraph};
+use pfg_graph::{PairDistances, WeightedGraph};
 
 use crate::dbht::bubble_graph::DirectedBubbleGraph;
 
@@ -37,6 +37,23 @@ impl VertexAssignment {
     /// The number of distinct groups.
     pub fn num_groups(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Member lists for every group in `groups` order (each ascending),
+    /// built in one pass — the `O(n)` replacement for calling
+    /// [`VertexAssignment::vertices_in_group`] per group.
+    pub fn group_members(&self) -> Vec<Vec<usize>> {
+        let index_of: std::collections::HashMap<usize, usize> = self
+            .groups
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, i))
+            .collect();
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); self.groups.len()];
+        for (v, &g) in self.group.iter().enumerate() {
+            members[index_of[&g]].push(v);
+        }
+        members
     }
 }
 
@@ -81,12 +98,15 @@ pub fn chi_prime(graph: &WeightedGraph, bubble: &[usize], v: usize) -> f64 {
 
 /// Runs the vertex-assignment phase of the DBHT.
 ///
-/// `shortest_paths` must be the all-pairs shortest-path matrix of the
-/// filtered graph under the dissimilarity edge weights.
-pub fn assign_vertices(
+/// `shortest_paths` supplies shortest-path distances of the filtered graph
+/// under the dissimilarity edge weights. Every read is anchored at a
+/// vertex of a converging bubble, so the demand-driven
+/// [`pfg_graph::SourceRows`] over the converging-bubble vertices suffices
+/// — the full APSP matrix also works and gives the same assignment.
+pub fn assign_vertices<D: PairDistances + Sync>(
     graph: &WeightedGraph,
     bubble_graph: &DirectedBubbleGraph,
-    shortest_paths: &SymmetricMatrix,
+    shortest_paths: &D,
 ) -> VertexAssignment {
     let n = graph.num_vertices();
     let converging = bubble_graph.converging_bubbles();
@@ -136,7 +156,10 @@ pub fn assign_vertices(
                     // distance to the bubble's own vertices instead.
                     _ => bubble_graph.bubble(b),
                 };
-                let mean: f64 = basis.iter().map(|&u| shortest_paths.get(u, v)).sum::<f64>()
+                let mean: f64 = basis
+                    .iter()
+                    .map(|&u| shortest_paths.pair(u, v))
+                    .sum::<f64>()
                     / basis.len() as f64;
                 match best {
                     None => best = Some((mean, b)),
@@ -190,7 +213,7 @@ mod tests {
     use super::*;
     use crate::dbht::direction::direct_tmfg_bubble_tree;
     use crate::tmfg::{tmfg, TmfgConfig};
-    use pfg_graph::all_pairs_shortest_paths;
+    use pfg_graph::{all_pairs_shortest_paths, SymmetricMatrix};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

@@ -14,7 +14,6 @@
 //!   and as a reference implementation to validate the fast path.
 
 use pfg_graph::{bfs_reachable_within, WeightedGraph};
-use pfg_primitives::AtomicF64;
 use rayon::prelude::*;
 
 use crate::bubble_tree::BubbleTree;
@@ -26,9 +25,12 @@ use crate::face::Triangle;
 /// the resulting directed bubble graph.
 ///
 /// Work is Θ(n): each bubble contributes a constant number of operations.
-/// Bubbles are processed level by level from the deepest to the root, with
-/// the bubbles of each level handled in parallel; contributions to a shared
-/// parent are combined with `WRITE_ADD`s.
+/// Bubbles are processed level by level from the deepest to the root, the
+/// bubbles of each level in parallel. Instead of the paper's `WRITE_ADD`s
+/// into the parent (whose floating-point accumulation order depends on
+/// thread scheduling), every bubble *pulls* its children's stored `r`
+/// vectors in child order — a pure computation per bubble, so the
+/// direction of every edge is bitwise reproducible at any thread count.
 pub fn direct_tmfg_bubble_tree(tree: &BubbleTree, graph: &WeightedGraph) -> DirectedBubbleGraph {
     let nb = tree.len();
     let weight = |u: usize, v: usize| graph.edge_weight(u, v).unwrap_or(0.0);
@@ -52,67 +54,69 @@ pub fn direct_tmfg_bubble_tree(tree: &BubbleTree, graph: &WeightedGraph) -> Dire
         levels[depth[b]].push(b);
     }
 
-    // accum[b][i] accumulates the interior weight arriving at corner i of
-    // b's separating triangle from b's children (the WRITE_ADDs of
-    // Algorithm 3, lines 9–11).
-    let accum: Vec<[AtomicF64; 3]> = (0..nb)
-        .map(|_| {
-            [
-                AtomicF64::new(0.0),
-                AtomicF64::new(0.0),
-                AtomicF64::new(0.0),
-            ]
-        })
-        .collect();
+    // r[b][i] is the interior weight of b's subtree seen at corner i of
+    // b's separating triangle (Algorithm 3, lines 5–11). A bubble reads
+    // its children's r vectors — written during the previous (deeper)
+    // level — in child order, so every sum has a fixed operand order.
+    let mut r: Vec<[f64; 3]> = vec![[0.0; 3]; nb];
 
     // directed_to_child[b] = true iff the edge (parent(b), b) is directed
     // from the parent towards b (IN_VAL > OUT_VAL).
-    let directed_to_child: Vec<AtomicF64> = (0..nb).map(|_| AtomicF64::new(0.0)).collect();
+    let mut directed_to_child = vec![false; nb];
 
     for level in levels.iter().rev() {
-        level.par_iter().for_each(|&b| {
-            let bubble = tree.bubble(b);
-            let triangle = match bubble.parent_triangle {
-                Some(t) => t,
-                None => return, // root: nothing to direct (Algorithm 3, lines 19–22)
-            };
-            let corners = triangle.corners();
-            let apex = triangle.apex_in(bubble.vertices);
-            // Lines 5–6: initialise r with the edges from the corners to the
-            // apex, then add the children's contributions.
-            let mut r = [0.0_f64; 3];
-            for i in 0..3 {
-                r[i] = weight(corners[i], apex) + accum[b][i].load();
-            }
-            let in_val: f64 = r.iter().sum();
-            // Line 13: OUT_VAL from the corners' weighted degrees.
-            let triangle_weight = weight(corners[0], corners[1])
-                + weight(corners[0], corners[2])
-                + weight(corners[1], corners[2]);
-            let degree_sum: f64 = corners.iter().map(|&c| graph.weighted_degree(c)).sum();
-            let out_val = degree_sum - in_val - 2.0 * triangle_weight;
-            directed_to_child[b].store(if in_val > out_val { 1.0 } else { 0.0 });
-            // Line 18: propagate r to the parent (only corners that are also
-            // corners of the parent's separating triangle).
-            let parent = bubble.parent.expect("non-root bubble has a parent");
-            if let Some(parent_triangle) = tree.bubble(parent).parent_triangle {
-                let parent_corners = parent_triangle.corners();
-                for i in 0..3 {
-                    if let Some(j) = parent_corners.iter().position(|&c| c == corners[i]) {
-                        accum[parent][j].write_add(r[i]);
+        let computed: Vec<(usize, [f64; 3], bool)> = {
+            let r = &r;
+            level
+                .par_iter()
+                .filter_map(|&b| {
+                    let bubble = tree.bubble(b);
+                    // Root: nothing to direct (Algorithm 3, lines 19–22).
+                    let triangle = bubble.parent_triangle?;
+                    let corners = triangle.corners();
+                    let apex = triangle.apex_in(bubble.vertices);
+                    // Lines 5–6: initialise r with the edges from the corners
+                    // to the apex, then pull the children's contributions
+                    // (line 18, seen from the parent's side): a child corner
+                    // that is also a corner of b's separating triangle
+                    // carries its r entry upwards.
+                    let mut rb = [0.0_f64; 3];
+                    for (i, &corner) in corners.iter().enumerate() {
+                        rb[i] = weight(corner, apex);
                     }
-                }
-            }
-        });
+                    for &c in &bubble.children {
+                        let child_triangle =
+                            tree.bubble(c).parent_triangle.expect("non-root child");
+                        let child_corners = child_triangle.corners();
+                        for (i, &child_corner) in child_corners.iter().enumerate() {
+                            if let Some(j) = corners.iter().position(|&x| x == child_corner) {
+                                rb[j] += r[c][i];
+                            }
+                        }
+                    }
+                    let in_val: f64 = rb.iter().sum();
+                    // Line 13: OUT_VAL from the corners' weighted degrees.
+                    let triangle_weight = weight(corners[0], corners[1])
+                        + weight(corners[0], corners[2])
+                        + weight(corners[1], corners[2]);
+                    let degree_sum: f64 = corners.iter().map(|&c| graph.weighted_degree(c)).sum();
+                    let out_val = degree_sum - in_val - 2.0 * triangle_weight;
+                    Some((b, rb, in_val > out_val))
+                })
+                .collect()
+        };
+        for (b, rb, to_child) in computed {
+            r[b] = rb;
+            directed_to_child[b] = to_child;
+        }
     }
 
     // Assemble the directed bubble graph with the same bubble ids.
     let bubbles: Vec<Vec<usize>> = (0..nb).map(|b| tree.bubble(b).vertices.to_vec()).collect();
     let mut edges = Vec::with_capacity(nb.saturating_sub(1));
-    for (b, cell) in directed_to_child.iter().enumerate() {
+    for (b, &to_child) in directed_to_child.iter().enumerate() {
         let bubble = tree.bubble(b);
         if let (Some(parent), Some(triangle)) = (bubble.parent, bubble.parent_triangle) {
-            let to_child = cell.load() > 0.5;
             let (from, to) = if to_child { (parent, b) } else { (b, parent) };
             edges.push(DirectedBubbleEdge { from, to, triangle });
         }

@@ -1,5 +1,6 @@
 //! The three-level complete-linkage hierarchy and dendrogram heights
-//! (Algorithm 4, lines 24–33, and §V-D).
+//! (Algorithm 4, lines 24–33, and §V-D), built by a parallel
+//! nearest-neighbor-merge HAC.
 //!
 //! The hierarchy is built bottom-up:
 //!
@@ -9,20 +10,107 @@
 //! 2. **inter-bubble** — within every group the subgroup dendrograms are
 //!    merged by complete linkage;
 //! 3. **inter-group** — the group dendrograms are merged by complete
-//!    linkage.
+//!    linkage over the groups' *converging-bubble vertices* (the anchors
+//!    of the bubble-tree paths between group cores), which is what lets
+//!    the whole hierarchy run on the demand-driven restricted distance
+//!    store instead of the full `n²` APSP matrix.
 //!
 //! Heights are then re-assigned: inter-group nodes receive the number of
 //! converging bubbles among their descendants, and the nodes inside each
 //! group receive the ladder `[1/(n_b−1), …, 1/2, 1]` in the prescribed
-//! order (intra-bubble nodes first, sorted by bubble then merge distance,
-//! followed by inter-bubble nodes sorted by merge distance), so that every
-//! single-group subtree tops out at height 1.
+//! order, so that every single-group subtree tops out at height 1.
+//!
+//! # The mutual-NN round rule, and why it reproduces NN-chain output
+//!
+//! Each linkage run can be planned by either of two engines
+//! ([`HacBackend`]):
+//!
+//! * [`HacBackend::ParallelRounds`] — per round, every active cluster
+//!   finds its nearest neighbor (one parallel scan per cluster row), and
+//!   every *mutually*-nearest pair merges. Mutual pairs are disjoint by
+//!   construction (nearest-of is a function), so all merges of a round
+//!   commute.
+//! * [`HacBackend::NnChain`] — the classical sequential nearest-neighbor
+//!   chain, kept as the differential reference.
+//!
+//! Both engines order candidate pairs by the same **strict total order**
+//! `K(A, B) = (max cross distance, mean cross distance, min member id of
+//! one cluster, min member id of the other)`. Min member ids are unique
+//! per active cluster, so no two coexisting pairs ever compare equal and
+//! every cluster has a *unique* nearest neighbor. Complete linkage is
+//! *reducible* under `K`: merging a mutually-nearest pair `(A, B)` gives,
+//! for any other cluster `C`, `K(A∪B, C) ≥ min(K(A,C), K(B,C))` — the
+//! max component can only grow, the mean lands between the children's
+//! means, and the merged min-member is the smaller child min-member. So a
+//! merge never steals another pair's mutual-nearest status, every
+//! NN-chain merge is itself a mutual-NN merge, and by the standard
+//! confluence argument for reducible linkages **any** schedule of
+//! mutual-NN merges — one at a time along a chain, or a whole round in
+//! parallel — produces the same merge tree with the same `(max, mean)`
+//! labels.
+//!
+//! Two implementation rules turn "same tree" into "byte-identical
+//! dendrogram":
+//!
+//! * **Pure pair statistics.** `(max, mean)` for a cluster pair is always
+//!   recomputed from the two member sets in a canonical order (outer loop
+//!   over the smaller-min-member cluster, members ascending), never
+//!   accumulated via Lance–Williams float updates. A Lance–Williams mean
+//!   drifts by ulps depending on merge order, which on tie-heavy inputs
+//!   is enough to flip a comparison and change the tree; the pure
+//!   recomputation makes every comparison identical across engines and
+//!   thread counts. (`max` would be exact either way; the mean is the
+//!   reason.)
+//! * **Canonical replay.** Engines discover merges in different orders,
+//!   so planned merges are renumbered before touching the [`Dendrogram`]:
+//!   repeatedly emit the *available* merge (both children already
+//!   emitted) with the smallest `K`-key. Available merges have disjoint
+//!   member sets, hence distinct keys, so the emission order — and with
+//!   it every dendrogram node id — is a pure function of the merge set.
 
-use pfg_graph::SymmetricMatrix;
+use pfg_graph::PairDistances;
+use rayon::prelude::*;
 
 use crate::dbht::assignment::VertexAssignment;
 use crate::dbht::bubble_graph::DirectedBubbleGraph;
 use crate::dendrogram::Dendrogram;
+
+/// Which engine plans the complete-linkage merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HacBackend {
+    /// Merge every mutually-nearest pair per round, rounds in parallel.
+    #[default]
+    ParallelRounds,
+    /// The sequential nearest-neighbor chain (differential reference).
+    NnChain,
+}
+
+/// Counters from the HAC planning phase, aggregated over all linkage runs
+/// (one per subgroup, one per group, one inter-group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HacStats {
+    /// Total merge rounds across all linkage runs (for the chain engine
+    /// every merge is its own round).
+    pub rounds: usize,
+    /// Total merges (= internal dendrogram nodes).
+    pub merges: usize,
+    /// Largest number of merges performed in a single round.
+    pub max_round_merges: usize,
+}
+
+impl HacStats {
+    fn record_round(&mut self, merges: usize) {
+        self.rounds += 1;
+        self.merges += merges;
+        self.max_round_merges = self.max_round_merges.max(merges);
+    }
+
+    fn absorb(&mut self, other: &HacStats) {
+        self.rounds += other.rounds;
+        self.merges += other.merges;
+        self.max_round_merges = self.max_round_merges.max(other.max_round_merges);
+    }
+}
 
 /// Which of the three levels created an internal dendrogram node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,256 +132,599 @@ struct MergeRecord {
     distance: f64,
 }
 
-/// A cluster being agglomerated: a dendrogram node plus its member
-/// vertices.
+/// One input cluster of a linkage run.
 #[derive(Debug, Clone)]
-struct Cluster {
-    node: usize,
+struct LinkItem {
+    /// Vertices whose pairwise distances define the cluster distance
+    /// (sorted ascending). For levels 1–2 these are the true members; for
+    /// level 3 they are the group's converging-bubble vertices.
     members: Vec<usize>,
+    /// Canonical cluster identity for tie-breaking: the smallest *true*
+    /// member id. Unique across the items of one run.
+    mm: usize,
 }
 
-/// Builds the DBHT dendrogram from the vertex assignment.
-pub fn build_hierarchy(
+/// One planned merge. References `0..m` are input items; `m + k` is the
+/// `k`-th event of the same plan. After canonicalization the events are in
+/// canonical emission order and `left` names the smaller-min-member child.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PlanEvent {
+    left: usize,
+    right: usize,
+    dist: f64,
+    mean: f64,
+}
+
+/// Builds the DBHT dendrogram from the vertex assignment using the
+/// default [`HacBackend::ParallelRounds`] engine.
+pub fn build_hierarchy<D: PairDistances + Sync>(
     bubble_graph: &DirectedBubbleGraph,
     assignment: &VertexAssignment,
-    shortest_paths: &SymmetricMatrix,
+    distances: &D,
 ) -> Dendrogram {
+    build_hierarchy_with(
+        bubble_graph,
+        assignment,
+        distances,
+        HacBackend::ParallelRounds,
+    )
+    .0
+}
+
+/// Per-group planning output: the canonical merge plans of the group's
+/// subgroups (level 1) and of the group itself (level 2).
+struct GroupPlan {
+    group: usize,
+    num_members: usize,
+    /// `(bubble id, subgroup vertices ascending, canonical plan)`.
+    subgroups: Vec<(usize, Vec<usize>, Vec<PlanEvent>)>,
+    /// Level-2 plan; item `i` is `subgroups[i]`'s dendrogram root.
+    inter_bubble: Vec<PlanEvent>,
+    stats: HacStats,
+}
+
+/// Builds the DBHT dendrogram with an explicit planning engine, returning
+/// the engine's counters. Both engines produce byte-identical dendrograms
+/// (see the module docs); the counters differ.
+pub fn build_hierarchy_with<D: PairDistances + Sync>(
+    bubble_graph: &DirectedBubbleGraph,
+    assignment: &VertexAssignment,
+    distances: &D,
+    backend: HacBackend,
+) -> (Dendrogram, HacStats) {
     let n = bubble_graph.num_vertices();
     let mut dendrogram = Dendrogram::new(n);
-    let mut records: Vec<MergeRecord> = Vec::new();
-
     if n == 0 {
-        return dendrogram;
+        return (dendrogram, HacStats::default());
     }
 
-    // ---- Level 1 + 2: per-group construction ------------------------------
-    let mut group_roots: Vec<Cluster> = Vec::new();
-    let mut group_sizes: Vec<(usize, usize)> = Vec::new(); // (group id, n_b)
-    for &g in &assignment.groups {
-        let members = assignment.vertices_in_group(g);
-        group_sizes.push((g, members.len()));
-        // Partition the group into subgroups by bubble assignment.
-        let mut bubbles: Vec<usize> = members.iter().map(|&v| assignment.bubble[v]).collect();
-        bubbles.sort_unstable();
-        bubbles.dedup();
-        let mut subgroup_roots: Vec<Cluster> = Vec::new();
-        for &b in &bubbles {
-            let subgroup: Vec<usize> = members
+    let group_members = assignment.group_members();
+
+    // ---- Plan levels 1 + 2, groups in parallel ---------------------------
+    let plans: Vec<GroupPlan> = (0..assignment.groups.len())
+        .into_par_iter()
+        .map(|gi| {
+            let group = assignment.groups[gi];
+            let members = &group_members[gi];
+            let mut stats = HacStats::default();
+            let mut bubbles: Vec<usize> = members.iter().map(|&v| assignment.bubble[v]).collect();
+            bubbles.sort_unstable();
+            bubbles.dedup();
+            let subgroups: Vec<(usize, Vec<usize>, Vec<PlanEvent>)> = bubbles
                 .iter()
-                .copied()
-                .filter(|&v| assignment.bubble[v] == b)
-                .collect();
-            let leaves: Vec<Cluster> = subgroup
-                .iter()
-                .map(|&v| Cluster {
-                    node: v,
-                    members: vec![v],
+                .map(|&b| {
+                    let verts: Vec<usize> = members
+                        .iter()
+                        .copied()
+                        .filter(|&v| assignment.bubble[v] == b)
+                        .collect();
+                    let items: Vec<LinkItem> = verts
+                        .iter()
+                        .map(|&v| LinkItem {
+                            members: vec![v],
+                            mm: v,
+                        })
+                        .collect();
+                    let plan = plan_linkage(items, distances, backend, &mut stats);
+                    (b, verts, plan)
                 })
                 .collect();
-            let root = complete_linkage(
-                &mut dendrogram,
-                leaves,
-                shortest_paths,
-                |node, distance, records: &mut Vec<MergeRecord>| {
-                    records.push(MergeRecord {
-                        node,
-                        kind: MergeKind::IntraBubble {
-                            group: g,
-                            bubble: b,
-                        },
-                        distance,
-                    });
-                },
-                &mut records,
-            );
-            subgroup_roots.push(root);
-        }
-        // Inter-bubble merges within the group.
-        let group_root = complete_linkage(
-            &mut dendrogram,
-            subgroup_roots,
-            shortest_paths,
-            |node, distance, records: &mut Vec<MergeRecord>| {
+            let sub_items: Vec<LinkItem> = subgroups
+                .iter()
+                .map(|(_, verts, _)| LinkItem {
+                    members: verts.clone(),
+                    mm: verts[0],
+                })
+                .collect();
+            let inter_bubble = plan_linkage(sub_items, distances, backend, &mut stats);
+            GroupPlan {
+                group,
+                num_members: members.len(),
+                subgroups,
+                inter_bubble,
+                stats,
+            }
+        })
+        .collect();
+
+    // ---- Replay sequentially in group order ------------------------------
+    let mut records: Vec<MergeRecord> = Vec::new();
+    let mut stats = HacStats::default();
+    let mut group_roots: Vec<usize> = Vec::with_capacity(plans.len());
+    let mut group_sizes: Vec<(usize, usize)> = Vec::with_capacity(plans.len());
+    for plan in &plans {
+        stats.absorb(&plan.stats);
+        group_sizes.push((plan.group, plan.num_members));
+        let mut sub_roots: Vec<usize> = Vec::with_capacity(plan.subgroups.len());
+        for (b, verts, events) in &plan.subgroups {
+            let root = replay(&mut dendrogram, verts, events, |node, distance| {
                 records.push(MergeRecord {
                     node,
-                    kind: MergeKind::InterBubble { group: g },
+                    kind: MergeKind::IntraBubble {
+                        group: plan.group,
+                        bubble: *b,
+                    },
                     distance,
                 });
+            });
+            sub_roots.push(root);
+        }
+        let group_root = replay(
+            &mut dendrogram,
+            &sub_roots,
+            &plan.inter_bubble,
+            |node, d| {
+                records.push(MergeRecord {
+                    node,
+                    kind: MergeKind::InterBubble { group: plan.group },
+                    distance: d,
+                });
             },
-            &mut records,
         );
         group_roots.push(group_root);
     }
 
-    // ---- Level 3: inter-group merges ---------------------------------------
-    let group_root_nodes: Vec<usize> = group_roots.iter().map(|c| c.node).collect();
-    let _final_root = complete_linkage(
-        &mut dendrogram,
-        group_roots,
-        shortest_paths,
-        |node, distance, records: &mut Vec<MergeRecord>| {
-            records.push(MergeRecord {
-                node,
-                kind: MergeKind::InterGroup,
-                distance,
-            });
-        },
-        &mut records,
-    );
+    // ---- Level 3: inter-group over converging-bubble vertices ------------
+    let group_items: Vec<LinkItem> = (0..assignment.groups.len())
+        .map(|gi| {
+            let mut proxy = bubble_graph.bubble(assignment.groups[gi]).to_vec();
+            proxy.sort_unstable();
+            LinkItem {
+                members: proxy,
+                mm: group_members[gi][0],
+            }
+        })
+        .collect();
+    let inter_group = plan_linkage(group_items, distances, backend, &mut stats);
+    let _root = replay(&mut dendrogram, &group_roots, &inter_group, |node, d| {
+        records.push(MergeRecord {
+            node,
+            kind: MergeKind::InterGroup,
+            distance: d,
+        });
+    });
 
-    assign_heights(&mut dendrogram, &records, &group_sizes, &group_root_nodes);
-    dendrogram
+    assign_heights(&mut dendrogram, &records, &group_sizes, &group_roots);
+    (dendrogram, stats)
 }
 
-/// Complete-linkage agglomeration of the given clusters using the
-/// nearest-neighbor-chain algorithm (O(m²) for m clusters). Returns the
-/// final cluster; `on_merge` is invoked for every internal node created.
-///
-/// Complete-linkage distances tie *structurally*: the Lance–Williams
-/// update propagates `max` values unchanged, so after a few merges many
-/// cluster pairs share the exact same distance (typically the one
-/// involving the globally farthest member). Which pair merges on a tie
-/// must therefore not depend on the order the clusters were passed in —
-/// that order comes from bubble ids, which differ between the
-/// construction-built bubble tree and the planarity-based decomposition of
-/// the very same graph. Ties are broken lexicographically by (max
-/// distance, *mean* cross distance, smallest member id), so (a) the
-/// dendrogram is a pure function of the graph and the vertex partition,
-/// and (b) among equal-diameter pairs the genuinely closer clusters merge
-/// first.
-fn complete_linkage(
+/// Emits a canonical plan into the dendrogram. `slot_nodes[i]` is the
+/// dendrogram node id of plan item `i`; returns the root node id.
+fn replay(
     dendrogram: &mut Dendrogram,
-    clusters: Vec<Cluster>,
-    shortest_paths: &SymmetricMatrix,
-    on_merge: impl Fn(usize, f64, &mut Vec<MergeRecord>),
-    records: &mut Vec<MergeRecord>,
-) -> Cluster {
-    let m = clusters.len();
-    assert!(m > 0, "complete linkage needs at least one cluster");
-    if m == 1 {
-        return clusters.into_iter().next().expect("single cluster");
+    slot_nodes: &[usize],
+    events: &[PlanEvent],
+    mut on_merge: impl FnMut(usize, f64),
+) -> usize {
+    let mut node_of: Vec<usize> = Vec::with_capacity(slot_nodes.len() + events.len());
+    node_of.extend_from_slice(slot_nodes);
+    for event in events {
+        let node = dendrogram.merge(node_of[event.left], node_of[event.right], event.dist);
+        on_merge(node, event.dist);
+        node_of.push(node);
     }
-    // Initial cluster distances: the complete-linkage max plus, as the tie
-    // discriminator, the average pairwise shortest-path distance.
-    let mut dist = vec![f64::INFINITY; m * m];
-    let mut mean = vec![f64::INFINITY; m * m];
-    for i in 0..m {
-        for j in (i + 1)..m {
-            let (d, a) =
-                cross_distances(&clusters[i].members, &clusters[j].members, shortest_paths);
-            dist[i * m + j] = d;
-            dist[j * m + i] = d;
-            mean[i * m + j] = a;
-            mean[j * m + i] = a;
+    *node_of.last().expect("at least one cluster")
+}
+
+/// The canonical `(max, mean)` cross statistics of two clusters: outer
+/// loop over the smaller-min-member cluster, members ascending. A pure
+/// function of the unordered cluster pair and the distance store, so every
+/// engine and every thread count computes bitwise-identical values.
+fn cross_stats<D: PairDistances>(d: &D, a: (&[usize], usize), b: (&[usize], usize)) -> (f64, f64) {
+    let (outer, inner) = if a.1 < b.1 { (a.0, b.0) } else { (b.0, a.0) };
+    let mut max = 0.0_f64;
+    let mut sum = 0.0_f64;
+    for &u in outer {
+        for &v in inner {
+            let x = d.pair(u, v);
+            max = max.max(x);
+            sum += x;
         }
     }
-    let mut slots: Vec<Option<Cluster>> = clusters.into_iter().map(Some).collect();
-    // The smallest member id per active slot: the canonical, input-order-
-    // independent identity used for the final tie level.
-    let mut min_member: Vec<usize> = (0..m)
-        .map(|i| slots[i].as_ref().expect("present").members[0])
-        .collect();
-    let mut sizes: Vec<usize> = (0..m)
-        .map(|i| slots[i].as_ref().expect("present").members.len())
-        .collect();
-    let mut active: Vec<bool> = vec![true; m];
-    let mut remaining = m;
-    let mut chain: Vec<usize> = Vec::new();
+    (max, sum / (outer.len() * inner.len()) as f64)
+}
 
-    while remaining > 1 {
+/// Mutable state of one linkage run: active clusters and the pure pair
+/// statistics for every active pair.
+struct LinkState {
+    m: usize,
+    members: Vec<Vec<usize>>,
+    mm: Vec<usize>,
+    /// Plan reference currently representing each slot.
+    refid: Vec<usize>,
+    active: Vec<bool>,
+    remaining: usize,
+    dist: Vec<f64>,
+    mean: Vec<f64>,
+}
+
+impl LinkState {
+    fn init<D: PairDistances + Sync>(items: Vec<LinkItem>, d: &D) -> Self {
+        let m = items.len();
+        let mut dist = vec![f64::INFINITY; m * m];
+        let mut mean = vec![f64::INFINITY; m * m];
+        // Pair statistics for the upper triangle, rows in parallel.
+        let rows: Vec<Vec<(f64, f64)>> = {
+            let items = &items;
+            (0..m)
+                .into_par_iter()
+                .map(|i| {
+                    ((i + 1)..m)
+                        .map(|j| {
+                            cross_stats(
+                                d,
+                                (&items[i].members, items[i].mm),
+                                (&items[j].members, items[j].mm),
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        for (i, row) in rows.into_iter().enumerate() {
+            for (k, (dv, mv)) in row.into_iter().enumerate() {
+                let j = i + 1 + k;
+                dist[i * m + j] = dv;
+                dist[j * m + i] = dv;
+                mean[i * m + j] = mv;
+                mean[j * m + i] = mv;
+            }
+        }
+        Self {
+            m,
+            members: items.iter().map(|it| it.members.clone()).collect(),
+            mm: items.iter().map(|it| it.mm).collect(),
+            refid: (0..m).collect(),
+            active: vec![true; m],
+            remaining: m,
+            dist,
+            mean,
+        }
+    }
+
+    /// The unique nearest neighbor of active slot `i` under the strict
+    /// order `K`. For a fixed row, ordering partners by `(dist, mean,
+    /// partner min-member)` is equivalent to ordering the full keys.
+    fn nearest(&self, i: usize) -> usize {
+        let mut best = usize::MAX;
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for j in 0..self.m {
+            if !self.active[j] || j == i {
+                continue;
+            }
+            let key = (self.dist[i * self.m + j], self.mean[i * self.m + j]);
+            let ordering = key
+                .0
+                .total_cmp(&best_key.0)
+                .then_with(|| key.1.total_cmp(&best_key.1));
+            if ordering.is_lt()
+                || (ordering.is_eq() && (best == usize::MAX || self.mm[j] < self.mm[best]))
+            {
+                best = j;
+                best_key = key;
+            }
+        }
+        best
+    }
+
+    /// Merges slots `x` and `y`, records the event, and returns the
+    /// surviving slot. Pair statistics of the survivor are NOT updated;
+    /// callers recompute them (sequentially or in parallel) afterwards.
+    fn apply_merge(&mut self, x: usize, y: usize, events: &mut Vec<PlanEvent>) -> usize {
+        let (s, o) = (x.min(y), x.max(y));
+        let (dist, mean) = (self.dist[s * self.m + o], self.mean[s * self.m + o]);
+        // The canonical child order (left = smaller min member) is fixed
+        // here; canonicalization only reorders whole events.
+        let (left, right) = if self.mm[s] < self.mm[o] {
+            (self.refid[s], self.refid[o])
+        } else {
+            (self.refid[o], self.refid[s])
+        };
+        self.refid[s] = self.m + events.len();
+        events.push(PlanEvent {
+            left,
+            right,
+            dist,
+            mean,
+        });
+        let other = std::mem::take(&mut self.members[o]);
+        let mut merged = Vec::with_capacity(self.members[s].len() + other.len());
+        {
+            // Merge two sorted lists.
+            let a = &self.members[s];
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < other.len() {
+                if a[i] < other[j] {
+                    merged.push(a[i]);
+                    i += 1;
+                } else {
+                    merged.push(other[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&a[i..]);
+            merged.extend_from_slice(&other[j..]);
+        }
+        self.members[s] = merged;
+        self.mm[s] = self.mm[s].min(self.mm[o]);
+        self.active[o] = false;
+        self.remaining -= 1;
+        s
+    }
+
+    /// Recomputes the pure pair statistics between `s` and every active
+    /// partner, sequentially.
+    fn refresh_row<D: PairDistances>(&mut self, s: usize, d: &D) {
+        for j in 0..self.m {
+            if !self.active[j] || j == s {
+                continue;
+            }
+            let (dv, mv) = cross_stats(
+                d,
+                (&self.members[s], self.mm[s]),
+                (&self.members[j], self.mm[j]),
+            );
+            self.dist[s * self.m + j] = dv;
+            self.dist[j * self.m + s] = dv;
+            self.mean[s * self.m + j] = mv;
+            self.mean[j * self.m + s] = mv;
+        }
+    }
+}
+
+/// Plans one complete-linkage run and canonicalizes the result.
+fn plan_linkage<D: PairDistances + Sync>(
+    items: Vec<LinkItem>,
+    d: &D,
+    backend: HacBackend,
+    stats: &mut HacStats,
+) -> Vec<PlanEvent> {
+    let m = items.len();
+    assert!(m > 0, "complete linkage needs at least one cluster");
+    if m == 1 {
+        return Vec::new();
+    }
+    let item_mm: Vec<usize> = items.iter().map(|it| it.mm).collect();
+    let mut state = LinkState::init(items, d);
+    let events = match backend {
+        HacBackend::ParallelRounds => plan_rounds(&mut state, d, stats),
+        HacBackend::NnChain => plan_nn_chain(&mut state, d, stats),
+    };
+    canonicalize(m, &item_mm, events)
+}
+
+/// The mutual-NN round engine: every round scans all active rows for
+/// nearest neighbors in parallel, merges every mutually-nearest pair, and
+/// refreshes the merged rows in parallel. Progress is guaranteed because
+/// the globally `K`-minimal pair is always mutual.
+fn plan_rounds<D: PairDistances + Sync>(
+    state: &mut LinkState,
+    d: &D,
+    stats: &mut HacStats,
+) -> Vec<PlanEvent> {
+    let m = state.m;
+    let mut events = Vec::with_capacity(m - 1);
+    while state.remaining > 1 {
+        let slots: Vec<usize> = (0..m).filter(|&i| state.active[i]).collect();
+        let nn: Vec<usize> = {
+            let state = &*state;
+            slots.par_iter().map(|&i| state.nearest(i)).collect()
+        };
+        let mut nn_of = vec![usize::MAX; m];
+        for (k, &i) in slots.iter().enumerate() {
+            nn_of[i] = nn[k];
+        }
+        let pairs: Vec<(usize, usize)> = slots
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let j = nn_of[i];
+                i < j && nn_of[j] == i
+            })
+            .map(|i| (i, nn_of[i]))
+            .collect();
+        assert!(!pairs.is_empty(), "the K-minimal pair is always mutual");
+        let survivors: Vec<usize> = pairs
+            .iter()
+            .map(|&(x, y)| state.apply_merge(x, y, &mut events))
+            .collect();
+        // Refresh all merged rows at once, survivors in parallel: every
+        // entry is a pure function of the (final) member sets, so the
+        // write order is irrelevant and survivor–survivor pairs simply
+        // get written twice with the same bits.
+        let updates: Vec<Vec<(usize, f64, f64)>> = {
+            let state = &*state;
+            survivors
+                .par_iter()
+                .map(|&s| {
+                    (0..m)
+                        .filter(|&j| state.active[j] && j != s)
+                        .map(|j| {
+                            let (dv, mv) = cross_stats(
+                                d,
+                                (&state.members[s], state.mm[s]),
+                                (&state.members[j], state.mm[j]),
+                            );
+                            (j, dv, mv)
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        for (&s, row) in survivors.iter().zip(&updates) {
+            for &(j, dv, mv) in row {
+                state.dist[s * m + j] = dv;
+                state.dist[j * m + s] = dv;
+                state.mean[s * m + j] = mv;
+                state.mean[j * m + s] = mv;
+            }
+        }
+        stats.record_round(pairs.len());
+    }
+    events
+}
+
+/// The sequential nearest-neighbor-chain engine (O(m²) scans overall).
+/// Under the strict order `K` nearest neighbors are unique, the chain key
+/// strictly decreases, and every merge is a mutual-NN merge — exactly the
+/// moves [`plan_rounds`] makes, hence the identical merge tree.
+fn plan_nn_chain<D: PairDistances + Sync>(
+    state: &mut LinkState,
+    d: &D,
+    stats: &mut HacStats,
+) -> Vec<PlanEvent> {
+    let m = state.m;
+    let mut events = Vec::with_capacity(m - 1);
+    let mut chain: Vec<usize> = Vec::new();
+    while state.remaining > 1 {
         if chain.is_empty() {
-            // Canonical chain start: the active cluster with the smallest
-            // member id (the input order carries bubble ids, which must not
-            // influence the output).
             let start = (0..m)
-                .filter(|&i| active[i])
-                .min_by_key(|&i| min_member[i])
+                .filter(|&i| state.active[i])
+                .min_by_key(|&i| state.mm[i])
                 .expect("at least two active clusters remain");
             chain.push(start);
         }
         let current = *chain.last().expect("chain non-empty");
-        // Nearest active neighbor of `current`; prefer the previous chain
-        // element on full ties so reciprocal pairs are detected and the
-        // chain terminates.
+        let nearest = state.nearest(current);
         let prev = if chain.len() >= 2 {
             Some(chain[chain.len() - 2])
         } else {
             None
         };
-        let mut nearest = usize::MAX;
-        let mut nearest_key = (f64::INFINITY, f64::INFINITY);
-        for j in 0..m {
-            if !active[j] || j == current {
-                continue;
-            }
-            let key = (dist[current * m + j], mean[current * m + j]);
-            let ordering = key
-                .0
-                .total_cmp(&nearest_key.0)
-                .then_with(|| key.1.total_cmp(&nearest_key.1));
-            let better = ordering.is_lt()
-                || (ordering.is_eq()
-                    && Some(nearest) != prev
-                    && (Some(j) == prev
-                        || nearest == usize::MAX
-                        || min_member[j] < min_member[nearest]));
-            if better {
-                nearest = j;
-                nearest_key = key;
-            }
-        }
         if Some(nearest) == prev {
-            // Reciprocal nearest neighbors: merge them.
             chain.pop();
             chain.pop();
-            let a = current.min(nearest);
-            let b = current.max(nearest);
-            let cluster_a = slots[a].take().expect("active cluster present");
-            let cluster_b = slots[b].take().expect("active cluster present");
-            let node = dendrogram.merge(cluster_a.node, cluster_b.node, nearest_key.0);
-            on_merge(node, nearest_key.0, records);
-            let mut members = cluster_a.members;
-            members.extend(cluster_b.members);
-            members.sort_unstable();
-            // Lance–Williams updates: max for the complete-linkage level,
-            // size-weighted mean for the tie discriminator.
-            let (sa, sb) = (sizes[a] as f64, sizes[b] as f64);
-            for j in 0..m {
-                if active[j] && j != a && j != b {
-                    let d = dist[a * m + j].max(dist[b * m + j]);
-                    dist[a * m + j] = d;
-                    dist[j * m + a] = d;
-                    let av = (sa * mean[a * m + j] + sb * mean[b * m + j]) / (sa + sb);
-                    mean[a * m + j] = av;
-                    mean[j * m + a] = av;
-                }
-            }
-            active[b] = false;
-            min_member[a] = min_member[a].min(min_member[b]);
-            sizes[a] += sizes[b];
-            slots[a] = Some(Cluster { node, members });
-            remaining -= 1;
+            let survivor = state.apply_merge(current, nearest, &mut events);
+            state.refresh_row(survivor, d);
+            stats.record_round(1);
         } else {
             chain.push(nearest);
         }
     }
-    let winner = active.iter().position(|&a| a).expect("one cluster remains");
-    slots[winner].take().expect("final cluster present")
+    events
 }
 
-/// Maximum and mean shortest-path distance between two member sets: the
-/// complete-linkage cluster distance of §V-D plus the tie discriminator.
-fn cross_distances(a: &[usize], b: &[usize], shortest_paths: &SymmetricMatrix) -> (f64, f64) {
-    let mut max = 0.0_f64;
-    let mut sum = 0.0_f64;
-    for &u in a {
-        for &v in b {
-            let d = shortest_paths.get(u, v);
-            max = max.max(d);
-            sum += d;
+/// Canonicalization heap entry: pops the smallest `(dist, mean, mm_low,
+/// mm_high)` key first.
+struct CanonEntry {
+    dist: f64,
+    mean: f64,
+    mm_low: usize,
+    mm_high: usize,
+    event: usize,
+}
+
+impl PartialEq for CanonEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for CanonEntry {}
+impl PartialOrd for CanonEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CanonEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed so BinaryHeap (a max-heap) pops the smallest key.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.mean.total_cmp(&self.mean))
+            .then_with(|| other.mm_low.cmp(&self.mm_low))
+            .then_with(|| other.mm_high.cmp(&self.mm_high))
+    }
+}
+
+/// Renumbers a plan into the canonical emission order: repeatedly emit the
+/// available event (children already emitted) with the smallest `K`-key.
+/// Coexisting available events have disjoint member sets and therefore
+/// distinct `(mm_low, mm_high)`, so the order is deterministic; because a
+/// run merges to a single root, the root is always emitted last.
+fn canonicalize(m: usize, item_mm: &[usize], events: Vec<PlanEvent>) -> Vec<PlanEvent> {
+    let e = events.len();
+    if e == 0 {
+        return events;
+    }
+    let mut ref_mm = vec![usize::MAX; m + e];
+    ref_mm[..m].copy_from_slice(item_mm);
+    for (k, ev) in events.iter().enumerate() {
+        ref_mm[m + k] = ref_mm[ev.left].min(ref_mm[ev.right]);
+    }
+    let mut parent = vec![usize::MAX; m + e];
+    let mut pending = vec![0_u8; e];
+    for (k, ev) in events.iter().enumerate() {
+        parent[ev.left] = k;
+        parent[ev.right] = k;
+        pending[k] = (ev.left >= m) as u8 + (ev.right >= m) as u8;
+    }
+    let entry = |k: usize, events: &[PlanEvent], ref_mm: &[usize]| {
+        let ev = &events[k];
+        let (a, b) = (ref_mm[ev.left], ref_mm[ev.right]);
+        CanonEntry {
+            dist: ev.dist,
+            mean: ev.mean,
+            mm_low: a.min(b),
+            mm_high: a.max(b),
+            event: k,
+        }
+    };
+    let mut heap = std::collections::BinaryHeap::with_capacity(e);
+    for (k, &count) in pending.iter().enumerate() {
+        if count == 0 {
+            heap.push(entry(k, &events, &ref_mm));
         }
     }
-    (max, sum / (a.len() * b.len()) as f64)
+    let mut new_ref = vec![usize::MAX; m + e];
+    for (i, slot) in new_ref.iter_mut().take(m).enumerate() {
+        *slot = i;
+    }
+    let mut out = Vec::with_capacity(e);
+    while let Some(CanonEntry { event: k, .. }) = heap.pop() {
+        let ev = &events[k];
+        let (left, right) = if ref_mm[ev.left] < ref_mm[ev.right] {
+            (ev.left, ev.right)
+        } else {
+            (ev.right, ev.left)
+        };
+        out.push(PlanEvent {
+            left: new_ref[left],
+            right: new_ref[right],
+            dist: ev.dist,
+            mean: ev.mean,
+        });
+        new_ref[m + k] = m + out.len() - 1;
+        let p = parent[m + k];
+        if p != usize::MAX {
+            pending[p] -= 1;
+            if pending[p] == 0 {
+                heap.push(entry(p, &events, &ref_mm));
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), e, "plan must form a single tree");
+    out
 }
 
 /// Re-assigns the dendrogram heights per §V-D.
@@ -377,6 +808,7 @@ mod tests {
     use super::*;
     use crate::dbht::dbht_for_tmfg;
     use crate::tmfg::{tmfg, TmfgConfig};
+    use pfg_graph::SymmetricMatrix;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -482,40 +914,95 @@ mod tests {
     }
 
     #[test]
-    fn complete_linkage_chain_merges_closest_first() {
+    fn linkage_plan_merges_closest_first() {
         // Four singleton clusters on a line: 0-1 close, 2-3 close, the two
-        // pairs far apart.
+        // pairs far apart. Both engines must produce the same canonical
+        // plan: the tight pairs at distance 1 (lower min-member first),
+        // then the final merge at the complete-linkage distance 11.
         let spd = SymmetricMatrix::from_fn(4, |i, j| {
             let pos: [f64; 4] = [0.0, 1.0, 10.0, 11.0];
             (pos[i] - pos[j]).abs()
         });
-        let mut dend = Dendrogram::new(4);
-        let clusters: Vec<Cluster> = (0..4)
-            .map(|v| Cluster {
-                node: v,
-                members: vec![v],
-            })
-            .collect();
-        let mut records = Vec::new();
-        let root = complete_linkage(
-            &mut dend,
-            clusters,
-            &spd,
-            |node, dist, recs| {
-                recs.push(MergeRecord {
-                    node,
-                    kind: MergeKind::InterGroup,
-                    distance: dist,
-                });
-            },
-            &mut records,
-        );
-        assert_eq!(root.members, vec![0, 1, 2, 3]);
-        assert_eq!(records.len(), 3);
-        // First two merges are the tight pairs at distance 1.
-        assert!((records[0].distance - 1.0).abs() < 1e-12);
-        assert!((records[1].distance - 1.0).abs() < 1e-12);
-        // Final merge is the complete-linkage distance 11.
-        assert!((records[2].distance - 11.0).abs() < 1e-12);
+        let items = || {
+            (0..4)
+                .map(|v| LinkItem {
+                    members: vec![v],
+                    mm: v,
+                })
+                .collect::<Vec<_>>()
+        };
+        for backend in [HacBackend::ParallelRounds, HacBackend::NnChain] {
+            let mut stats = HacStats::default();
+            let events = plan_linkage(items(), &spd, backend, &mut stats);
+            assert_eq!(events.len(), 3, "{backend:?}");
+            assert_eq!((events[0].left, events[0].right), (0, 1), "{backend:?}");
+            assert!((events[0].dist - 1.0).abs() < 1e-12);
+            assert_eq!((events[1].left, events[1].right), (2, 3), "{backend:?}");
+            assert!((events[1].dist - 1.0).abs() < 1e-12);
+            // Final merge of the two planned clusters (refs 4 and 5).
+            assert_eq!((events[2].left, events[2].right), (4, 5), "{backend:?}");
+            assert!((events[2].dist - 11.0).abs() < 1e-12);
+            assert_eq!(stats.merges, 3);
+        }
+    }
+
+    #[test]
+    fn engines_plan_identical_events_on_random_inputs() {
+        for seed in 0..6 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = 14;
+            let spd =
+                SymmetricMatrix::from_fn(
+                    m,
+                    |i, j| {
+                        if i == j {
+                            0.0
+                        } else {
+                            rng.gen_range(0.1..2.0)
+                        }
+                    },
+                );
+            let items = || {
+                (0..m)
+                    .map(|v| LinkItem {
+                        members: vec![v],
+                        mm: v,
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let mut s1 = HacStats::default();
+            let mut s2 = HacStats::default();
+            let rounds = plan_linkage(items(), &spd, HacBackend::ParallelRounds, &mut s1);
+            let chain = plan_linkage(items(), &spd, HacBackend::NnChain, &mut s2);
+            assert_eq!(rounds, chain, "seed {seed}");
+            assert_eq!(s1.merges, s2.merges);
+            // The round engine needs no more rounds than the chain engine
+            // needs merges, and usually far fewer.
+            assert!(s1.rounds <= s2.rounds, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn engines_plan_identical_events_under_maximal_ties() {
+        // All pairwise distances equal: every comparison falls through to
+        // the min-member tie level. Both engines must still agree on one
+        // canonical plan.
+        let m = 9;
+        let spd = SymmetricMatrix::from_fn(m, |i, j| if i == j { 0.0 } else { 1.0 });
+        let items = || {
+            (0..m)
+                .map(|v| LinkItem {
+                    members: vec![v],
+                    mm: v,
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut s1 = HacStats::default();
+        let mut s2 = HacStats::default();
+        let rounds = plan_linkage(items(), &spd, HacBackend::ParallelRounds, &mut s1);
+        let chain = plan_linkage(items(), &spd, HacBackend::NnChain, &mut s2);
+        assert_eq!(rounds, chain);
+        // Every round's merges bound: mutual pairs are disjoint.
+        assert!(s1.max_round_merges <= m / 2);
     }
 }

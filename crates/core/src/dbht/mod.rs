@@ -12,9 +12,18 @@
 //! 2. [`assignment`] — assign every vertex to a converging bubble (its
 //!    *group*) and to a bubble (Algorithm 4, lines 1–23);
 //! 3. [`hierarchy`] — build the three-level complete-linkage hierarchy
-//!    (intra-bubble, inter-bubble, inter-group; Algorithm 4, lines 24–33);
+//!    (intra-bubble, inter-bubble, inter-group; Algorithm 4, lines 24–33)
+//!    with the parallel mutual-nearest-neighbor engine;
 //! 4. height re-assignment (§V-D) so that all single-group subtrees end at
 //!    the same height.
+//!
+//! The shortest-path input (Algorithm 4, line 7) is *not* the full `n²`
+//! APSP matrix: [`distances`] assembles the demand-driven restricted store
+//! — full Dijkstra rows for the converging-bubble vertices (which is all
+//! the assignment phase reads) plus dense intra-group blocks (which is all
+//! the hierarchy reads within groups) — cutting the distance output to
+//! `O(Σ group² + |conv|·n)`. [`DbhtRunStats`] reports how much of the
+//! dense matrix that actually was.
 //!
 //! [`planar_bubbles`] implements the original (quadratic) bubble
 //! decomposition of an arbitrary maximal planar graph, which is what the
@@ -24,10 +33,11 @@
 pub mod assignment;
 pub mod bubble_graph;
 pub mod direction;
+pub mod distances;
 pub mod hierarchy;
 pub mod planar_bubbles;
 
-use pfg_graph::{all_pairs_shortest_paths, SymmetricMatrix, WeightedGraph};
+use pfg_graph::{GroupBlocks, SourceRows, SymmetricMatrix, WeightedGraph};
 
 use crate::dendrogram::Dendrogram;
 use crate::error::CoreError;
@@ -35,6 +45,72 @@ use crate::tmfg::Tmfg;
 
 pub use assignment::VertexAssignment;
 pub use bubble_graph::DirectedBubbleGraph;
+pub use distances::{DbhtDistanceStats, DbhtDistances};
+pub use hierarchy::{build_hierarchy, build_hierarchy_with, HacBackend, HacStats};
+
+/// Per-stage counters of one DBHT run: how the parallel HAC progressed and
+/// how much of the dense APSP the restricted distance store replaced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbhtRunStats {
+    /// Merge rounds of the parallel HAC across all linkage runs.
+    pub hac_rounds: usize,
+    /// Total HAC merges (= internal dendrogram nodes).
+    pub hac_merges: usize,
+    /// Largest number of merges in a single HAC round.
+    pub hac_max_round_merges: usize,
+    /// Distance entries the restricted APSP materialised.
+    pub apsp_pairs_computed: usize,
+    /// Entries the dense APSP would have materialised (`n²`).
+    pub apsp_pairs_full: usize,
+    /// Converging-bubble vertices with a full Dijkstra row.
+    pub apsp_source_rows: usize,
+}
+
+impl DbhtRunStats {
+    /// Combines the HAC engine's counters with the distance-store stats.
+    pub fn of(hac: HacStats, apsp: DbhtDistanceStats) -> Self {
+        Self {
+            hac_rounds: hac.rounds,
+            hac_merges: hac.merges,
+            hac_max_round_merges: hac.max_round_merges,
+            apsp_pairs_computed: apsp.pairs_computed,
+            apsp_pairs_full: apsp.pairs_full,
+            apsp_source_rows: apsp.source_rows,
+        }
+    }
+
+    /// Fraction of the dense `n²` distance output actually computed.
+    pub fn restricted_fraction(&self) -> f64 {
+        if self.apsp_pairs_full == 0 {
+            0.0
+        } else {
+            self.apsp_pairs_computed as f64 / self.apsp_pairs_full as f64
+        }
+    }
+
+    /// Human-readable one-liner for the figure binaries' tables.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "dbht rounds={} merges={} max_round={} apsp={}/{} ({:.3})",
+            self.hac_rounds,
+            self.hac_merges,
+            self.hac_max_round_merges,
+            self.apsp_pairs_computed,
+            self.apsp_pairs_full,
+            self.restricted_fraction()
+        )
+    }
+
+    /// Suffix appended to a `Record`'s `params` field so the counters land
+    /// in the machine-readable output too.
+    pub fn params_suffix(&self) -> String {
+        format!(
+            ",hac_rounds={},apsp_frac={:.4}",
+            self.hac_rounds,
+            self.restricted_fraction()
+        )
+    }
+}
 
 /// The full DBHT output.
 #[derive(Debug, Clone)]
@@ -45,6 +121,8 @@ pub struct Dbht {
     pub bubble_graph: DirectedBubbleGraph,
     /// The per-vertex group (converging bubble) and bubble assignments.
     pub assignment: VertexAssignment,
+    /// HAC and restricted-APSP counters of this run.
+    pub stats: DbhtRunStats,
 }
 
 impl Dbht {
@@ -100,7 +178,44 @@ pub fn dbht_for_planar_graph(
     run_dbht(graph, bubble_graph, dissimilarity)
 }
 
-/// Shared tail of the DBHT: all-pairs shortest paths over the
+/// The dissimilarity-weighted copy of a filtered graph: the metric the
+/// DBHT's shortest-path computations run on (Algorithm 4, line 7).
+pub fn dissimilarity_graph(
+    graph: &WeightedGraph,
+    dissimilarity: &SymmetricMatrix,
+) -> WeightedGraph {
+    let mut dgraph = WeightedGraph::new(graph.num_vertices());
+    for (u, v, _) in graph.edges() {
+        dgraph.add_edge(u, v, dissimilarity.get(u, v));
+    }
+    dgraph
+}
+
+/// The sorted union of the converging bubbles' vertices: the source set
+/// whose full shortest-path rows the DBHT needs.
+pub fn converging_vertices(bubble_graph: &DirectedBubbleGraph) -> Vec<usize> {
+    let mut sources: Vec<usize> = bubble_graph
+        .converging_bubbles()
+        .into_iter()
+        .flat_map(|b| bubble_graph.bubble(b).iter().copied())
+        .collect();
+    sources.sort_unstable();
+    sources.dedup();
+    sources
+}
+
+/// Computes the demand-driven distance store for an already-assigned
+/// vertex partition: `rows` must cover the converging-bubble vertices.
+pub fn restricted_distances(
+    dgraph: &WeightedGraph,
+    rows: SourceRows,
+    assignment: &VertexAssignment,
+) -> DbhtDistances {
+    let blocks = GroupBlocks::compute(dgraph, &assignment.group_members());
+    DbhtDistances { rows, blocks }
+}
+
+/// Shared tail of the DBHT: restricted shortest paths over the
 /// dissimilarity-weighted filtered graph, vertex assignment, hierarchy and
 /// height re-assignment.
 fn run_dbht(
@@ -108,19 +223,28 @@ fn run_dbht(
     bubble_graph: DirectedBubbleGraph,
     dissimilarity: &SymmetricMatrix,
 ) -> Result<Dbht, CoreError> {
-    // Build the dissimilarity-weighted copy of the filtered graph and run
-    // parallel APSP on it (Algorithm 4, line 7).
-    let mut dgraph = WeightedGraph::new(graph.num_vertices());
-    for (u, v, _) in graph.edges() {
-        dgraph.add_edge(u, v, dissimilarity.get(u, v));
-    }
-    let shortest_paths = all_pairs_shortest_paths(&dgraph);
+    let dgraph = dissimilarity_graph(graph, dissimilarity);
 
-    let assignment = assignment::assign_vertices(graph, &bubble_graph, &shortest_paths);
-    let dendrogram = hierarchy::build_hierarchy(&bubble_graph, &assignment, &shortest_paths);
+    // Full rows for the converging-bubble vertices — every distance the
+    // assignment phase reads is anchored at one of them.
+    let rows = SourceRows::compute(&dgraph, &converging_vertices(&bubble_graph));
+    let assignment = assignment::assign_vertices(graph, &bubble_graph, &rows);
+
+    // Dense blocks for the now-known groups — every remaining hierarchy
+    // read is either intra-group or between converging-bubble vertices.
+    let distances = restricted_distances(&dgraph, rows, &assignment);
+    let apsp_stats = distances.stats();
+
+    let (dendrogram, hac_stats) = hierarchy::build_hierarchy_with(
+        &bubble_graph,
+        &assignment,
+        &distances,
+        hierarchy::HacBackend::ParallelRounds,
+    );
     Ok(Dbht {
         dendrogram,
         bubble_graph,
         assignment,
+        stats: DbhtRunStats::of(hac_stats, apsp_stats),
     })
 }

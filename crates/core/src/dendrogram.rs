@@ -33,7 +33,7 @@ impl DendroNode {
 }
 
 /// A binary merge tree over `n` leaves.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dendrogram {
     nodes: Vec<DendroNode>,
     num_leaves: usize,

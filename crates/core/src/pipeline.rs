@@ -1,18 +1,23 @@
 //! The end-to-end PAR-TDBHT pipeline: similarity matrix → TMFG → DBHT →
 //! dendrogram, with per-stage wall-clock timings.
 //!
-//! The stage timings correspond to the runtime-breakdown categories of
-//! Figure 5 in the paper: `tmfg` (Algorithm 1, including the on-the-fly
-//! bubble tree), `apsp` (all-pairs shortest paths on the
-//! dissimilarity-weighted filtered graph), `bubble_tree` (direction
-//! computation and vertex assignment) and `hierarchy` (the three-level
-//! complete-linkage step).
+//! The stage timings refine the runtime-breakdown categories of Figure 5
+//! in the paper: `tmfg` (Algorithm 1, including the on-the-fly bubble
+//! tree), `apsp` (the demand-driven shortest paths on the
+//! dissimilarity-weighted filtered graph — converging-bubble source rows
+//! plus per-group blocks), `direction` (Algorithm 3), `assignment`
+//! (Algorithm 4, lines 1–23) and `hierarchy` (the three-level
+//! complete-linkage step, lines 24–33, plus §V-D height re-assignment).
+//! The paper's lumped "bubble tree" category is `direction + assignment`.
 
 use std::time::{Duration, Instant};
 
-use pfg_graph::{all_pairs_shortest_paths, SymmetricMatrix, WeightedGraph};
+use pfg_graph::{SourceRows, SymmetricMatrix};
 
-use crate::dbht::{assignment, direction, hierarchy, VertexAssignment};
+use crate::dbht::{
+    assignment, converging_vertices, direction, hierarchy, restricted_distances, DbhtRunStats,
+    VertexAssignment,
+};
 use crate::dendrogram::Dendrogram;
 use crate::error::CoreError;
 use crate::tmfg::{tmfg, Tmfg, TmfgConfig};
@@ -33,16 +38,19 @@ impl ParTdbhtConfig {
     }
 }
 
-/// Wall-clock timings of the pipeline stages (Figure 5 categories).
+/// Wall-clock timings of the pipeline stages (refined Figure 5 categories).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StageTimings {
     /// TMFG construction (Algorithm 1 + Algorithm 2).
     pub tmfg: Duration,
-    /// All-pairs shortest paths over the dissimilarity-weighted TMFG.
+    /// Demand-driven shortest paths over the dissimilarity-weighted TMFG:
+    /// converging-bubble source rows plus per-group dense blocks (both
+    /// phases summed).
     pub apsp: Duration,
-    /// Bubble-tree direction and vertex assignment (Algorithm 3 + Algorithm
-    /// 4, lines 1–23).
-    pub bubble_tree: Duration,
+    /// Bubble-tree direction computation (Algorithm 3).
+    pub direction: Duration,
+    /// Vertex-to-bubble assignment (Algorithm 4, lines 1–23).
+    pub assignment: Duration,
     /// Three-level complete-linkage hierarchy (Algorithm 4, lines 24–33).
     pub hierarchy: Duration,
 }
@@ -50,7 +58,13 @@ pub struct StageTimings {
 impl StageTimings {
     /// Total time across all stages.
     pub fn total(&self) -> Duration {
-        self.tmfg + self.apsp + self.bubble_tree + self.hierarchy
+        self.tmfg + self.apsp + self.direction + self.assignment + self.hierarchy
+    }
+
+    /// The paper's lumped Figure 5 "bubble tree" category
+    /// (direction + assignment).
+    pub fn bubble_tree(&self) -> Duration {
+        self.direction + self.assignment
     }
 }
 
@@ -65,6 +79,8 @@ pub struct ParTdbhtResult {
     pub dendrogram: Dendrogram,
     /// Per-stage wall-clock timings.
     pub timings: StageTimings,
+    /// HAC and restricted-APSP counters of the DBHT back half.
+    pub dbht_stats: DbhtRunStats,
 }
 
 impl ParTdbhtResult {
@@ -117,26 +133,39 @@ impl ParTdbht {
         let tmfg_result = tmfg(similarity, self.config.tmfg)?;
         let tmfg_time = start.elapsed();
 
-        // APSP over the dissimilarity-weighted filtered graph.
-        let start = Instant::now();
-        let mut dgraph = WeightedGraph::new(similarity.n());
-        for (u, v, _) in tmfg_result.graph.edges() {
-            dgraph.add_edge(u, v, dissimilarity.get(u, v));
-        }
-        let shortest_paths = all_pairs_shortest_paths(&dgraph);
-        let apsp_time = start.elapsed();
-
-        // Direction + vertex assignment.
+        // Direction pass (Algorithm 3) — determines the converging bubbles
+        // and therefore which shortest-path rows are needed at all.
         let start = Instant::now();
         let bubble_graph =
             direction::direct_tmfg_bubble_tree(&tmfg_result.bubble_tree, &tmfg_result.graph);
-        let assignment =
-            assignment::assign_vertices(&tmfg_result.graph, &bubble_graph, &shortest_paths);
-        let bubble_tree_time = start.elapsed();
+        let direction_time = start.elapsed();
 
-        // Hierarchy.
+        // Phase 1 of the demand-driven shortest paths: full rows for the
+        // converging-bubble vertices over the dissimilarity-weighted TMFG.
         let start = Instant::now();
-        let dendrogram = hierarchy::build_hierarchy(&bubble_graph, &assignment, &shortest_paths);
+        let dgraph = crate::dbht::dissimilarity_graph(&tmfg_result.graph, dissimilarity);
+        let rows = SourceRows::compute(&dgraph, &converging_vertices(&bubble_graph));
+        let mut apsp_time = start.elapsed();
+
+        // Vertex assignment (Algorithm 4, lines 1–23) reads only the rows.
+        let start = Instant::now();
+        let assignment = assignment::assign_vertices(&tmfg_result.graph, &bubble_graph, &rows);
+        let assignment_time = start.elapsed();
+
+        // Phase 2: dense per-group blocks for the now-known groups.
+        let start = Instant::now();
+        let distances = restricted_distances(&dgraph, rows, &assignment);
+        apsp_time += start.elapsed();
+        let apsp_stats = distances.stats();
+
+        // Hierarchy (parallel mutual-NN rounds).
+        let start = Instant::now();
+        let (dendrogram, hac_stats) = hierarchy::build_hierarchy_with(
+            &bubble_graph,
+            &assignment,
+            &distances,
+            hierarchy::HacBackend::ParallelRounds,
+        );
         let hierarchy_time = start.elapsed();
 
         Ok(ParTdbhtResult {
@@ -146,9 +175,11 @@ impl ParTdbht {
             timings: StageTimings {
                 tmfg: tmfg_time,
                 apsp: apsp_time,
-                bubble_tree: bubble_tree_time,
+                direction: direction_time,
+                assignment: assignment_time,
                 hierarchy: hierarchy_time,
             },
+            dbht_stats: DbhtRunStats::of(hac_stats, apsp_stats),
         })
     }
 }

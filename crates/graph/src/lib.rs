@@ -22,6 +22,9 @@ pub mod weighted_graph;
 pub use bfs::{bfs_distances, bfs_reachable, bfs_reachable_within};
 pub use matrix::SymmetricMatrix;
 pub use planarity::{is_planar, stays_planar_with_edge, LrScratch};
-pub use shortest_paths::{all_pairs_shortest_paths, dijkstra};
+pub use shortest_paths::{
+    all_pairs_shortest_paths, dijkstra, group_restricted_shortest_paths, shortest_path_rows,
+    GroupBlocks, PairDistances, SourceRows,
+};
 pub use union_find::UnionFind;
 pub use weighted_graph::WeightedGraph;

@@ -37,14 +37,16 @@ fn main() {
         result.tmfg.rounds
     );
     println!(
-        "DBHT: {} groups (converging bubbles)",
-        result.assignment.num_groups()
+        "DBHT: {} groups (converging bubbles), {}",
+        result.assignment.num_groups(),
+        result.dbht_stats.summary_line()
     );
     println!(
-        "stage timings: tmfg {:?}, apsp {:?}, bubble-tree {:?}, hierarchy {:?}",
+        "stage timings: tmfg {:?}, apsp {:?}, direction {:?}, assignment {:?}, hierarchy {:?}",
         result.timings.tmfg,
         result.timings.apsp,
-        result.timings.bubble_tree,
+        result.timings.direction,
+        result.timings.assignment,
         result.timings.hierarchy
     );
 

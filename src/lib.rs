@@ -51,15 +51,22 @@ pub mod prelude {
     pub use pfg_baselines::{
         hac, kmeans, spectral_embedding, KMeansConfig, Linkage, SpectralConfig,
     };
-    pub use pfg_core::dbht::{dbht_for_planar_graph, dbht_for_tmfg};
+    pub use pfg_core::dbht::{
+        build_hierarchy, build_hierarchy_with, converging_vertices, dbht_for_planar_graph,
+        dbht_for_tmfg, dissimilarity_graph, restricted_distances,
+    };
     pub use pfg_core::{
-        pmfg, pmfg_sequential, pmfg_with_config, tmfg, BatchFreshness, Dendrogram, ParTdbht,
-        ParTdbhtConfig, ParTdbhtResult, Pmfg, PmfgConfig, RoundStats, Tmfg, TmfgConfig,
+        pmfg, pmfg_sequential, pmfg_with_config, tmfg, BatchFreshness, Dbht, DbhtDistanceStats,
+        DbhtDistances, DbhtRunStats, Dendrogram, HacBackend, HacStats, ParTdbht, ParTdbhtConfig,
+        ParTdbhtResult, Pmfg, PmfgConfig, RoundStats, Tmfg, TmfgConfig, VertexAssignment,
     };
     pub use pfg_data::{
         correlation_matrix, dissimilarity_from_correlation, ucr_catalogue, StockMarket,
         StockMarketConfig, TimeSeriesConfig, TimeSeriesDataset, SECTORS,
     };
-    pub use pfg_graph::{LrScratch, SymmetricMatrix, WeightedGraph};
+    pub use pfg_graph::{
+        all_pairs_shortest_paths, group_restricted_shortest_paths, shortest_path_rows, GroupBlocks,
+        LrScratch, PairDistances, SourceRows, SymmetricMatrix, WeightedGraph,
+    };
     pub use pfg_metrics::{adjusted_mutual_information, adjusted_rand_index};
 }
