@@ -7,9 +7,7 @@
 use pfg_baselines::{spectral_embedding, SpectralConfig};
 use pfg_bench::Record;
 use pfg_core::ParTdbht;
-use pfg_data::{
-    correlation_matrix, dissimilarity_from_correlation, StockMarket, StockMarketConfig, SECTORS,
-};
+use pfg_data::{correlation_and_dissimilarity, StockMarket, StockMarketConfig, SECTORS};
 use pfg_metrics::adjusted_rand_index;
 
 fn main() {
@@ -42,8 +40,7 @@ fn main() {
             seed: 13,
         },
     );
-    let correlation = correlation_matrix(&embedded);
-    let dissimilarity = dissimilarity_from_correlation(&correlation);
+    let (correlation, dissimilarity, _kernel) = correlation_and_dissimilarity(&embedded);
 
     let start = std::time::Instant::now();
     let result = ParTdbht::with_prefix(30)

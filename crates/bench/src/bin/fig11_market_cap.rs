@@ -7,9 +7,7 @@
 
 use pfg_baselines::{spectral_embedding, SpectralConfig};
 use pfg_core::ParTdbht;
-use pfg_data::{
-    correlation_matrix, dissimilarity_from_correlation, StockMarket, StockMarketConfig, SECTORS,
-};
+use pfg_data::{correlation_and_dissimilarity, StockMarket, StockMarketConfig, SECTORS};
 
 fn quartiles(values: &mut [f64]) -> (f64, f64, f64) {
     values.sort_by(f64::total_cmp);
@@ -58,8 +56,7 @@ fn main() {
             seed: 13,
         },
     );
-    let correlation = correlation_matrix(&embedded);
-    let dissimilarity = dissimilarity_from_correlation(&correlation);
+    let (correlation, dissimilarity, _kernel) = correlation_and_dissimilarity(&embedded);
     let result = ParTdbht::with_prefix(30)
         .run(&correlation, &dissimilarity)
         .expect("valid matrices");

@@ -6,6 +6,7 @@ use pfg_baselines::kmeans::Seeding;
 use pfg_baselines::{hac, kmeans, spectral_embedding, KMeansConfig, Linkage, SpectralConfig};
 use pfg_core::dbht::{dbht_for_planar_graph, dbht_for_tmfg};
 use pfg_core::{pmfg, tmfg, DbhtRunStats, ParTdbht, TmfgConfig};
+use pfg_data::CorrelationKernelStats;
 use pfg_metrics::adjusted_rand_index;
 
 use crate::suite::BenchDataset;
@@ -130,6 +131,62 @@ impl PmfgRunStats {
     }
 }
 
+/// Input-layer statistics of one method run: the tiled correlation
+/// kernel's counters (shared by every method reading the data set's
+/// matrices) plus the top-K prescreen's exact-fallback count for runs
+/// that used it. Mirrors [`PmfgRunStats`] / [`DbhtRunStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorrelationRunStats {
+    /// Matrix dimension (number of series).
+    pub n: usize,
+    /// Upper-triangle tile pairs the kernel computed.
+    pub tiles_computed: usize,
+    /// Peak intermediate allocation of the kernel in bytes (the flat
+    /// z-profile buffer; the old path peaked at ≥ 2 n² output + `Vec<Vec>`
+    /// rows).
+    pub peak_intermediate_bytes: usize,
+    /// Bytes of matrix output the kernel wrote.
+    pub output_bytes: usize,
+    /// Exact full-row fallback re-scans of the top-K prescreen (0 when
+    /// the run used dense candidate scans).
+    pub prescreen_rescans: usize,
+}
+
+impl CorrelationRunStats {
+    /// Combines the data set's kernel counters with a run's prescreen
+    /// fallback count.
+    pub fn of(kernel: &CorrelationKernelStats, prescreen_rescans: usize) -> Self {
+        Self {
+            n: kernel.n,
+            tiles_computed: kernel.tiles_computed,
+            peak_intermediate_bytes: kernel.peak_intermediate_bytes,
+            output_bytes: kernel.output_bytes,
+            prescreen_rescans,
+        }
+    }
+
+    /// Human-readable one-liner for the figure binaries' tables.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "corr n={} tiles={} peak_mb={:.1} out_mb={:.1} prescreen_rescans={}",
+            self.n,
+            self.tiles_computed,
+            self.peak_intermediate_bytes as f64 / 1e6,
+            self.output_bytes as f64 / 1e6,
+            self.prescreen_rescans
+        )
+    }
+
+    /// Suffix appended to a `Record`'s `params` field so the counters land
+    /// in the machine-readable output too.
+    pub fn params_suffix(&self) -> String {
+        format!(
+            ",tiles={},peak_bytes={},prescreen_rescans={}",
+            self.tiles_computed, self.peak_intermediate_bytes, self.prescreen_rescans
+        )
+    }
+}
+
 /// The outcome of running one method on one data set.
 #[derive(Debug, Clone)]
 pub struct MethodOutput {
@@ -148,6 +205,9 @@ pub struct MethodOutput {
     /// DBHT back-half counters (HAC rounds, restricted-APSP output), for
     /// the DBHT-based methods.
     pub dbht_stats: Option<DbhtRunStats>,
+    /// Input-layer counters (tiled kernel, prescreen fallbacks), for
+    /// methods that consume the data set's derived matrices.
+    pub correlation_stats: Option<CorrelationRunStats>,
 }
 
 /// Runs `method` on `dataset`, cutting dendrograms to the ground-truth
@@ -155,7 +215,10 @@ pub struct MethodOutput {
 pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
     let k = dataset.num_classes;
     let start = Instant::now();
-    let (labels, edge_weight_sum, tmfg_stats, pmfg_stats, dbht_stats) = match method {
+    // The last element is `Some(prescreen_rescans)` for methods that read
+    // the data set's derived matrices (their input went through the tiled
+    // kernel), `None` for the raw-series baselines.
+    let (labels, edge_weight_sum, tmfg_stats, pmfg_stats, dbht_stats, matrix_run) = match method {
         Method::ParTdbht { prefix } => {
             let result = ParTdbht::with_prefix(prefix)
                 .run(&dataset.correlation, &dataset.dissimilarity)
@@ -166,6 +229,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
                 Some(TmfgRunStats::of(&result.tmfg)),
                 None,
                 Some(result.dbht_stats),
+                Some(result.tmfg.prescreen_rescans),
             )
         }
         Method::SeqTdbht => {
@@ -173,6 +237,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
                 .expect("valid benchmark matrices");
             let weight = t.edge_weight_sum();
             let stats = TmfgRunStats::of(&t);
+            let rescans = t.prescreen_rescans;
             let dbht = dbht_for_tmfg(&t, &dataset.dissimilarity).expect("valid DBHT input");
             (
                 dbht.dendrogram.cut_to_clusters(k),
@@ -180,12 +245,14 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
                 Some(stats),
                 None,
                 Some(dbht.stats),
+                Some(rescans),
             )
         }
         Method::PmfgDbht => {
             let p = pmfg(&dataset.correlation).expect("valid benchmark matrices");
             let weight = p.edge_weight_sum();
             let stats = PmfgRunStats::of(&p);
+            let rescans = p.prescreen_rescans;
             let dbht =
                 dbht_for_planar_graph(&p.graph, &dataset.dissimilarity).expect("valid DBHT input");
             (
@@ -194,6 +261,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
                 None,
                 Some(stats),
                 Some(dbht.stats),
+                Some(rescans),
             )
         }
         Method::CompleteLinkage => (
@@ -202,6 +270,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
             None,
             None,
             None,
+            Some(0),
         ),
         Method::AverageLinkage => (
             hac(&dataset.dissimilarity, Linkage::Average).cut_to_clusters(k),
@@ -209,6 +278,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
             None,
             None,
             None,
+            Some(0),
         ),
         Method::KMeans => {
             let result = kmeans(
@@ -220,7 +290,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
                     ..KMeansConfig::default()
                 },
             );
-            (result.labels, None, None, None, None)
+            (result.labels, None, None, None, None, None)
         }
         Method::KMeansSpectral { neighbors } => {
             let embedded = spectral_embedding(
@@ -241,11 +311,15 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
                     ..KMeansConfig::default()
                 },
             );
-            (result.labels, None, None, None, None)
+            (result.labels, None, None, None, None, None)
         }
     };
     let elapsed = start.elapsed();
     let ari = adjusted_rand_index(&dataset.labels, &labels);
+    let correlation_stats = match (matrix_run, &dataset.kernel_stats) {
+        (Some(rescans), Some(kernel)) => Some(CorrelationRunStats::of(kernel, rescans)),
+        _ => None,
+    };
     MethodOutput {
         labels,
         elapsed,
@@ -254,6 +328,7 @@ pub fn run_method(method: Method, dataset: &BenchDataset) -> MethodOutput {
         tmfg_stats,
         pmfg_stats,
         dbht_stats,
+        correlation_stats,
     }
 }
 
@@ -309,6 +384,20 @@ mod tests {
                 );
             } else {
                 assert!(output.dbht_stats.is_none(), "{}", method.name());
+            }
+            // Every matrix-consuming method carries the input kernel's
+            // counters; the raw-series baselines carry none.
+            let matrix_based = !matches!(method, Method::KMeans | Method::KMeansSpectral { .. });
+            if matrix_based {
+                let stats = output
+                    .correlation_stats
+                    .expect("matrix methods report kernel counters");
+                assert_eq!(stats.n, dataset.len(), "{}", method.name());
+                assert!(stats.tiles_computed >= 1, "{}", method.name());
+                assert!(stats.output_bytes > 0, "{}", method.name());
+                assert_eq!(stats.prescreen_rescans, 0, "{}: dense run", method.name());
+            } else {
+                assert!(output.correlation_stats.is_none(), "{}", method.name());
             }
         }
     }

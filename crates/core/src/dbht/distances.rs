@@ -56,6 +56,11 @@ impl PairDistances for DbhtDistances {
             self.rows.pair(u, v)
         }
     }
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.rows.num_vertices()
+    }
 }
 
 /// How much of the dense APSP the restricted stores actually computed.

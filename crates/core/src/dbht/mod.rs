@@ -37,7 +37,7 @@ pub mod distances;
 pub mod hierarchy;
 pub mod planar_bubbles;
 
-use pfg_graph::{GroupBlocks, SourceRows, SymmetricMatrix, WeightedGraph};
+use pfg_graph::{GroupBlocks, PairDistances, SourceRows, WeightedGraph};
 
 use crate::dendrogram::Dendrogram;
 use crate::error::CoreError;
@@ -137,15 +137,18 @@ impl Dbht {
 ///
 /// `dissimilarity` supplies the edge lengths for the shortest-path
 /// computations (the paper uses `d = sqrt(2 (1 − ρ))` for correlations).
+/// Any [`PairDistances`] works — the dense matrix, or a zero-allocation
+/// view like [`pfg_graph::DissimilarityView`]: the DBHT only ever reads
+/// the `3n − 6` filtered-graph edges from it.
 ///
 /// # Errors
 /// Returns [`CoreError::DimensionMismatch`] if the dissimilarity matrix
 /// size differs from the graph's vertex count.
-pub fn dbht_for_tmfg(tmfg: &Tmfg, dissimilarity: &SymmetricMatrix) -> Result<Dbht, CoreError> {
-    if dissimilarity.n() != tmfg.graph.num_vertices() {
+pub fn dbht_for_tmfg<D: PairDistances>(tmfg: &Tmfg, dissimilarity: &D) -> Result<Dbht, CoreError> {
+    if dissimilarity.num_vertices() != tmfg.graph.num_vertices() {
         return Err(CoreError::DimensionMismatch {
             similarity: tmfg.graph.num_vertices(),
-            dissimilarity: dissimilarity.n(),
+            dissimilarity: dissimilarity.num_vertices(),
         });
     }
     let bubble_graph = direction::direct_tmfg_bubble_tree(&tmfg.bubble_tree, &tmfg.graph);
@@ -159,18 +162,18 @@ pub fn dbht_for_tmfg(tmfg: &Tmfg, dissimilarity: &SymmetricMatrix) -> Result<Dbh
 /// Returns [`CoreError::DimensionMismatch`] if the dissimilarity matrix
 /// size differs from the graph's vertex count, and
 /// [`CoreError::TooFewVertices`] if the graph has fewer than 4 vertices.
-pub fn dbht_for_planar_graph(
+pub fn dbht_for_planar_graph<D: PairDistances>(
     graph: &WeightedGraph,
-    dissimilarity: &SymmetricMatrix,
+    dissimilarity: &D,
 ) -> Result<Dbht, CoreError> {
     let n = graph.num_vertices();
     if n < 4 {
         return Err(CoreError::TooFewVertices { got: n });
     }
-    if dissimilarity.n() != n {
+    if dissimilarity.num_vertices() != n {
         return Err(CoreError::DimensionMismatch {
             similarity: n,
-            dissimilarity: dissimilarity.n(),
+            dissimilarity: dissimilarity.num_vertices(),
         });
     }
     let decomposition = planar_bubbles::decompose(graph);
@@ -179,14 +182,15 @@ pub fn dbht_for_planar_graph(
 }
 
 /// The dissimilarity-weighted copy of a filtered graph: the metric the
-/// DBHT's shortest-path computations run on (Algorithm 4, line 7).
-pub fn dissimilarity_graph(
+/// DBHT's shortest-path computations run on (Algorithm 4, line 7). Only
+/// the graph's `3n − 6` edge distances are read from `dissimilarity`.
+pub fn dissimilarity_graph<D: PairDistances>(
     graph: &WeightedGraph,
-    dissimilarity: &SymmetricMatrix,
+    dissimilarity: &D,
 ) -> WeightedGraph {
     let mut dgraph = WeightedGraph::new(graph.num_vertices());
     for (u, v, _) in graph.edges() {
-        dgraph.add_edge(u, v, dissimilarity.get(u, v));
+        dgraph.add_edge(u, v, dissimilarity.pair(u, v));
     }
     dgraph
 }
@@ -218,10 +222,10 @@ pub fn restricted_distances(
 /// Shared tail of the DBHT: restricted shortest paths over the
 /// dissimilarity-weighted filtered graph, vertex assignment, hierarchy and
 /// height re-assignment.
-fn run_dbht(
+fn run_dbht<D: PairDistances>(
     graph: &WeightedGraph,
     bubble_graph: DirectedBubbleGraph,
-    dissimilarity: &SymmetricMatrix,
+    dissimilarity: &D,
 ) -> Result<Dbht, CoreError> {
     let dgraph = dissimilarity_graph(graph, dissimilarity);
 

@@ -12,7 +12,10 @@
 
 use std::time::{Duration, Instant};
 
-use pfg_graph::{SourceRows, SymmetricMatrix};
+use pfg_graph::{
+    DissimilarityView, PairDistances, SimilaritySource, SourceRows, SymmetricMatrix,
+    SymmetricMatrixF32, TopKCandidates,
+};
 
 use crate::dbht::{
     assignment, converging_vertices, direction, hierarchy, restricted_distances, DbhtRunStats,
@@ -20,13 +23,19 @@ use crate::dbht::{
 };
 use crate::dendrogram::Dendrogram;
 use crate::error::CoreError;
-use crate::tmfg::{tmfg, Tmfg, TmfgConfig};
+use crate::tmfg::{tmfg, tmfg_prescreened, Tmfg, TmfgConfig};
 
 /// Configuration of the PAR-TDBHT pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ParTdbhtConfig {
     /// TMFG construction parameters (prefix size).
     pub tmfg: TmfgConfig,
+    /// When `Some(k)`, TMFG candidate refreshes run over the top-`k`
+    /// sparse prescreen ([`TopKCandidates`]) instead of full row scans —
+    /// output-identical by construction (certified candidate lists, exact
+    /// fallback), with the fallback count reported in
+    /// [`Tmfg::prescreen_rescans`]. `None` keeps the dense scans.
+    pub prescreen: Option<usize>,
 }
 
 impl ParTdbhtConfig {
@@ -34,7 +43,14 @@ impl ParTdbhtConfig {
     pub fn with_prefix(prefix: usize) -> Self {
         Self {
             tmfg: TmfgConfig::with_prefix(prefix),
+            prescreen: None,
         }
+    }
+
+    /// Enables the top-`k` candidate prescreen.
+    pub fn with_prescreen(mut self, k: usize) -> Self {
+        self.prescreen = Some(k);
+        self
     }
 }
 
@@ -122,15 +138,51 @@ impl ParTdbht {
         similarity: &SymmetricMatrix,
         dissimilarity: &SymmetricMatrix,
     ) -> Result<ParTdbhtResult, CoreError> {
-        if similarity.n() != dissimilarity.n() {
+        self.run_with(similarity, dissimilarity)
+    }
+
+    /// [`ParTdbht::run`] over half-footprint `f32` similarity storage,
+    /// deriving edge dissimilarities on the fly through
+    /// [`DissimilarityView`] — no dense `f64` copy and no dense
+    /// dissimilarity matrix are ever materialized, cutting the input-side
+    /// memory from `16 n²` bytes to `4 n²`.
+    ///
+    /// # Errors
+    /// Propagates [`CoreError`] exactly like [`ParTdbht::run`].
+    pub fn run_f32(&self, similarity: &SymmetricMatrixF32) -> Result<ParTdbhtResult, CoreError> {
+        self.run_with(similarity, &DissimilarityView::new(similarity))
+    }
+
+    /// The generic pipeline: any [`SimilaritySource`] for construction,
+    /// any [`PairDistances`] for the DBHT metric. [`ParTdbht::run`] and
+    /// [`ParTdbht::run_f32`] are thin wrappers.
+    ///
+    /// # Errors
+    /// Propagates [`CoreError`] for inputs that are too small, mismatched
+    /// matrix sizes, or an invalid prefix.
+    pub fn run_with<S: SimilaritySource, D: PairDistances>(
+        &self,
+        similarity: &S,
+        dissimilarity: &D,
+    ) -> Result<ParTdbhtResult, CoreError> {
+        if similarity.n() != dissimilarity.num_vertices() {
             return Err(CoreError::DimensionMismatch {
                 similarity: similarity.n(),
-                dissimilarity: dissimilarity.n(),
+                dissimilarity: dissimilarity.num_vertices(),
             });
         }
 
+        // Construction: dense row scans, or the top-K prescreen when
+        // configured (identical output; the prescreen build is charged to
+        // the tmfg stage).
         let start = Instant::now();
-        let tmfg_result = tmfg(similarity, self.config.tmfg)?;
+        let tmfg_result = match self.config.prescreen {
+            None => tmfg(similarity, self.config.tmfg)?,
+            Some(k) => {
+                let topk = TopKCandidates::build(similarity, k);
+                tmfg_prescreened(similarity, &topk, self.config.tmfg)?
+            }
+        };
         let tmfg_time = start.elapsed();
 
         // Direction pass (Algorithm 3) — determines the converging bubbles
@@ -354,6 +406,42 @@ mod tests {
                 "prefix {prefix} mean agreement {agreement} vs sequential {seq_agreement}"
             );
         }
+    }
+
+    #[test]
+    fn f32_prescreened_pipeline_recovers_block_structure() {
+        // The large-n configuration — f32 storage, top-K prescreen, and
+        // the on-the-fly dissimilarity view — must recover the same block
+        // structure as the dense f64 path.
+        let (s, d, labels) = blocks(40, 4, 1);
+        let dense = ParTdbht::with_prefix(10).run(&s, &d).unwrap();
+        let f32_data: Vec<f32> = s.as_slice().iter().map(|&x| x as f32).collect();
+        let s32 = SymmetricMatrixF32::from_symmetrized(40, f32_data);
+        let runner = ParTdbht::new(ParTdbhtConfig::with_prefix(10).with_prescreen(12));
+        let r = runner.run_f32(&s32).unwrap();
+        assert_eq!(r.dendrogram.num_leaves(), 40);
+        assert!(r.dendrogram.is_monotone());
+        let agreement = pair_agreement(&labels, &r.clusters(4));
+        let dense_agreement = pair_agreement(&labels, &dense.clusters(4));
+        assert!(
+            agreement >= dense_agreement - 1e-9,
+            "f32 agreement {agreement} vs dense {dense_agreement}"
+        );
+    }
+
+    #[test]
+    fn prescreened_pipeline_matches_dense_pipeline() {
+        // On the same f64 source, the prescreen knob must not change the
+        // output at all — construction is certified-exact.
+        let (s, d, _) = blocks(36, 3, 5);
+        let dense = ParTdbht::with_prefix(10).run(&s, &d).unwrap();
+        let runner = ParTdbht::new(ParTdbhtConfig::with_prefix(10).with_prescreen(8));
+        let p = runner.run(&s, &d).unwrap();
+        assert_eq!(dense.tmfg.insertions, p.tmfg.insertions);
+        assert_eq!(
+            dense.dendrogram.cut_to_clusters(3),
+            p.dendrogram.cut_to_clusters(3)
+        );
     }
 
     #[test]

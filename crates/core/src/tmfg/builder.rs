@@ -13,7 +13,7 @@
 
 use std::collections::BinaryHeap;
 
-use pfg_graph::{SymmetricMatrix, WeightedGraph};
+use pfg_graph::{SimilaritySource, TopKCandidates, WeightedGraph};
 use rayon::prelude::*;
 
 use crate::bubble_tree::BubbleTree;
@@ -161,6 +161,9 @@ pub struct Tmfg {
     pub rounds: usize,
     /// Per-round fill-rate and staleness counters, one entry per round.
     pub round_stats: Vec<RoundStats>,
+    /// Candidate refreshes the top-K prescreen could not certify as exact
+    /// and that fell back to a full scan (always 0 on the dense path).
+    pub prescreen_rescans: usize,
 }
 
 impl Tmfg {
@@ -215,7 +218,7 @@ impl Tmfg {
 /// [`CoreError::NanSimilarity`] if any off-diagonal entry is NaN — the
 /// selector never picks NaN gains, so a vertex with an all-NaN row could
 /// never be inserted and construction would not terminate.
-pub fn tmfg(s: &SymmetricMatrix, config: TmfgConfig) -> Result<Tmfg, CoreError> {
+pub fn tmfg<S: SimilaritySource>(s: &S, config: TmfgConfig) -> Result<Tmfg, CoreError> {
     if config.prefix == 0 {
         return Err(CoreError::InvalidPrefix);
     }
@@ -224,24 +227,54 @@ pub fn tmfg(s: &SymmetricMatrix, config: TmfgConfig) -> Result<Tmfg, CoreError> 
         return Err(CoreError::TooFewVertices { got: n });
     }
     // Parallel scan (one row per task, matching the builder's other
-    // whole-matrix passes); `min` makes the reported entry deterministic.
-    let nan_entry: Option<(usize, usize)> = (0..n)
-        .into_par_iter()
-        .filter_map(|row| {
-            ((row + 1)..n)
-                .find(|&col| s.get(row, col).is_nan())
-                .map(|col| (row, col))
-        })
-        .min();
-    if let Some((row, col)) = nan_entry {
+    // whole-matrix passes); the trait default's `min` makes the reported
+    // entry deterministic.
+    if let Some((row, col)) = s.find_nan() {
         return Err(CoreError::NanSimilarity { row, col });
     }
-    Ok(Builder::new(s, config).run())
+    Ok(Builder::new(s, config, None).run())
 }
 
 /// Builds the sequential TMFG (equivalent to `prefix = 1`).
-pub fn tmfg_sequential(s: &SymmetricMatrix) -> Result<Tmfg, CoreError> {
+pub fn tmfg_sequential<S: SimilaritySource>(s: &S) -> Result<Tmfg, CoreError> {
     tmfg(s, TmfgConfig::with_prefix(1))
+}
+
+/// Builds the TMFG through the top-K sparse prescreen: the initial clique
+/// comes from the prescreen's exact row sums, and candidate refreshes
+/// gather from the corners' top-K neighbor lists whenever the K-th-weight
+/// bound certifies the pooled result equals the full scan's (falling back
+/// to the full scan — counted in [`Tmfg::prescreen_rescans`] — when it
+/// cannot). The constructed graph is therefore *identical* to
+/// [`tmfg`]'s, at a fraction of the per-round scan work for `K ≪ n`.
+///
+/// # Errors
+/// The same conditions as [`tmfg`]; the NaN scan reuses the entry the
+/// prescreen pass recorded, so no extra `O(n²)` sweep runs here.
+///
+/// # Panics
+/// Panics if `topk` was built over a different number of vertices.
+pub fn tmfg_prescreened<S: SimilaritySource>(
+    s: &S,
+    topk: &TopKCandidates,
+    config: TmfgConfig,
+) -> Result<Tmfg, CoreError> {
+    assert_eq!(
+        topk.n(),
+        s.n(),
+        "prescreen and similarity source disagree on vertex count"
+    );
+    if config.prefix == 0 {
+        return Err(CoreError::InvalidPrefix);
+    }
+    let n = s.n();
+    if n < 4 {
+        return Err(CoreError::TooFewVertices { got: n });
+    }
+    if let Some((row, col)) = topk.nan_entry() {
+        return Err(CoreError::NanSimilarity { row, col });
+    }
+    Ok(Builder::new(s, config, Some(topk)).run())
 }
 
 /// A drawn `(face, vertex, gain)` candidate in the round's selection heap.
@@ -290,8 +323,12 @@ impl Ord for Candidate {
 }
 
 /// Internal construction state for Algorithm 1.
-struct Builder<'a> {
-    s: &'a SymmetricMatrix,
+struct Builder<'a, S: SimilaritySource> {
+    s: &'a S,
+    /// When present, candidate refreshes go through the certified top-K
+    /// pool first (see [`GainTable::compute_candidates_prescreened`]).
+    prescreen: Option<&'a TopKCandidates>,
+    prescreen_rescans: usize,
     prefix: usize,
     freshness: BatchFreshness,
     graph: WeightedGraph,
@@ -314,12 +351,16 @@ struct Builder<'a> {
     round_stats: Vec<RoundStats>,
 }
 
-impl<'a> Builder<'a> {
-    fn new(s: &'a SymmetricMatrix, config: TmfgConfig) -> Self {
+impl<'a, S: SimilaritySource> Builder<'a, S> {
+    fn new(s: &'a S, config: TmfgConfig, prescreen: Option<&'a TopKCandidates>) -> Self {
         let n = s.n();
         // Lines 1–2: the four vertices with the highest row sums and all six
-        // edges among them.
-        let top = s.top_rows_by_sum(4);
+        // edges among them. The prescreen carries exact row sums, so its
+        // seed is bitwise the same selection.
+        let top = match prescreen {
+            Some(topk) => topk.top_rows_by_sum(4),
+            None => s.top_rows_by_sum(4),
+        };
         let initial_clique = [top[0], top[1], top[2], top[3]];
         let mut graph = WeightedGraph::new(n);
         for i in 0..4 {
@@ -349,20 +390,24 @@ impl<'a> Builder<'a> {
         // Line 5: the candidate lists for each initial face.
         let mut gains = GainTable::new(n, config.prefix);
         let depth = gains.depth();
-        let face_candidates: Vec<crate::tmfg::gains::CandidateList> = faces
+        let face_candidates: Vec<(crate::tmfg::gains::CandidateList, bool)> = faces
             .par_iter()
-            .map(|&t| GainTable::compute_candidates(s, t, &remaining, depth))
+            .map(|&t| refreshed_candidates(s, prescreen, t, &remaining, num_remaining, depth))
             .collect();
         let mut face_active = Vec::with_capacity(4);
         let mut face_bubble = Vec::with_capacity(4);
-        for (list, truncated) in face_candidates {
+        let mut prescreen_rescans = 0;
+        for ((list, truncated), fell_back) in face_candidates {
             let id = gains.push_face();
             face_active.push(true);
             face_bubble.push(0);
             gains.install(id, list, truncated);
+            prescreen_rescans += fell_back as usize;
         }
         Self {
             s,
+            prescreen,
+            prescreen_rescans,
             prefix: config.prefix,
             freshness: config.freshness,
             graph,
@@ -410,6 +455,7 @@ impl<'a> Builder<'a> {
             insertions: self.insertions,
             rounds: self.rounds,
             round_stats: self.round_stats,
+            prescreen_rescans: self.prescreen_rescans,
         }
     }
 
@@ -562,22 +608,26 @@ impl<'a> Builder<'a> {
         faces_to_refresh.retain(|&f| self.face_active[f]);
 
         // Line 16: recompute the candidate lists for the affected faces, in
-        // parallel (each face scans the remaining vertex set once).
+        // parallel (each face scans the remaining vertex set — or, when the
+        // prescreen certifies it, just the corners' pooled top-K lists).
         let s = self.s;
+        let prescreen = self.prescreen;
         let remaining = &self.remaining;
+        let num_remaining = self.num_remaining;
         let faces = &self.faces;
         let depth = self.gains.depth();
-        let updates: Vec<(usize, crate::tmfg::gains::CandidateList)> = faces_to_refresh
+        let updates: Vec<(usize, (crate::tmfg::gains::CandidateList, bool))> = faces_to_refresh
             .par_iter()
             .map(|&f| {
                 (
                     f,
-                    GainTable::compute_candidates(s, faces[f], remaining, depth),
+                    refreshed_candidates(s, prescreen, faces[f], remaining, num_remaining, depth),
                 )
             })
             .collect();
-        for (f, (list, truncated)) in updates {
+        for (f, ((list, truncated), fell_back)) in updates {
             self.gains.install(f, list, truncated);
+            self.prescreen_rescans += fell_back as usize;
         }
     }
 
@@ -696,9 +746,32 @@ impl<'a> Builder<'a> {
     }
 }
 
+/// One candidate refresh, routed through the prescreen when available:
+/// returns the list plus whether the prescreen failed to certify exactness
+/// and a full scan ran instead.
+fn refreshed_candidates<S: SimilaritySource>(
+    s: &S,
+    prescreen: Option<&TopKCandidates>,
+    t: Triangle,
+    remaining: &[bool],
+    num_remaining: usize,
+    depth: usize,
+) -> (crate::tmfg::gains::CandidateList, bool) {
+    if let Some(topk) = prescreen {
+        if let Some(list) =
+            GainTable::compute_candidates_prescreened(s, topk, t, remaining, num_remaining, depth)
+        {
+            return (list, false);
+        }
+        return (GainTable::compute_candidates(s, t, remaining, depth), true);
+    }
+    (GainTable::compute_candidates(s, t, remaining, depth), false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pfg_graph::SymmetricMatrix;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -1064,6 +1137,78 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn prescreened_matches_dense() {
+        // The prescreened TMFG must be byte-identical to the dense one:
+        // identical seed clique (exact row sums), identical insertion
+        // trace (certified candidate lists or full-scan fallback), and
+        // identical counters — only `prescreen_rescans` differs from
+        // zero, counting faces whose certificate failed.
+        let clustered = |n: usize, blocks: usize, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            SymmetricMatrix::from_fn(n, |i, j| {
+                if i == j {
+                    1.0
+                } else {
+                    let base = if i % blocks == j % blocks { 0.8 } else { 0.2 };
+                    base + rng.gen_range(0.0..0.1)
+                }
+            })
+        };
+        for (name, s) in [
+            ("random", random_similarity(60, 7)),
+            ("clustered", clustered(48, 4, 21)),
+        ] {
+            for prefix in [1, 10] {
+                let config = TmfgConfig {
+                    prefix,
+                    freshness: BatchFreshness::IntraRound,
+                };
+                let dense = tmfg(&s, config).unwrap();
+                assert_eq!(dense.prescreen_rescans, 0, "dense path never rescans");
+                // Small K forces certificate failures; a near-complete K
+                // certifies everything.
+                for k in [8usize, s.n() - 1] {
+                    let topk = TopKCandidates::build(&s, k);
+                    let p = tmfg_prescreened(&s, &topk, config).unwrap();
+                    let ctx = format!("{name}, prefix {prefix}, K = {k}");
+                    assert_eq!(dense.initial_clique, p.initial_clique, "{ctx}: seed");
+                    assert_eq!(dense.insertions, p.insertions, "{ctx}: insertions");
+                    assert_eq!(dense.rounds, p.rounds, "{ctx}: rounds");
+                    assert_eq!(dense.round_stats, p.round_stats, "{ctx}: round stats");
+                    let dense_edges: Vec<_> = dense.graph.edges().collect();
+                    let p_edges: Vec<_> = p.graph.edges().collect();
+                    assert_eq!(dense_edges, p_edges, "{ctx}: edges");
+                    assert_eq!(
+                        format!("{:?}", dense.bubble_tree),
+                        format!("{:?}", p.bubble_tree),
+                        "{ctx}: bubble tree"
+                    );
+                    if k == s.n() - 1 {
+                        assert_eq!(p.prescreen_rescans, 0, "{ctx}: complete lists");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prescreened_runs_on_f32_storage() {
+        // Same guarantee on the f32 source: prescreened == dense over the
+        // rounded weights.
+        let s = random_similarity(40, 29);
+        let f32_data: Vec<f32> = s.as_slice().iter().map(|&x| x as f32).collect();
+        let s32 = pfg_graph::SymmetricMatrixF32::from_symmetrized(s.n(), f32_data);
+        let config = TmfgConfig::default();
+        let dense = tmfg(&s32, config).unwrap();
+        let topk = TopKCandidates::build(&s32, 8);
+        let p = tmfg_prescreened(&s32, &topk, config).unwrap();
+        assert_eq!(dense.insertions, p.insertions);
+        let dense_edges: Vec<_> = dense.graph.edges().collect();
+        let p_edges: Vec<_> = p.graph.edges().collect();
+        assert_eq!(dense_edges, p_edges);
     }
 
     #[test]

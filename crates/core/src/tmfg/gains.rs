@@ -32,7 +32,7 @@
 //! gain can never be selected (mirroring `pfg_primitives::par_max_index`,
 //! whose NaN keys never win).
 
-use pfg_graph::SymmetricMatrix;
+use pfg_graph::{SimilaritySource, TopKCandidates};
 
 use crate::face::Triangle;
 
@@ -237,7 +237,7 @@ impl GainTable {
     /// Computes the gain of inserting `vertex` into `triangle` under the
     /// similarity matrix `s`: the sum of the three new edge weights.
     #[inline]
-    pub fn gain_of(s: &SymmetricMatrix, triangle: Triangle, vertex: usize) -> f64 {
+    pub fn gain_of<S: SimilaritySource>(s: &S, triangle: Triangle, vertex: usize) -> f64 {
         let [a, b, c] = triangle.corners();
         s.get(a, vertex) + s.get(b, vertex) + s.get(c, vertex)
     }
@@ -247,8 +247,8 @@ impl GainTable {
     /// towards the smaller vertex id). Returns the list and whether it was
     /// truncated (more than `depth` candidates remained). NaN gains are
     /// skipped.
-    pub fn compute_candidates(
-        s: &SymmetricMatrix,
+    pub fn compute_candidates<S: SimilaritySource>(
+        s: &S,
         triangle: Triangle,
         remaining: &[bool],
         depth: usize,
@@ -288,8 +288,8 @@ impl GainTable {
     /// that are `remaining` and not `taken` — the fallback when a truncated
     /// cached list runs dry mid-round. Ties break towards the smaller
     /// vertex id; NaN gains never win. Returns `(vertex, gain)` or `None`.
-    pub fn rescan_excluding(
-        s: &SymmetricMatrix,
+    pub fn rescan_excluding<S: SimilaritySource>(
+        s: &S,
         triangle: Triangle,
         remaining: &[bool],
         taken: &[bool],
@@ -315,19 +315,106 @@ impl GainTable {
     /// Scans `remaining` for the single best vertex to insert into
     /// `triangle`. Equivalent to [`GainTable::rescan_excluding`] with an
     /// empty `taken` set.
-    pub fn best_for_face(
-        s: &SymmetricMatrix,
+    pub fn best_for_face<S: SimilaritySource>(
+        s: &S,
         triangle: Triangle,
         remaining: &[bool],
     ) -> Option<(usize, f64)> {
         let (list, _) = Self::compute_candidates(s, triangle, remaining, 1);
         list.first().copied()
     }
+
+    /// Prescreened variant of [`GainTable::compute_candidates`]: gathers
+    /// candidates from the union of the three corners' top-K neighbor
+    /// lists instead of scanning all `remaining` vertices, and *certifies*
+    /// that the result equals the full scan's before returning it.
+    ///
+    /// The certificate: a remaining vertex `v` outside all three lists has
+    /// `s(v, x) <= kth_weight(x)` for each corner `x` (otherwise its pair
+    /// would have made `x`'s list), so its gain is at most
+    /// `B = kth(a) + kth(b) + kth(c)`. If the pool yields a full `depth`
+    /// candidates whose worst gain is **strictly** above `B` (strict, so
+    /// an outside vertex can never displace an entry via the smaller-id
+    /// tie-break either), the pool's top-`depth` is exactly the full
+    /// scan's top-`depth`. When some corner's list is complete (the vertex
+    /// has fewer than K neighbors), there are no outside vertices at all
+    /// and the pool is trivially exact. Returns `None` when the bound
+    /// cannot certify exactness — the caller falls back to the full scan
+    /// and counts a prescreen rescan.
+    ///
+    /// `num_remaining` is the population of the `remaining` mask (tracked
+    /// by the builder; passing it avoids an O(n) recount here).
+    pub fn compute_candidates_prescreened<S: SimilaritySource>(
+        s: &S,
+        topk: &TopKCandidates,
+        triangle: Triangle,
+        remaining: &[bool],
+        num_remaining: usize,
+        depth: usize,
+    ) -> Option<CandidateList> {
+        let [a, b, c] = triangle.corners();
+        let mut pool: Vec<usize> = Vec::with_capacity(3 * topk.k());
+        for corner in [a, b, c] {
+            for &(other, _) in topk.neighbors(corner) {
+                let v = other as usize;
+                if remaining[v] {
+                    pool.push(v);
+                }
+            }
+        }
+        // Increasing id order with duplicates removed, so the selection
+        // loop below resolves gain ties exactly like the full scan.
+        pool.sort_unstable();
+        pool.dedup();
+        let outside = num_remaining - pool.len();
+        let bound = if outside > 0 {
+            match (topk.kth_weight(a), topk.kth_weight(b), topk.kth_weight(c)) {
+                (Some(wa), Some(wb), Some(wc)) => Some(wa + wb + wc),
+                // A complete corner list covers every remaining vertex, so
+                // `outside > 0` is impossible here; unreachable in
+                // practice, but fall back conservatively.
+                _ => return None,
+            }
+        } else {
+            None
+        };
+        // The same selection loop as the full scan, over the pool only.
+        let mut list: Vec<(usize, f64)> = Vec::with_capacity(depth + 1);
+        let mut truncated = false;
+        for &v in &pool {
+            let gain = Self::gain_of(s, triangle, v);
+            if gain.is_nan() {
+                continue;
+            }
+            if list.len() == depth {
+                let (_, worst) = list[depth - 1];
+                if gain <= worst {
+                    truncated = true;
+                    continue;
+                }
+                truncated = true;
+            }
+            let at = list.partition_point(|&(_, g)| g >= gain);
+            list.insert(at, (v, gain));
+            list.truncate(depth);
+        }
+        if let Some(bound) = bound {
+            // Outside vertices exist: exact only if the pool filled the
+            // whole list with gains strictly above what any outside vertex
+            // can reach.
+            if list.len() < depth || list[depth - 1].1 <= bound {
+                return None;
+            }
+            truncated = true;
+        }
+        Some((list, truncated))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pfg_graph::SymmetricMatrix;
 
     fn matrix() -> SymmetricMatrix {
         // 5 vertices; vertex 4 is strongly attached to {0,1,2}.

@@ -16,15 +16,17 @@ pub mod bfs;
 pub mod matrix;
 pub mod planarity;
 pub mod shortest_paths;
+pub mod similarity;
 pub mod union_find;
 pub mod weighted_graph;
 
 pub use bfs::{bfs_distances, bfs_reachable, bfs_reachable_within};
-pub use matrix::SymmetricMatrix;
+pub use matrix::{SymmetricMatrix, SymmetricMatrixF32};
 pub use planarity::{is_planar, stays_planar_with_edge, LrScratch};
 pub use shortest_paths::{
     all_pairs_shortest_paths, dijkstra, group_restricted_shortest_paths, shortest_path_rows,
     GroupBlocks, PairDistances, SourceRows,
 };
+pub use similarity::{emission_cmp, DissimilarityView, SimilaritySource, TopKCandidates};
 pub use union_find::UnionFind;
 pub use weighted_graph::WeightedGraph;

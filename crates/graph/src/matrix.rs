@@ -51,13 +51,15 @@ impl SymmetricMatrix {
         m
     }
 
-    /// Builds a matrix from row-major data that a producer inside this
-    /// crate has already made *exactly* symmetric (e.g. the symmetrised
-    /// APSP buffer), skipping [`SymmetricMatrix::from_rows`]'s `O(n²)`
-    /// tolerance sweep and taking ownership of the buffer without a copy.
+    /// Builds a matrix from row-major data that the producer has already
+    /// made *exactly* symmetric (e.g. the symmetrised APSP buffer, or the
+    /// tiled correlation kernel that writes both mirrored positions of each
+    /// pair from a single computed value), skipping
+    /// [`SymmetricMatrix::from_rows`]'s `O(n²)` tolerance sweep and taking
+    /// ownership of the buffer without a copy.
     ///
     /// Debug builds still verify exact symmetry.
-    pub(crate) fn from_symmetrized(n: usize, data: Vec<f64>) -> Self {
+    pub fn from_symmetrized(n: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), n * n, "matrix data must have n*n entries");
         let m = Self { n, data };
         #[cfg(debug_assertions)]
@@ -146,6 +148,84 @@ impl SymmetricMatrix {
 
     /// Raw row-major data.
     pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// A dense symmetric `n × n` matrix stored as `f32`, halving the `n²`
+/// memory footprint of [`SymmetricMatrix`].
+///
+/// Reads widen to `f64` at the [`SymmetricMatrixF32::get`] boundary, so
+/// every consumer that only *compares* weights (TMFG gains, PMFG candidate
+/// order, DBHT edge lookups — all `f64::total_cmp` based) works unchanged
+/// on top of this storage. The values themselves carry ~7 significant
+/// decimal digits, which is far below the noise floor of estimated
+/// correlations; the end-to-end clustering quality impact is covered by a
+/// differential ARI test in the bench crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricMatrixF32 {
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl SymmetricMatrixF32 {
+    /// Creates an `n × n` matrix filled with `fill`.
+    pub fn filled(n: usize, fill: f32) -> Self {
+        Self {
+            n,
+            data: vec![fill; n * n],
+        }
+    }
+
+    /// Builds a matrix from row-major data the producer has already made
+    /// *exactly* symmetric (both mirrored positions written from one
+    /// computed value). Debug builds verify exact bit symmetry.
+    pub fn from_symmetrized(n: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), n * n, "matrix data must have n*n entries");
+        let m = Self { n, data };
+        #[cfg(debug_assertions)]
+        for i in 0..n {
+            for j in (i + 1)..n {
+                debug_assert!(
+                    m.data[i * n + j].to_bits() == m.data[j * n + i].to_bits(),
+                    "from_symmetrized requires exact symmetry: ({i},{j})"
+                );
+            }
+        }
+        m
+    }
+
+    /// Number of rows (= columns).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Returns the value at `(i, j)`, widened to `f64`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.n && j < self.n);
+        self.data[i * self.n + j] as f64
+    }
+
+    /// Sets `(i, j)` and `(j, i)` to `value`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f32) {
+        debug_assert!(i < self.n && j < self.n);
+        self.data[i * self.n + j] = value;
+        self.data[j * self.n + i] = value;
+    }
+
+    /// Sum of row `i`, accumulated in `f64` in index order.
+    pub fn row_sum(&self, i: usize) -> f64 {
+        self.data[i * self.n..(i + 1) * self.n]
+            .iter()
+            .map(|&x| x as f64)
+            .sum()
+    }
+
+    /// Raw row-major data.
+    pub fn as_slice(&self) -> &[f32] {
         &self.data
     }
 }

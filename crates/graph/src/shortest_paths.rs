@@ -114,12 +114,21 @@ fn dijkstra_into(graph: &WeightedGraph, source: usize, dist: &mut [f64]) {
 pub trait PairDistances {
     /// Shortest-path distance between `u` and `v`.
     fn pair(&self, u: usize, v: usize) -> f64;
+
+    /// Number of vertices the distances are defined over (used for
+    /// dimension checks at API boundaries).
+    fn num_vertices(&self) -> usize;
 }
 
 impl PairDistances for SymmetricMatrix {
     #[inline]
     fn pair(&self, u: usize, v: usize) -> f64 {
         self.get(u, v)
+    }
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.n()
     }
 }
 
@@ -290,6 +299,11 @@ impl PairDistances for SourceRows {
             panic!("distance ({u}, {v}) is outside the computed source rows")
         }
     }
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        SourceRows::num_vertices(self)
+    }
 }
 
 /// Dense intra-group distance blocks: for each group (disjoint vertex
@@ -432,6 +446,11 @@ impl PairDistances for GroupBlocks {
             "distance ({u}, {v}) crosses group boundaries — not in any block"
         );
         self.blocks[g][self.local_of[u] * self.groups[g].len() + self.local_of[v]]
+    }
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.group_of.len()
     }
 }
 

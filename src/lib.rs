@@ -56,17 +56,20 @@ pub mod prelude {
         dbht_for_tmfg, dissimilarity_graph, restricted_distances,
     };
     pub use pfg_core::{
-        pmfg, pmfg_sequential, pmfg_with_config, tmfg, BatchFreshness, Dbht, DbhtDistanceStats,
-        DbhtDistances, DbhtRunStats, Dendrogram, HacBackend, HacStats, ParTdbht, ParTdbhtConfig,
-        ParTdbhtResult, Pmfg, PmfgConfig, RoundStats, Tmfg, TmfgConfig, VertexAssignment,
+        pmfg, pmfg_prescreened, pmfg_sequential, pmfg_with_config, tmfg, tmfg_prescreened,
+        BatchFreshness, Dbht, DbhtDistanceStats, DbhtDistances, DbhtRunStats, Dendrogram,
+        HacBackend, HacStats, ParTdbht, ParTdbhtConfig, ParTdbhtResult, Pmfg, PmfgConfig,
+        RoundStats, Tmfg, TmfgConfig, VertexAssignment,
     };
     pub use pfg_data::{
-        correlation_matrix, dissimilarity_from_correlation, ucr_catalogue, StockMarket,
-        StockMarketConfig, TimeSeriesConfig, TimeSeriesDataset, SECTORS,
+        correlation_and_dissimilarity, correlation_matrix, correlation_matrix_f32,
+        dissimilarity_from_correlation, dissimilarity_matrix, ucr_catalogue, StockMarket,
+        StockMarketConfig, TileConfig, TimeSeriesConfig, TimeSeriesDataset, SECTORS,
     };
     pub use pfg_graph::{
-        all_pairs_shortest_paths, group_restricted_shortest_paths, shortest_path_rows, GroupBlocks,
-        LrScratch, PairDistances, SourceRows, SymmetricMatrix, WeightedGraph,
+        all_pairs_shortest_paths, group_restricted_shortest_paths, shortest_path_rows,
+        DissimilarityView, GroupBlocks, LrScratch, PairDistances, SimilaritySource, SourceRows,
+        SymmetricMatrix, SymmetricMatrixF32, TopKCandidates, WeightedGraph,
     };
     pub use pfg_metrics::{adjusted_mutual_information, adjusted_rand_index};
 }
