@@ -1,0 +1,15 @@
+//! Fixture: `.partial_cmp(` call site (line 11 only).
+
+pub struct P(pub f64);
+
+impl PartialOrd for P {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+
+pub fn bad(a: f64, b: f64) -> Option<std::cmp::Ordering> { a.partial_cmp(&b) }
+
+pub fn not_code() -> &'static str {
+    "a string mentioning .partial_cmp( is not a call"
+}

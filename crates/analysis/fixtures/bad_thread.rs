@@ -1,0 +1,18 @@
+//! Fixture: raw threading outside the executor shim (lines 4, 8).
+
+/// Global state the pool-less would share.
+pub static mut COUNTER: usize = 0;
+
+pub fn spawn_worker() -> std::thread::JoinHandle<()> {
+    // Spawned directly instead of going through the pool.
+    std::thread::spawn(|| {})
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helper_threads_are_fine_in_tests() {
+        let h = std::thread::spawn(|| {});
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: `unsafe` sites missing a SAFETY justification (lines 6, 14).
+
+pub struct Wrapper(*mut i32);
+
+pub fn bare_block(p: &Wrapper) -> i32 {
+    unsafe { *p.0 }
+}
+
+pub fn annotated(p: &Wrapper) -> i32 {
+    // SAFETY: fixture-annotated — callers pass a valid pointer.
+    unsafe { *p.0 }
+}
+// A comment that says nothing relevant.
+unsafe impl Send for Wrapper {}
+
+/// # Safety
+/// Callers must pass a valid, aligned pointer.
+pub unsafe fn documented(p: *mut i32) -> i32 {
+    *p
+}
+
+// SAFETY: attribute-transparent — the upward scan skips `#[inline]`.
+#[inline]
+pub unsafe fn attributed(p: *mut i32) -> i32 {
+    *p
+}

@@ -1,0 +1,11 @@
+//! Fixture: wall-clock reads in algorithm code (lines 4, 9).
+
+pub fn timed() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+
+pub fn epoch() -> u64 {
+    let _t = std::time::SystemTime::now();
+    0
+}

@@ -1,0 +1,33 @@
+//! Fixture: a clean file — every rule's negative space in one place.
+use std::collections::HashMap;
+
+/// Lookup and sorted materialisation: no hash-order dependence.
+pub fn sorted_view(m: &HashMap<usize, usize>) -> Vec<(usize, usize)> {
+    let mut pairs: Vec<(usize, usize)> = m.get(&0).map(|&v| (0, v)).into_iter().collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+pub fn deref(p: *const i32) -> i32 {
+    // SAFETY: fixture — callers pass valid pointers.
+    unsafe { *p }
+}
+
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn documented(p: *const i32) -> i32 {
+    *p
+}
+
+pub fn order(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
+/// An `unsafe fn(...)` function-pointer *type* is not an unsafe operation.
+pub struct Hook {
+    pub run: unsafe fn(*const ()),
+}
+
+pub fn mentions_in_strings() -> &'static str {
+    "Instant::now and thread::spawn and unsafe in a string are fine"
+}

@@ -1,0 +1,91 @@
+//! The checked-in suppression file for [`crate::rules`] findings.
+//!
+//! Format (one entry per line, `#` comments):
+//!
+//! ```text
+//! <rule-id> <path-prefix>
+//! ```
+//!
+//! An entry suppresses findings of `rule-id` (or every rule, for `*`) in
+//! files whose repo-relative path starts with `path-prefix` (forward
+//! slashes on every platform). Suppressions are *rule-scoped* by design:
+//! allowing wall-clock reads in the bench crate must not also allow, say,
+//! hash iteration there. The workspace's file is `lint.allow` at the repo
+//! root; every entry carries a comment saying why the exemption is sound.
+
+use std::path::Path;
+
+/// Parsed allowlist: `(rule, path-prefix)` entries.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String)>,
+}
+
+impl Allowlist {
+    /// Parses the `lint.allow` format. Unknown rule names are kept (they
+    /// suppress nothing but do not error, so the file can lead its
+    /// linter).
+    pub fn parse(text: &str) -> Self {
+        let mut entries = Vec::new();
+        for raw in text.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if let (Some(rule), Some(prefix)) = (parts.next(), parts.next()) {
+                entries.push((rule.to_string(), prefix.to_string()));
+            }
+        }
+        Allowlist { entries }
+    }
+
+    /// Loads and parses a file; a missing file is an empty allowlist.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(Self::parse(&text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether findings of `rule` in `rel_path` are suppressed.
+    pub fn allows(&self, rule: &str, rel_path: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|(r, prefix)| (r == rule || r == "*") && rel_path.starts_with(prefix.as_str()))
+    }
+
+    /// Number of entries (for reporting).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the allowlist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let a = Allowlist::parse(
+            "# header\nno-wall-clock crates/bench/  # timing is the product\n\n* crates/x/\n",
+        );
+        assert_eq!(a.len(), 2);
+        assert!(a.allows("no-wall-clock", "crates/bench/src/methods.rs"));
+        assert!(!a.allows("no-wall-clock", "crates/core/src/lib.rs"));
+        assert!(!a.allows("no-hash-iteration", "crates/bench/src/methods.rs"));
+        assert!(a.allows("anything", "crates/x/y.rs"));
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let a = Allowlist::load(Path::new("/nonexistent/lint.allow")).unwrap();
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,361 @@
+//! The determinism and concurrency-hygiene rules.
+//!
+//! Each rule is a lexical check over [`crate::scanner`] output, so string
+//! and comment contents never trigger or suppress a finding. The rules
+//! encode the workspace's standing contracts:
+//!
+//! * [`RULE_UNSAFE`] — every `unsafe` keyword (block, fn, or impl) carries
+//!   a `SAFETY` justification: on the same line's comment or in the
+//!   contiguous comment/attribute lines directly above (doc `# Safety`
+//!   sections qualify).
+//! * [`RULE_PARTIAL_CMP`] — no `.partial_cmp(` calls: on floats it returns
+//!   `None` for NaN, and `unwrap_or`-style recovery silently breaks strict
+//!   weak ordering (the repo's sorts require `total_cmp`). `PartialOrd`
+//!   *implementations* (`fn partial_cmp`) are not calls and do not match.
+//! * [`RULE_HASH_ITER`] — no iteration over `HashMap`/`HashSet` in
+//!   non-test code: iteration order is randomized per process, so any
+//!   result derived from it breaks the byte-identity contract. Detection
+//!   is two-pass: bindings/fields/params whose declaration mentions
+//!   `HashMap`/`HashSet` are tracked by name, and `for .. in` loops or
+//!   order-sensitive method calls (`iter`, `keys`, `values`, `drain`,
+//!   `into_iter`, `into_keys`, `into_values`, `intersection`, `union`,
+//!   `difference`, `symmetric_difference`) on a tracked name are flagged.
+//! * [`RULE_WALL_CLOCK`] — no `Instant::now` / `SystemTime` outside the
+//!   allowlisted bench/timing modules; algorithm code must not read the
+//!   clock.
+//! * [`RULE_RAW_THREAD`] — no `thread::spawn` or `static mut` in non-test
+//!   code outside the allowlisted executor shim: all parallelism goes
+//!   through the pool so the chaos/racecheck harnesses see it.
+
+use crate::scanner::{scan, Line};
+
+/// An `unsafe` keyword without a reachable `SAFETY` comment.
+pub const RULE_UNSAFE: &str = "unsafe-needs-safety-comment";
+/// A `.partial_cmp(` call site.
+pub const RULE_PARTIAL_CMP: &str = "no-partial-cmp";
+/// Iteration over a hash container in non-test code.
+pub const RULE_HASH_ITER: &str = "no-hash-iteration";
+/// A wall-clock read outside bench/timing modules.
+pub const RULE_WALL_CLOCK: &str = "no-wall-clock";
+/// A raw thread spawn or `static mut` outside the executor shim.
+pub const RULE_RAW_THREAD: &str = "no-raw-thread";
+
+/// One finding: rule, repo-relative file, 1-based line, message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Runs every rule over one file's source. `rel_path` is recorded in the
+/// findings (and used for nothing else; path-based suppression is the
+/// allowlist's job).
+pub fn check_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    let lines = scan(source);
+    let mut out = Vec::new();
+    check_unsafe(rel_path, &lines, &mut out);
+    check_partial_cmp(rel_path, &lines, &mut out);
+    check_hash_iteration(rel_path, &lines, &mut out);
+    check_wall_clock(rel_path, &lines, &mut out);
+    check_raw_thread(rel_path, &lines, &mut out);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Word-boundary occurrence of `word` in `code` (identifier chars on
+/// either side disqualify a match).
+fn has_token(code: &str, word: &str) -> bool {
+    find_token(code, word, 0).is_some()
+}
+
+fn find_token(code: &str, word: &str, from: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut start = from;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + word.len();
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn comment_mentions_safety(line: &Line) -> bool {
+    line.comment.to_uppercase().contains("SAFETY")
+}
+
+/// `unsafe fn(` with the paren directly after `fn` is function-*pointer*
+/// type syntax (a field or parameter type), not an unsafe operation — a
+/// declaration always names the function first (`unsafe fn name(`).
+fn is_fn_pointer_type(code: &str, at: usize) -> bool {
+    let rest = code[at + "unsafe".len()..].trim_start();
+    rest.strip_prefix("fn")
+        .is_some_and(|r| r.trim_start().starts_with('('))
+}
+
+fn check_unsafe(file: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        let mut needs_safety = false;
+        let mut from = 0;
+        while let Some(at) = find_token(&line.code, "unsafe", from) {
+            if !is_fn_pointer_type(&line.code, at) {
+                needs_safety = true;
+                break;
+            }
+            from = at + "unsafe".len();
+        }
+        if !needs_safety {
+            continue;
+        }
+        // Same-line comment, or the contiguous run of comment/attribute
+        // lines directly above.
+        let mut justified = comment_mentions_safety(line);
+        let mut j = i;
+        while !justified && j > 0 {
+            j -= 1;
+            let above = &lines[j];
+            if above.is_comment_only() {
+                justified = comment_mentions_safety(above);
+            } else if above.is_attribute_only() {
+                continue;
+            } else {
+                break;
+            }
+        }
+        if !justified {
+            out.push(Violation {
+                rule: RULE_UNSAFE,
+                file: file.to_string(),
+                line: i + 1,
+                message: "`unsafe` without a SAFETY comment on or above the line".to_string(),
+            });
+        }
+    }
+}
+
+fn check_partial_cmp(file: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if line.code.contains(".partial_cmp(") {
+            out.push(Violation {
+                rule: RULE_PARTIAL_CMP,
+                file: file.to_string(),
+                line: i + 1,
+                message: "`.partial_cmp(` call — use `total_cmp` (NaN breaks the strict weak \
+                          order)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Method suffixes whose results depend on hash iteration order.
+const HASH_ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+    ".intersection(",
+    ".union(",
+    ".difference(",
+    ".symmetric_difference(",
+];
+
+fn check_hash_iteration(file: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    // Pass 1: names whose declaration mentions a hash container — `let`
+    // bindings, struct fields, and typed params alike (`name: ...Hash...`
+    // or `let name = Hash...`). Nested containers (`Vec<HashSet<..>>`)
+    // are tracked too; indexing is handled at the use site.
+    let mut tracked: Vec<String> = Vec::new();
+    for line in lines {
+        let code = &line.code;
+        if !code.contains("HashMap") && !code.contains("HashSet") {
+            continue;
+        }
+        // Imports and type aliases declare no iterable binding.
+        let t = code.trim_start();
+        if t.starts_with("use ") || t.starts_with("pub use ") || t.starts_with("type ") {
+            continue;
+        }
+        if let Some(let_at) = find_token(code, "let", 0) {
+            let rest = &code[let_at + 3..];
+            let rest = rest
+                .trim_start()
+                .strip_prefix("mut ")
+                .unwrap_or(rest.trim_start());
+            if let Some(name) = leading_ident(rest) {
+                tracked.push(name);
+                continue;
+            }
+        }
+        // Field or parameter form: `ident : ... Hash{Map,Set} ...` with the
+        // container after the colon.
+        if let Some(colon) = code.find(':') {
+            let after = &code[colon..];
+            if after.contains("HashMap") || after.contains("HashSet") {
+                let before = code[..colon].trim_end();
+                if let Some(name) = trailing_ident(before) {
+                    tracked.push(name);
+                }
+            }
+        }
+    }
+    tracked.sort();
+    tracked.dedup();
+    if tracked.is_empty() {
+        return;
+    }
+    // Pass 2: iteration over a tracked name in non-test code.
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for name in &tracked {
+            let mut from = 0;
+            while let Some(at) = find_token(code, name, from) {
+                from = at + name.len();
+                let after = skip_index(&code[at + name.len()..]);
+                let method_hit = HASH_ITER_METHODS.iter().any(|m| after.starts_with(m));
+                let for_hit = is_for_in_target(&code[..at])
+                    && (after.trim_start().starts_with('{') || after.trim_start().is_empty());
+                if method_hit || for_hit {
+                    out.push(Violation {
+                        rule: RULE_HASH_ITER,
+                        file: file.to_string(),
+                        line: i + 1,
+                        message: format!(
+                            "iteration over hash container `{name}` — order is \
+                             nondeterministic; iterate a sorted view instead"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Skips one balanced `[...]` index expression, returning what follows.
+fn skip_index(s: &str) -> &str {
+    let bytes = s.as_bytes();
+    if bytes.first() != Some(&b'[') {
+        return s;
+    }
+    let mut depth = 0usize;
+    for (k, &b) in bytes.iter().enumerate() {
+        match b {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &s[k + 1..];
+                }
+            }
+            _ => {}
+        }
+    }
+    s
+}
+
+/// Whether the code before a name ends in `for .. in` (optionally with
+/// `&` / `&mut`), i.e. the name is the loop's iterated expression.
+fn is_for_in_target(before: &str) -> bool {
+    let t = before.trim_end();
+    let t = t.strip_suffix("&mut").unwrap_or(t).trim_end();
+    let t = t.strip_suffix('&').unwrap_or(t).trim_end();
+    t.ends_with(" in") && t.contains("for ")
+}
+
+fn leading_ident(s: &str) -> Option<String> {
+    let s = s.trim_start();
+    let end = s
+        .char_indices()
+        .find(|(_, c)| !c.is_alphanumeric() && *c != '_')
+        .map_or(s.len(), |(k, _)| k);
+    (end > 0 && !s.as_bytes()[0].is_ascii_digit()).then(|| s[..end].to_string())
+}
+
+fn trailing_ident(s: &str) -> Option<String> {
+    let start = s
+        .char_indices()
+        .rev()
+        .find(|(_, c)| !c.is_alphanumeric() && *c != '_')
+        .map_or(0, |(k, c)| k + c.len_utf8());
+    let ident = &s[start..];
+    (!ident.is_empty() && !ident.as_bytes()[0].is_ascii_digit()).then(|| ident.to_string())
+}
+
+fn check_wall_clock(file: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        let clock = if line.code.contains("Instant::now") {
+            Some("Instant::now")
+        } else if has_token(&line.code, "SystemTime") {
+            Some("SystemTime")
+        } else {
+            None
+        };
+        if let Some(what) = clock {
+            out.push(Violation {
+                rule: RULE_WALL_CLOCK,
+                file: file.to_string(),
+                line: i + 1,
+                message: format!("wall-clock read (`{what}`) outside bench/timing modules"),
+            });
+        }
+    }
+}
+
+fn check_raw_thread(file: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let what = if line.code.contains("thread::spawn") {
+            Some("thread::spawn")
+        } else if has_token(&line.code, "static") && {
+            let at = find_token(&line.code, "static", 0).unwrap();
+            line.code[at + "static".len()..]
+                .trim_start()
+                .starts_with("mut ")
+        } {
+            Some("static mut")
+        } else {
+            None
+        };
+        if let Some(what) = what {
+            out.push(Violation {
+                rule: RULE_RAW_THREAD,
+                file: file.to_string(),
+                line: i + 1,
+                message: format!(
+                    "`{what}` outside the executor shim — parallelism must go through the pool"
+                ),
+            });
+        }
+    }
+}

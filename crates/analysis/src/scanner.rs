@@ -1,0 +1,312 @@
+//! Comment- and string-aware line scanner for the determinism linter.
+//!
+//! The lint rules are lexical, so their precision lives or dies on one
+//! thing: never matching a pattern inside a comment or a string literal,
+//! and never missing one because it sits next to a tricky token. This
+//! module does that separation once, hand-rolled (the workspace builds
+//! offline, so no `syn`): each source line is split into its *code* text
+//! (string and char-literal contents blanked to spaces, comments removed)
+//! and its *comment* text (line, doc, and block comment bodies), with the
+//! lexer state — nested block comments, multi-line strings, raw strings
+//! with `#` fences — carried across lines. A second pass tracks
+//! `#[cfg(test)]` regions by brace depth so rules can exempt test code.
+//!
+//! The blanking is what lets the linter lint *itself*: its own rule
+//! patterns are string literals, which scan to spaces.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line's code with comments stripped and string/char-literal
+    /// contents replaced by spaces. Column positions are preserved for
+    /// everything that remains.
+    pub code: String,
+    /// Concatenated comment text on the line (line-comment tail and/or
+    /// block-comment content), in source order.
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]` item (the attribute
+    /// line itself counts).
+    pub in_test: bool,
+}
+
+impl Line {
+    /// A pure annotation line: no code, only a comment. Rules scan upward
+    /// through these (and attribute lines) looking for `SAFETY` text.
+    pub fn is_comment_only(&self) -> bool {
+        self.code.trim().is_empty() && !self.comment.trim().is_empty()
+    }
+
+    /// An attribute-only line (`#[...]`), transparent to the upward
+    /// safety-comment scan.
+    pub fn is_attribute_only(&self) -> bool {
+        let t = self.code.trim();
+        t.starts_with("#[") || t.starts_with("#![")
+    }
+}
+
+/// Lexer state carried across lines.
+enum State {
+    Normal,
+    /// Inside `/* ... */`, with Rust's nesting depth.
+    BlockComment(u32),
+    /// Inside a regular `"..."` string (may span lines).
+    Str,
+    /// Inside a raw string `r#"..."#`, with the fence's `#` count.
+    RawStr(u32),
+}
+
+/// Scans `source` into per-line code/comment splits with test-region
+/// flags.
+pub fn scan(source: &str) -> Vec<Line> {
+    let mut state = State::Normal;
+    let mut lines = Vec::new();
+    for raw in source.lines() {
+        lines.push(scan_line(raw, &mut state));
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+fn scan_line(raw: &str, state: &mut State) -> Line {
+    let chars: Vec<char> = raw.chars().collect();
+    let mut code = String::with_capacity(chars.len());
+    let mut comment = String::new();
+    let mut i = 0;
+    // Previous *code* char, for deciding whether `r` / `b` can start a raw
+    // or byte string (they cannot mid-identifier, e.g. in `var"`-less
+    // `attr`-like names such as `for_r`).
+    let mut prev_code: Option<char> = None;
+    while i < chars.len() {
+        let c = chars[i];
+        match state {
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    comment.push_str("*/");
+                    i += 2;
+                    *depth -= 1;
+                    if *depth == 0 {
+                        *state = State::Normal;
+                    }
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    comment.push_str("/*");
+                    i += 2;
+                    *depth += 1;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+                code.push(' ');
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    *state = State::Normal;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                let n = *hashes as usize;
+                if c == '"' && (0..n).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
+                    code.push('"');
+                    for _ in 0..n {
+                        code.push(' ');
+                    }
+                    i += 1 + n;
+                    *state = State::Normal;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Normal => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    // Line comment (also covers `///` and `//!`): the rest
+                    // of the line is comment text.
+                    comment.extend(&chars[i..]);
+                    break;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    comment.push_str("/*");
+                    code.push_str("  ");
+                    *state = State::BlockComment(1);
+                    i += 2;
+                    continue;
+                } else if c == '"' {
+                    code.push('"');
+                    *state = State::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !is_ident(prev_code) {
+                    // Possible raw/byte string: r", r#", br", b" (with any
+                    // fence width for the raw forms).
+                    if let Some(consumed) = string_prefix(&chars[i..], state) {
+                        for _ in 0..consumed {
+                            code.push(' ');
+                        }
+                        i += consumed;
+                    } else {
+                        code.push(c);
+                        prev_code = Some(c);
+                        i += 1;
+                    }
+                    continue;
+                } else if c == '\'' {
+                    // Char literal vs lifetime: `'\...'` and `'x'` are
+                    // literals (blank them); anything else — `'a` in
+                    // `&'a T` or `'static` — is a lifetime and stays.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' {
+                            j += 1;
+                        }
+                        for _ in i..(j + 1).min(chars.len()) {
+                            code.push(' ');
+                        }
+                        i = j + 1;
+                    } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                        code.push_str("   ");
+                        i += 3;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                    prev_code = None;
+                    continue;
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+                prev_code = Some(c);
+            }
+        }
+    }
+    Line {
+        code,
+        comment,
+        in_test: false,
+    }
+}
+
+/// If `rest` starts a string literal with a prefix (`r`, `b`, `br`, plus
+/// raw fences), updates `state` and returns the consumed opener length.
+/// Plain `b"` enters the ordinary string state; raw forms record the
+/// fence width.
+fn string_prefix(rest: &[char], state: &mut State) -> Option<usize> {
+    let mut j = 0;
+    if rest[0] == 'b' {
+        j = 1;
+    }
+    if rest.get(j) == Some(&'r') {
+        let mut hashes = 0usize;
+        let mut k = j + 1;
+        while rest.get(k) == Some(&'#') {
+            hashes += 1;
+            k += 1;
+        }
+        if rest.get(k) == Some(&'"') {
+            *state = State::RawStr(hashes as u32);
+            return Some(k + 1);
+        }
+        return None;
+    }
+    if j == 1 && rest.get(1) == Some(&'"') {
+        *state = State::Str;
+        return Some(2);
+    }
+    None
+}
+
+fn is_ident(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Marks lines inside `#[cfg(test)]` items by tracking brace depth over
+/// the blanked code (string braces are already spaces, so the depth is
+/// exact up to macro pathologies).
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth = 0usize;
+    let mut test_stack: Vec<usize> = Vec::new();
+    let mut pending = false;
+    for line in lines.iter_mut() {
+        if line.code.contains("cfg(test)") {
+            pending = true;
+        }
+        let entered = pending || !test_stack.is_empty();
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        test_stack.push(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if test_stack.last() == Some(&depth) {
+                        test_stack.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+        line.in_test = entered || !test_stack.is_empty();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let lines = scan("let x = \"has // no comment\"; // real SAFETY: note");
+        assert!(!lines[0].code.contains("no comment"));
+        assert!(lines[0].code.contains("let x ="));
+        assert!(lines[0].comment.contains("SAFETY"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let lines = scan("a /* x /* y */ z */ b\nc");
+        assert!(lines[0].code.contains('a') && lines[0].code.contains('b'));
+        assert!(!lines[0].code.contains('z'));
+        assert_eq!(lines[1].code, "c");
+    }
+
+    #[test]
+    fn raw_strings_with_fences_span_lines() {
+        let src = "let p = r#\"multi\nline // not a comment\"#;\nafter";
+        let lines = scan(src);
+        assert!(!lines[1].code.contains("not a comment"));
+        assert!(lines[1].comment.is_empty());
+        assert_eq!(lines[2].code, "after");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = scan("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(lines[0].code.contains("<'a>"));
+        assert!(!lines[0].code.contains("'x'"));
+    }
+
+    #[test]
+    fn escaped_char_literals_blank_fully() {
+        let lines = scan("let q = '\\''; let r = '\\n'; let l: &'static str = s;");
+        assert!(lines[0].code.contains("'static"));
+        assert!(!lines[0].code.contains("\\n"));
+    }
+
+    #[test]
+    fn cfg_test_region_tracks_brace_depth() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test && lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+}

@@ -1,0 +1,406 @@
+//! Shadow-write audit registry for the workspace's `unsafe` disjoint-write
+//! paths, plus the one shared [`SendPtr`] those paths use.
+//!
+//! Every raw-pointer write in this workspace is justified by a
+//! *disjointness* argument: the tiled correlation kernel's tile pairs own
+//! mirrored element sets, the parallel merge sort's sub-merges own
+//! `[start, end)` ranges of the slice and scratch buffer, APSP owns one
+//! matrix row per Dijkstra source, and the executor's `MaybeUninit` result
+//! slots are written by exactly one leaf each. Those arguments are
+//! enforced by hand discipline — the build environment has no Miri,
+//! ThreadSanitizer, or loom — so this crate makes them *checkable*: each
+//! unsafe write path registers its claim with a [`DisjointWriteAudit`],
+//! and under `--cfg pfg_racecheck` any overlap or double write panics
+//! naming **both** claim sites. Without the cfg every type here is
+//! zero-sized and every method an empty `#[inline]` body, so the audited
+//! hot paths cost nothing in ordinary builds (asserted by the
+//! `zero_sized_when_disabled` test).
+//!
+//! Two claim disciplines cover the workspace's write patterns:
+//!
+//! * [`DisjointWriteAudit::cells`] — an *exactly-once* registry over `len`
+//!   flat cells. [`DisjointWriteAudit::write_once`] marks a cell written;
+//!   a second write to the same cell panics. Lock-free (one CAS per
+//!   write), so it can sit on `n²`-element kernels.
+//! * [`DisjointWriteAudit::ranges`] — a registry of *live* `[start, end)`
+//!   claims. [`DisjointWriteAudit::claim_range`] panics if the range
+//!   overlaps any claim still alive, and the returned [`RangeClaim`] guard
+//!   releases the claim on drop — so temporally nested ownership (a merge
+//!   tree whose parent reuses its children's ranges *after* they complete)
+//!   audits cleanly while true concurrent overlap panics.
+//!
+//! Run the audit with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg pfg_racecheck" cargo test -q
+//! ```
+//!
+//! (optionally under `PFG_CHAOS_SEED` — see the rayon shim — to stress
+//! many steal orders).
+
+/// A raw pointer that may cross threads, for closures that write disjoint
+/// ranges of one buffer in parallel.
+///
+/// This is the single shared definition used by the parallel merge sort,
+/// the tiled correlation kernel, and the APSP symmetrisation (each
+/// previously rolled its own). Sound to send only because every user hands
+/// a task a pointer into a region that task has *exclusive* access to —
+/// the disjointness invariants that [`DisjointWriteAudit`] checks
+/// dynamically under `--cfg pfg_racecheck`.
+pub struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Wraps `ptr`. Constructing a `SendPtr` is safe; every dereference of
+    /// [`SendPtr::get`]'s result remains `unsafe` and needs its own
+    /// disjointness argument.
+    #[inline]
+    pub fn new(ptr: *mut T) -> Self {
+        SendPtr(ptr)
+    }
+
+    /// The wrapped pointer. An accessor rather than field access so `move`
+    /// closures capture the whole `Send` wrapper, not the raw-pointer
+    /// field (closure capture is field-precise and `*mut T` alone is not
+    /// `Send`).
+    #[inline]
+    pub fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: see the type docs — every user hands each task a pointer to a
+// range it has exclusive access to; `T: Send` moves ownership of the
+// pointed-to values across threads with the pointer.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: as above; a `&SendPtr` only exposes the pointer value, and all
+// dereferences are the caller's (audited) responsibility.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(pfg_racecheck)]
+mod imp {
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicPtr, Ordering};
+    use std::sync::Mutex;
+
+    type Site = &'static Location<'static>;
+
+    /// The checking registry (`--cfg pfg_racecheck` build).
+    pub struct DisjointWriteAudit {
+        label: &'static str,
+        mode: Mode,
+    }
+
+    enum Mode {
+        /// One slot per cell: null = unwritten, else the first writer's
+        /// claim site.
+        Cells(Vec<AtomicPtr<Location<'static>>>),
+        Ranges(Mutex<RangeTable>),
+    }
+
+    struct RangeTable {
+        next_id: u64,
+        live: Vec<LiveRange>,
+    }
+
+    struct LiveRange {
+        id: u64,
+        start: usize,
+        end: usize,
+        site: Site,
+    }
+
+    impl DisjointWriteAudit {
+        pub fn cells(label: &'static str, len: usize) -> Self {
+            DisjointWriteAudit {
+                label,
+                mode: Mode::Cells(
+                    (0..len)
+                        .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                        .collect(),
+                ),
+            }
+        }
+
+        pub fn ranges(label: &'static str) -> Self {
+            DisjointWriteAudit {
+                label,
+                mode: Mode::Ranges(Mutex::new(RangeTable {
+                    next_id: 0,
+                    live: Vec::new(),
+                })),
+            }
+        }
+
+        #[track_caller]
+        pub fn write_once(&self, idx: usize) {
+            let Mode::Cells(cells) = &self.mode else {
+                panic!(
+                    "racecheck[{}]: write_once on a range-mode audit",
+                    self.label
+                );
+            };
+            assert!(
+                idx < cells.len(),
+                "racecheck[{}]: cell {idx} out of bounds ({} cells)",
+                self.label,
+                cells.len()
+            );
+            let site: Site = Location::caller();
+            let new = site as *const Location<'static> as *mut Location<'static>;
+            if let Err(first) = cells[idx].compare_exchange(
+                std::ptr::null_mut(),
+                new,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                // SAFETY: non-null entries are always &'static Locations
+                // stored by the CAS above.
+                let first: Site = unsafe { &*first };
+                panic!(
+                    "racecheck[{}]: double write to cell {idx}: first claimed at {first}, \
+                     claimed again at {site}",
+                    self.label
+                );
+            }
+        }
+
+        #[track_caller]
+        pub fn claim_range(&self, start: usize, end: usize) -> super::RangeClaim<'_> {
+            let Mode::Ranges(table) = &self.mode else {
+                panic!(
+                    "racecheck[{}]: claim_range on a cell-mode audit",
+                    self.label
+                );
+            };
+            let site: Site = Location::caller();
+            // A violation panic below happens while holding this lock; if
+            // the caller catches it (tests do), later claims and releases
+            // must keep working, so poisoning is ignored.
+            let mut table = table.lock().unwrap_or_else(|e| e.into_inner());
+            for live in &table.live {
+                // Half-open interval intersection; empty claims (start ==
+                // end) overlap nothing.
+                if start < end && live.start < live.end && start < live.end && live.start < end {
+                    panic!(
+                        "racecheck[{}]: range [{start}, {end}) claimed at {site} overlaps \
+                         live claim [{}, {}) claimed at {}",
+                        self.label, live.start, live.end, live.site
+                    );
+                }
+            }
+            let id = table.next_id;
+            table.next_id += 1;
+            table.live.push(LiveRange {
+                id,
+                start,
+                end,
+                site,
+            });
+            super::RangeClaim { audit: self, id }
+        }
+
+        pub(super) fn release(&self, id: u64) {
+            if let Mode::Ranges(table) = &self.mode {
+                // Runs from guard destructors during unwinding after a
+                // violation panic: must not panic again (double panic
+                // aborts), so poisoning is ignored here too.
+                let mut table = table.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(pos) = table.live.iter().position(|r| r.id == id) {
+                    table.live.swap_remove(pos);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(pfg_racecheck)]
+pub use imp::DisjointWriteAudit;
+
+/// A live `[start, end)` claim; dropping it releases the range so later
+/// (temporally disjoint) claims may reuse it. Zero-sized when
+/// `pfg_racecheck` is off.
+#[cfg(pfg_racecheck)]
+pub struct RangeClaim<'a> {
+    audit: &'a DisjointWriteAudit,
+    id: u64,
+}
+
+#[cfg(pfg_racecheck)]
+impl Drop for RangeClaim<'_> {
+    fn drop(&mut self) {
+        self.audit.release(self.id);
+    }
+}
+
+/// Shadow-write registry for one buffer's disjoint-write invariant.
+///
+/// This is the disabled (`pfg_racecheck` off) build: a zero-sized type
+/// whose methods are empty `#[inline]` bodies, so registration sites in
+/// the audited kernels compile away entirely. Build with
+/// `RUSTFLAGS="--cfg pfg_racecheck"` for the checking version, which
+/// panics on any overlap or double write naming both claim sites.
+#[cfg(not(pfg_racecheck))]
+pub struct DisjointWriteAudit;
+
+#[cfg(not(pfg_racecheck))]
+impl DisjointWriteAudit {
+    /// Exactly-once registry over `len` flat cells (no-op in this build).
+    #[inline(always)]
+    pub fn cells(_label: &'static str, _len: usize) -> Self {
+        DisjointWriteAudit
+    }
+
+    /// Live-range registry (no-op in this build).
+    #[inline(always)]
+    pub fn ranges(_label: &'static str) -> Self {
+        DisjointWriteAudit
+    }
+
+    /// Marks cell `idx` written (no-op in this build).
+    #[inline(always)]
+    pub fn write_once(&self, _idx: usize) {}
+
+    /// Claims `[start, end)` until the guard drops (no-op in this build).
+    #[inline(always)]
+    pub fn claim_range(&self, _start: usize, _end: usize) -> RangeClaim<'_> {
+        RangeClaim(std::marker::PhantomData)
+    }
+}
+
+/// See the racecheck-enabled variant; in this build the guard is a
+/// zero-sized no-op.
+#[cfg(not(pfg_racecheck))]
+pub struct RangeClaim<'a>(std::marker::PhantomData<&'a DisjointWriteAudit>);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_ptr_round_trips_and_copies() {
+        let mut v = [1i64, 2, 3];
+        let p = SendPtr::new(v.as_mut_ptr());
+        let q = p;
+        // SAFETY: single-threaded exclusive access to `v`.
+        unsafe {
+            *p.get() = 7;
+            assert_eq!(*q.get(), 7);
+        }
+        assert_eq!(v[0], 7);
+    }
+
+    #[cfg(not(pfg_racecheck))]
+    mod disabled {
+        use super::*;
+
+        #[test]
+        fn zero_sized_when_disabled() {
+            // The standing zero-overhead contract: without the cfg, the
+            // registry and its guards occupy no memory anywhere they are
+            // embedded (pool result slots, sort frames, kernel closures),
+            // and the empty inline methods compile away.
+            assert_eq!(std::mem::size_of::<DisjointWriteAudit>(), 0);
+            assert_eq!(std::mem::size_of::<RangeClaim<'_>>(), 0);
+        }
+
+        #[test]
+        fn violations_are_ignored_when_disabled() {
+            let cells = DisjointWriteAudit::cells("off", 4);
+            cells.write_once(1);
+            cells.write_once(1); // double write: no panic without the cfg
+            let ranges = DisjointWriteAudit::ranges("off");
+            let _a = ranges.claim_range(0, 10);
+            let _b = ranges.claim_range(5, 15); // overlap: no panic
+        }
+    }
+
+    #[cfg(pfg_racecheck)]
+    mod enabled {
+        use super::*;
+
+        fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+            let err = std::panic::catch_unwind(f).expect_err("must panic");
+            err.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .expect("panic payload is a string")
+        }
+
+        #[test]
+        fn double_write_panics_with_both_sites() {
+            let audit = DisjointWriteAudit::cells("cells-under-test", 8);
+            audit.write_once(3);
+            let msg = panic_message(move || audit.write_once(3));
+            assert!(msg.contains("cells-under-test"), "{msg}");
+            assert!(msg.contains("double write to cell 3"), "{msg}");
+            // Both claim sites named, and they are distinct lines of this
+            // file.
+            let hits = msg.matches("lib.rs").count();
+            assert!(hits >= 2, "expected two claim sites in: {msg}");
+        }
+
+        #[test]
+        fn distinct_cells_do_not_panic() {
+            let audit = DisjointWriteAudit::cells("cells", 4);
+            for i in 0..4 {
+                audit.write_once(i);
+            }
+        }
+
+        #[test]
+        fn overlapping_live_ranges_panic_with_both_sites() {
+            let audit = DisjointWriteAudit::ranges("ranges-under-test");
+            let _live = audit.claim_range(0, 10);
+            let msg = panic_message(|| {
+                let _overlap = audit.claim_range(5, 15);
+            });
+            assert!(msg.contains("ranges-under-test"), "{msg}");
+            assert!(msg.contains("[5, 15)"), "{msg}");
+            assert!(msg.contains("[0, 10)"), "{msg}");
+            assert!(msg.matches("lib.rs").count() >= 2, "{msg}");
+        }
+
+        #[test]
+        fn released_ranges_can_be_reclaimed() {
+            let audit = DisjointWriteAudit::ranges("ranges");
+            {
+                let _a = audit.claim_range(0, 10);
+                let _b = audit.claim_range(10, 20); // touching, not overlapping
+            }
+            // Both released: the whole span is claimable again.
+            let _c = audit.claim_range(0, 20);
+        }
+
+        #[test]
+        fn empty_ranges_never_overlap() {
+            let audit = DisjointWriteAudit::ranges("ranges");
+            let _a = audit.claim_range(0, 10);
+            let _b = audit.claim_range(5, 5);
+        }
+
+        #[test]
+        fn concurrent_disjoint_writers_pass() {
+            let audit = std::sync::Arc::new(DisjointWriteAudit::cells("concurrent", 4096));
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let audit = std::sync::Arc::clone(&audit);
+                    std::thread::spawn(move || {
+                        for i in (t..4096).step_by(4) {
+                            audit.write_once(i);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+    }
+}

@@ -54,6 +54,7 @@ mod fifo {
     // until every task completes — identical pinning argument to the PR 2
     // executor this replicates.
     unsafe impl Send for RunnerPtr {}
+    // SAFETY: same pinning argument as `Send` directly above.
     unsafe impl Sync for RunnerPtr {}
 
     impl Batch {
@@ -133,6 +134,7 @@ mod fifo {
             // SAFETY: lifetime erasure only; this frame blocks until
             // `done == total` below.
             let runner: &'static (dyn Fn(usize) + Sync) =
+                // SAFETY: lifetime erasure only, per the note above.
                 unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(runner) };
             let batch = Arc::new(Batch {
                 runner: RunnerPtr(runner as *const _),

@@ -768,7 +768,6 @@ fn assign_heights(
     }
 
     // Per-group ladder heights.
-    let sizes: HashMap<usize, usize> = group_sizes.iter().copied().collect();
     let mut per_group: HashMap<usize, Vec<&MergeRecord>> = HashMap::new();
     for record in records {
         match record.kind {
@@ -778,8 +777,13 @@ fn assign_heights(
             MergeKind::InterGroup => {}
         }
     }
-    for (group, mut group_records) in per_group {
-        let nb = sizes[&group];
+    // Drain in plan (`group_sizes`) order, not hash order: each group's
+    // heights are independent, but the byte-identity contract bans
+    // hash-order traversal on any result path outright.
+    for &(group, nb) in group_sizes {
+        let Some(mut group_records) = per_group.remove(&group) else {
+            continue;
+        };
         debug_assert_eq!(group_records.len(), nb.saturating_sub(1));
         // Sort: intra-bubble nodes first (by bubble assignment, then merge
         // distance, then creation order), then inter-bubble nodes (by merge

@@ -32,6 +32,7 @@
 //! Differential tests in this module assert the equality.
 
 use pfg_graph::{SimilaritySource, SymmetricMatrix, SymmetricMatrixF32};
+use pfg_primitives::{DisjointWriteAudit, SendPtr};
 use rayon::prelude::*;
 
 /// Tiling parameters of the correlation kernel.
@@ -195,19 +196,30 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
         .clamp(-1.0, 1.0)
 }
 
-/// Raw pointer wrapper for the tile tasks' disjoint writes (each tile
-/// pair owns the mirrored index set of its upper-triangle entries, so no
-/// two tasks write the same position).
-struct SendPtr<T>(*mut T);
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
-
-impl<T> SendPtr<T> {
-    /// Accessor instead of field access, so closures capture the `Sync`
-    /// wrapper rather than the raw pointer itself.
-    #[inline]
-    fn get(&self) -> *mut T {
-        self.0
+/// Stores `v` at the mirrored positions `(i, j)` and `(j, i)` of the flat
+/// `n × n` buffer behind `ptr` — once only when `i == j` — and declares
+/// each store to `audit`, whose exactly-once-per-cell check (active under
+/// `--cfg pfg_racecheck`) is what pins down the tile decomposition's
+/// disjoint-write claim.
+///
+/// # Safety
+/// `ptr` must point at `n * n` valid writable elements and the caller must
+/// be the unique writer of positions `(i, j)` and `(j, i)`: the tiled
+/// kernel assigns each unordered pair to exactly one tile task.
+#[inline]
+unsafe fn write_sym<T: Copy + Send>(
+    ptr: SendPtr<T>,
+    audit: &DisjointWriteAudit,
+    n: usize,
+    i: usize,
+    j: usize,
+    v: T,
+) {
+    audit.write_once(i * n + j);
+    *ptr.get().add(i * n + j) = v;
+    if i != j {
+        audit.write_once(j * n + i);
+        *ptr.get().add(j * n + i) = v;
     }
 }
 
@@ -319,10 +331,12 @@ pub fn correlation_from_profile(
 ) -> (SymmetricMatrix, CorrelationKernelStats) {
     let n = z.n;
     let mut data = vec![0.0f64; n * n];
-    let ptr = SendPtr(data.as_mut_ptr());
+    let ptr = SendPtr::new(data.as_mut_ptr());
+    let audit = DisjointWriteAudit::cells("correlation matrix", n * n);
+    // SAFETY: `write_sym`'s contract — `data` has n·n elements and the
+    // tiled kernel emits each unordered pair exactly once.
     let tiles = for_each_pair(z, config.tile, |i, j, rho| unsafe {
-        *ptr.get().add(i * n + j) = rho;
-        *ptr.get().add(j * n + i) = rho;
+        write_sym(ptr, &audit, n, i, j, rho);
     });
     let mut stats = base_stats(z, config.tile, tiles);
     stats.output_bytes = n * n * std::mem::size_of::<f64>();
@@ -341,11 +355,12 @@ pub fn correlation_matrix_f32(
     let z = ZProfile::build(series).expect("tiled kernel requires uniform-length series");
     let n = z.n;
     let mut data = vec![0.0f32; n * n];
-    let ptr = SendPtr(data.as_mut_ptr());
+    let ptr = SendPtr::new(data.as_mut_ptr());
+    let audit = DisjointWriteAudit::cells("correlation matrix (f32)", n * n);
+    // SAFETY: as in `correlation_from_profile` — n·n buffer, one emit per
+    // unordered pair.
     let tiles = for_each_pair(&z, config.tile, |i, j, rho| unsafe {
-        let r = rho as f32;
-        *ptr.get().add(i * n + j) = r;
-        *ptr.get().add(j * n + i) = r;
+        write_sym(ptr, &audit, n, i, j, rho as f32);
     });
     let mut stats = base_stats(&z, config.tile, tiles);
     stats.output_bytes = n * n * std::mem::size_of::<f32>();
@@ -362,11 +377,13 @@ pub fn dissimilarity_matrix(series: &[Vec<f64>]) -> SymmetricMatrix {
     let z = ZProfile::build(series).expect("tiled kernel requires uniform-length series");
     let n = z.n;
     let mut data = vec![0.0f64; n * n];
-    let ptr = SendPtr(data.as_mut_ptr());
+    let ptr = SendPtr::new(data.as_mut_ptr());
+    let audit = DisjointWriteAudit::cells("dissimilarity matrix", n * n);
+    // SAFETY: as in `correlation_from_profile` — n·n buffer, one emit per
+    // unordered pair.
     for_each_pair(&z, TileConfig::default().tile, |i, j, rho| unsafe {
         let d = (2.0 * (1.0 - rho)).max(0.0).sqrt();
-        *ptr.get().add(i * n + j) = d;
-        *ptr.get().add(j * n + i) = d;
+        write_sym(ptr, &audit, n, i, j, d);
     });
     SymmetricMatrix::from_symmetrized(n, data)
 }
@@ -384,14 +401,15 @@ pub fn correlation_and_dissimilarity(
     let n = z.n;
     let mut corr = vec![0.0f64; n * n];
     let mut diss = vec![0.0f64; n * n];
-    let cptr = SendPtr(corr.as_mut_ptr());
-    let dptr = SendPtr(diss.as_mut_ptr());
+    let cptr = SendPtr::new(corr.as_mut_ptr());
+    let dptr = SendPtr::new(diss.as_mut_ptr());
+    let caudit = DisjointWriteAudit::cells("fused correlation matrix", n * n);
+    let daudit = DisjointWriteAudit::cells("fused dissimilarity matrix", n * n);
+    // SAFETY: as in `correlation_from_profile`, independently per buffer.
     let tiles = for_each_pair(&z, TileConfig::default().tile, |i, j, rho| unsafe {
         let d = (2.0 * (1.0 - rho)).max(0.0).sqrt();
-        *cptr.get().add(i * n + j) = rho;
-        *cptr.get().add(j * n + i) = rho;
-        *dptr.get().add(i * n + j) = d;
-        *dptr.get().add(j * n + i) = d;
+        write_sym(cptr, &caudit, n, i, j, rho);
+        write_sym(dptr, &daudit, n, i, j, d);
     });
     let mut stats = base_stats(&z, TileConfig::default().tile, tiles);
     stats.output_bytes = 2 * n * n * std::mem::size_of::<f64>();

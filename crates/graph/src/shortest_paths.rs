@@ -27,6 +27,7 @@
 
 use crate::matrix::SymmetricMatrix;
 use crate::weighted_graph::WeightedGraph;
+use pfg_primitives::{DisjointWriteAudit, SendPtr};
 use rayon::prelude::*;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -476,13 +477,23 @@ pub fn all_pairs_shortest_paths(graph: &WeightedGraph) -> SymmetricMatrix {
     let n = graph.num_vertices();
     let mut data = vec![0.0f64; n * n];
     if n > 0 {
+        // Each source row is a safe `par_chunks_mut` chunk, but the
+        // row-per-source ownership claim is part of the workspace's
+        // audited disjoint-write inventory, so it registers like the raw-
+        // pointer paths (checked under `--cfg pfg_racecheck`, free
+        // otherwise).
+        let audit = DisjointWriteAudit::ranges("apsp rows");
+        let audit = &audit;
         // `with_max_len(1)`: each item is a whole Dijkstra run, so
         // declare it heavy — without the hint the executor's cheap-item
         // heuristic would run sub-512-vertex graphs entirely inline.
         data.par_chunks_mut(n)
             .with_max_len(1)
             .enumerate()
-            .for_each(|(source, row)| dijkstra_into(graph, source, row));
+            .for_each(|(source, row)| {
+                let _claim = audit.claim_range(source * n, (source + 1) * n);
+                dijkstra_into(graph, source, row);
+            });
         // The graph is undirected so the matrix is symmetric up to
         // floating point associativity; symmetrise explicitly to make
         // downstream consumers (complete linkage) independent of
@@ -503,23 +514,24 @@ pub fn all_pairs_shortest_paths(graph: &WeightedGraph) -> SymmetricMatrix {
 /// stealing balances that skew.
 fn symmetrize_in_place(data: &mut [f64], n: usize) {
     debug_assert_eq!(data.len(), n * n);
-    struct MatPtr(*mut f64);
-    // SAFETY: tasks write disjoint element sets (see above) and the
-    // borrow of `data` outlives the parallel round.
-    unsafe impl Send for MatPtr {}
-    unsafe impl Sync for MatPtr {}
-    let mat = MatPtr(data.as_mut_ptr());
-    let mat = &mat;
+    let mat = SendPtr::new(data.as_mut_ptr());
+    // Off-diagonal cells are each written exactly once (owner = min
+    // index); the registry pins that claim under `--cfg pfg_racecheck`.
+    let audit = DisjointWriteAudit::cells("apsp symmetrize", n * n);
+    let audit = &audit;
     // Row `i` carries `n - i - 1` pairs, so the work is heavily skewed;
     // small leaves (and stealing) keep the early heavy rows from gating
     // the round, and the hint keeps small `n` parallel at all.
     (0..n).into_par_iter().with_max_len(16).for_each(|i| {
         for j in (i + 1)..n {
+            audit.write_once(i * n + j);
+            audit.write_once(j * n + i);
             // SAFETY: `(i, j)` with `i < j` is visited by exactly this
-            // task (owner = min index), and both indices are < n².
+            // task (owner = min index), the borrow of `data` outlives the
+            // parallel round, and both indices are < n².
             unsafe {
-                let upper = mat.0.add(i * n + j);
-                let lower = mat.0.add(j * n + i);
+                let upper = mat.get().add(i * n + j);
+                let lower = mat.get().add(j * n + i);
                 let v = 0.5 * (*upper + *lower);
                 *upper = v;
                 *lower = v;

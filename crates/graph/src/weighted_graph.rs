@@ -4,8 +4,6 @@
 //! a maximal planar graph), so an adjacency-list representation keeps the
 //! DBHT's shortest-path computations linear in the number of edges.
 
-use std::collections::HashSet;
-
 /// An undirected weighted graph on vertices `0..n`.
 ///
 /// Parallel edges are not allowed; [`WeightedGraph::add_edge`] panics if the
@@ -159,15 +157,31 @@ impl WeightedGraph {
     /// in the number of edges; intended for tests and small graphs.
     pub fn triangles(&self) -> Vec<(usize, usize, usize)> {
         let mut out = Vec::new();
-        let sets: Vec<HashSet<usize>> = self
+        // Sorted adjacency + two-pointer intersection: deterministic order
+        // (a hash-set intersection would enumerate in hash order).
+        let sorted: Vec<Vec<usize>> = self
             .adj
             .iter()
-            .map(|nbrs| nbrs.iter().map(|&(v, _)| v).collect())
+            .map(|nbrs| {
+                let mut ids: Vec<usize> = nbrs.iter().map(|&(v, _)| v).collect();
+                ids.sort_unstable();
+                ids
+            })
             .collect();
         for (u, v, _) in self.edges() {
-            for &x in sets[u].intersection(&sets[v]) {
-                if x > v {
-                    out.push((u, v, x));
+            let (a, b) = (&sorted[u], &sorted[v]);
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if a[i] > v {
+                            out.push((u, v, a[i]));
+                        }
+                        i += 1;
+                        j += 1;
+                    }
                 }
             }
         }

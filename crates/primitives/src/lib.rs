@@ -34,6 +34,16 @@ pub use par::{
 /// including the primitives in this crate — onto a caller-owned pool.
 pub use rayon;
 
+/// Re-export of the shadow-write audit crate: [`SendPtr`] is the one
+/// shared raw-pointer wrapper for disjoint-write parallel kernels, and
+/// [`DisjointWriteAudit`] is the registry those kernels declare their
+/// claimed ranges/cells to (checked under `--cfg pfg_racecheck`, zero-cost
+/// otherwise). The types live in the dependency-free `pfg_audit` crate so
+/// the rayon shim can use them too (this crate depends on the shim, so
+/// they cannot be defined here), but downstream crates should reach them
+/// through this re-export.
+pub use pfg_audit::{DisjointWriteAudit, RangeClaim, SendPtr};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -152,6 +152,7 @@ impl std::error::Error for ThreadPoolBuildError {}
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: Option<usize>,
+    chaos_seed: Option<u64>,
 }
 
 impl ThreadPoolBuilder {
@@ -168,6 +169,17 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Enables steal-order chaos mode (shim extension, not in real rayon):
+    /// every steal scan rotates/reverses its victim order and sometimes
+    /// yields at the steal point, driven by a splitmix64 stream over
+    /// `(seed, draw index)`. Used by the concurrency-audit suites to
+    /// stress many schedules while asserting results stay byte-identical;
+    /// the global pool takes its seed from `PFG_CHAOS_SEED` instead.
+    pub fn chaos_seed(mut self, seed: u64) -> Self {
+        self.chaos_seed = Some(seed);
+        self
+    }
+
     /// Builds the pool, spawning its workers. Infallible in the shim, but
     /// kept `Result`-typed for source compatibility.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
@@ -175,7 +187,7 @@ impl ThreadPoolBuilder {
             Some(0) | None => pool::global_size(),
             Some(n) => n,
         };
-        let (state, workers) = pool::PoolState::spawn(n);
+        let (state, workers) = pool::PoolState::spawn(n, self.chaos_seed);
         Ok(ThreadPool { state, workers })
     }
 }
@@ -242,6 +254,36 @@ mod tests {
         let v: Vec<usize> = (0..10_000).collect();
         let doubled: Vec<usize> = test_pool().install(|| v.par_iter().map(|&x| x * 2).collect());
         assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chaos_pools_keep_results_byte_identical() {
+        // The chaos mode may only perturb *scheduling*: decomposition is a
+        // function of input length alone, so a float fold — the most
+        // order-sensitive primitive — must come out bitwise equal to the
+        // undisturbed pool's result under every seed.
+        let v: Vec<f64> = (0..30_000).map(|i| (i as f64 * 0.1).sin()).collect();
+        let sum_under = |pool: ThreadPool| {
+            pool.install(|| {
+                v.par_iter()
+                    .map(|&x| x * 1.000001 + 0.5)
+                    .fold(|| 0.0f64, |acc, x| acc + x)
+                    .reduce(|| 0.0f64, |a, b| a + b)
+            })
+        };
+        let reference = sum_under(test_pool());
+        for seed in [1u64, 2, 3, 0xDEAD_BEEF] {
+            let chaotic = ThreadPoolBuilder::new()
+                .num_threads(4)
+                .chaos_seed(seed)
+                .build()
+                .unwrap();
+            assert_eq!(
+                sum_under(chaotic).to_bits(),
+                reference.to_bits(),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

@@ -207,6 +207,48 @@ pub(crate) struct PoolState {
     pub(crate) num_threads: usize,
     /// Set by [`crate::ThreadPool`] drop; workers exit once out of work.
     shutdown: AtomicBool,
+    /// Seeded steal-order perturbation; `None` (the default) keeps the
+    /// deterministic round-robin scan and costs one branch per steal scan.
+    chaos: Option<Chaos>,
+}
+
+/// Steal-order chaos mode: with a seed set (via
+/// [`crate::ThreadPoolBuilder::chaos_seed`] or, for the global pool, the
+/// `PFG_CHAOS_SEED` environment variable), every steal scan draws from a
+/// seeded counter-based hash to (a) rotate and optionally reverse the
+/// victim scan order and (b) inject a `yield_now` at the steal point about
+/// a quarter of the time. This perturbs which thief wins each race and in
+/// what order subtrees migrate — exactly the schedule dimension the
+/// executor's determinism contract says results must be invariant to — so
+/// the racecheck/chaos suites can stress many distinct steal orders
+/// reproducibly (same seed → same perturbation *sequence*; thread timing
+/// still varies, which is the point). Results must stay byte-identical
+/// because decomposition is a function of input length only.
+struct Chaos {
+    seed: u64,
+    /// Global draw counter: each steal scan consumes one ticket, so the
+    /// perturbation sequence is a pure function of (seed, arrival order).
+    ticket: AtomicUsize,
+}
+
+impl Chaos {
+    fn new(seed: u64) -> Self {
+        Chaos {
+            seed,
+            ticket: AtomicUsize::new(0),
+        }
+    }
+
+    /// The next perturbation word: splitmix64 over (seed, ticket).
+    fn next(&self) -> u64 {
+        let t = self.ticket.fetch_add(1, Ordering::Relaxed) as u64;
+        let mut z = self
+            .seed
+            .wrapping_add(t.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
 }
 
 impl PoolState {
@@ -214,7 +256,10 @@ impl PoolState {
     /// `num_threads - 1` parked workers: the operation caller always
     /// helps, so it occupies the remaining slot and the number of threads
     /// computing concurrently equals `num_threads`.
-    pub(crate) fn spawn(num_threads: usize) -> (Arc<Self>, Vec<std::thread::JoinHandle<()>>) {
+    pub(crate) fn spawn(
+        num_threads: usize,
+        chaos_seed: Option<u64>,
+    ) -> (Arc<Self>, Vec<std::thread::JoinHandle<()>>) {
         let worker_count = num_threads.saturating_sub(1);
         let state = Arc::new(PoolState {
             injector: Mutex::new(VecDeque::new()),
@@ -230,6 +275,7 @@ impl PoolState {
             pending_jobs: AtomicUsize::new(0),
             num_threads,
             shutdown: AtomicBool::new(false),
+            chaos: chaos_seed.map(Chaos::new),
         });
         let handles = (0..worker_count)
             .map(|index| {
@@ -405,9 +451,25 @@ fn find_work(pool: &PoolState, own_index: Option<usize>) -> Option<JobRef> {
         return Some(job);
     }
     let k = pool.workers.len();
-    let start = own_index.map_or(0, |i| i + 1);
+    // Chaos mode perturbs the scan: random rotation, optional reversal,
+    // and an injected yield at the steal point so racing thieves swap
+    // arrival order (see [`Chaos`]). Default: round-robin after own slot.
+    let (start, reversed) = match (&pool.chaos, k) {
+        (Some(chaos), 1..) => {
+            let r = chaos.next();
+            if r & 3 == 0 {
+                std::thread::yield_now();
+            }
+            ((r >> 2) as usize % k, r & 2 == 0)
+        }
+        _ => (own_index.map_or(0, |i| i + 1), false),
+    };
     for offset in 0..k {
-        let target = (start + offset) % k;
+        let target = if reversed {
+            (start + k - offset) % k
+        } else {
+            (start + offset) % k
+        };
         if own_index == Some(target) {
             continue;
         }
@@ -534,24 +596,40 @@ pub(crate) fn resolve_num_threads(env_value: Option<&str>) -> usize {
     }
 }
 
+/// The global pool's chaos seed: `PFG_CHAOS_SEED` when set to an integer
+/// (read once, like `RAYON_NUM_THREADS`), otherwise off. Lets the CI
+/// chaos matrix stress the whole test binary's steal orders without
+/// touching call sites.
+pub(crate) fn global_chaos_seed() -> Option<u64> {
+    static SEED: OnceLock<Option<u64>> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        std::env::var("PFG_CHAOS_SEED")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+    })
+}
+
 /// The process-wide pool used when no [`crate::ThreadPool`] is installed.
 /// Its workers are detached and live for the rest of the process.
 fn global_pool() -> &'static Arc<PoolState> {
     static GLOBAL: OnceLock<Arc<PoolState>> = OnceLock::new();
-    GLOBAL.get_or_init(|| PoolState::spawn(global_size()).0)
+    GLOBAL.get_or_init(|| PoolState::spawn(global_size(), global_chaos_seed()).0)
 }
 
 /// How many leaf pieces a parallel operation over `len` items splits into.
 /// `1` means "run inline, skip the pool".
 ///
-/// For parallel runs the piece count is a function of `len` **only** —
-/// never of the worker count — so leaf boundaries, `fold` accumulator
-/// grouping and left-to-right combine order are identical for every
-/// multi-threaded `RAYON_NUM_THREADS` and unaffected by stealing. (A
-/// single-threaded configuration runs fully inline with one accumulator,
-/// exactly as before this executor.)
+/// The piece count is a function of `len` **only** — never of the worker
+/// count — so leaf boundaries, `fold` accumulator grouping and
+/// left-to-right combine order are identical for every
+/// `RAYON_NUM_THREADS` (including 1, whose single worker walks the same
+/// piece tree inline) and unaffected by stealing. An earlier revision let
+/// single-threaded configurations skip the split and fold with one
+/// accumulator; the chaos-determinism suite caught that as a byte-level
+/// divergence between `RAYON_NUM_THREADS=1` and every parallel run, so
+/// the worker count no longer participates at all.
 pub(crate) fn decide_pieces(len: usize) -> usize {
-    if effective_parallelism() <= 1 || len < MIN_PAR_LEN {
+    if len < MIN_PAR_LEN {
         return 1;
     }
     len.div_ceil(MIN_PIECE_LEN).clamp(1, MAX_PIECES)
@@ -564,7 +642,7 @@ pub(crate) fn decide_pieces(len: usize) -> usize {
 /// result is still a function of `(len, max_len)` only, preserving
 /// cross-worker-count determinism.
 pub(crate) fn decide_pieces_max_len(len: usize, max_len: usize) -> usize {
-    if effective_parallelism() <= 1 || len < 2 {
+    if len < 2 {
         return 1;
     }
     decide_pieces(len).max(len.div_ceil(max_len.max(1)))
@@ -581,6 +659,9 @@ pub(crate) fn decide_pieces_max_len(len: usize, max_len: usize) -> usize {
 struct Slots<R> {
     data: Vec<UnsafeCell<MaybeUninit<R>>>,
     written: Vec<AtomicBool>,
+    /// Shadow-write registry for the exactly-once contract (checked under
+    /// `--cfg pfg_racecheck`, zero-sized otherwise).
+    audit: pfg_audit::DisjointWriteAudit,
 }
 
 // SAFETY: slots are written by at most one thread each (exactly-once leaf
@@ -595,6 +676,7 @@ impl<R> Slots<R> {
                 .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
                 .collect(),
             written: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            audit: pfg_audit::DisjointWriteAudit::cells("pool result slots", n),
         }
     }
 
@@ -602,6 +684,7 @@ impl<R> Slots<R> {
     /// Each index may be written at most once, by the thread executing
     /// leaf `i`.
     unsafe fn write(&self, i: usize, value: R) {
+        self.audit.write_once(i);
         (*self.data[i].get()).write(value);
         self.written[i].store(true, Ordering::Release);
     }
@@ -640,6 +723,8 @@ impl<R> Drop for Slots<R> {
 struct ItemSlots<T> {
     data: Vec<UnsafeCell<MaybeUninit<T>>>,
     taken: Vec<AtomicBool>,
+    /// Exactly-once take registry, mirroring [`Slots::audit`].
+    audit: pfg_audit::DisjointWriteAudit,
 }
 
 // SAFETY: as for `Slots` — exactly-once access per slot with a
@@ -655,6 +740,7 @@ impl<T> ItemSlots<T> {
                 .map(|x| UnsafeCell::new(MaybeUninit::new(x)))
                 .collect(),
             taken: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            audit: pfg_audit::DisjointWriteAudit::cells("pool item slots", n),
         }
     }
 
@@ -666,6 +752,7 @@ impl<T> ItemSlots<T> {
     /// Each index may be taken at most once, by the thread executing
     /// leaf `i`.
     unsafe fn take(&self, i: usize) -> T {
+        self.audit.write_once(i);
         self.taken[i].store(true, Ordering::Release);
         (*self.data[i].get()).assume_init_read()
     }

@@ -40,6 +40,8 @@
 use std::cmp::Ordering;
 use std::ptr;
 
+use pfg_audit::{DisjointWriteAudit, SendPtr};
+
 use crate::pool;
 
 /// Below this length (or on a single-threaded pool) the std sorts are used
@@ -109,36 +111,27 @@ where
     // raw memory without dropping any `T` (merges move elements through it
     // bitwise and always move them back before completing).
     let mut buf: Vec<T> = Vec::with_capacity(n);
-    let base = SendPtr(v.as_mut_ptr());
-    let scratch = SendPtr(buf.as_mut_ptr());
-    sort_runs(base, scratch, n, run_len, 0, runs, cmp, stable);
+    let base = SendPtr::new(v.as_mut_ptr());
+    let scratch = SendPtr::new(buf.as_mut_ptr());
+    let audits = SortAudits {
+        base: DisjointWriteAudit::ranges("sort slice"),
+        scratch: DisjointWriteAudit::ranges("sort scratch"),
+    };
+    sort_runs(base, scratch, n, run_len, 0, runs, cmp, stable, &audits);
 }
 
-/// A raw pointer that may cross threads. Sound because every use hands a
-/// closure a pointer to a range it has *exclusive* access to (the split
-/// tree partitions the slice and buffer into disjoint ranges).
-struct SendPtr<T>(*mut T);
-
-impl<T> SendPtr<T> {
-    /// Accessor rather than field access so `move` closures capture the
-    /// whole `Send` wrapper, not the raw-pointer field (closure capture is
-    /// field-precise and `*mut T` alone is not `Send`).
-    fn get(self) -> *mut T {
-        self.0
-    }
+/// Shadow-write registries for the two buffers the sort writes: the slice
+/// itself (leaf run sorts, copy-backs) and the scratch buffer (merge
+/// output ranges). Claims are scoped to the writing phase, so temporally
+/// nested ownership — a parent node reusing its completed children's
+/// ranges — audits cleanly while concurrent overlap panics under
+/// `--cfg pfg_racecheck`. (`SendPtr` itself is the shared wrapper from
+/// `pfg_audit`; the disjointness the closures rely on is exactly what
+/// these registries check.)
+struct SortAudits {
+    base: DisjointWriteAudit,
+    scratch: DisjointWriteAudit,
 }
-
-impl<T> Clone for SendPtr<T> {
-    fn clone(&self) -> Self {
-        *self
-    }
-}
-impl<T> Copy for SendPtr<T> {}
-
-// SAFETY: see the type docs — disjoint exclusive ranges, `T: Send` moves
-// the pointed-to values' ownership across threads.
-unsafe impl<T: Send> Send for SendPtr<T> {}
-unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Sorts the element range covered by leaf runs `[run_lo, run_hi)`:
 /// recursively sorts both halves (in parallel via `join`), then merges
@@ -153,6 +146,7 @@ fn sort_runs<T, F>(
     run_hi: usize,
     cmp: &F,
     stable: bool,
+    audits: &SortAudits,
 ) where
     T: Send,
     F: Fn(&T, &T) -> Ordering + Sync,
@@ -160,9 +154,10 @@ fn sort_runs<T, F>(
     let lo = (run_lo * run_len).min(n);
     let hi = (run_hi * run_len).min(n);
     if run_hi - run_lo == 1 {
+        let _claim = audits.base.claim_range(lo, hi);
         // SAFETY: this call has exclusive access to `[lo, hi)` (disjoint
         // leaf ranges), and `base` points at `n >= hi` valid elements.
-        let run = unsafe { std::slice::from_raw_parts_mut(base.0.add(lo), hi - lo) };
+        let run = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
         if stable {
             run.sort_by(cmp);
         } else {
@@ -173,23 +168,34 @@ fn sort_runs<T, F>(
     let run_mid = run_lo + (run_hi - run_lo) / 2;
     let mid = (run_mid * run_len).min(n);
     crate::join(
-        || sort_runs(base, scratch, n, run_len, run_lo, run_mid, cmp, stable),
-        || sort_runs(base, scratch, n, run_len, run_mid, run_hi, cmp, stable),
+        || {
+            sort_runs(
+                base, scratch, n, run_len, run_lo, run_mid, cmp, stable, audits,
+            )
+        },
+        || {
+            sort_runs(
+                base, scratch, n, run_len, run_mid, run_hi, cmp, stable, audits,
+            )
+        },
     );
     // SAFETY: both halves of `[lo, hi)` are sorted and exclusively ours;
     // the matching scratch range is disjoint from every other node's.
     unsafe {
         par_merge(
-            base.0.add(lo),
+            base.get().add(lo),
             mid - lo,
-            base.0.add(mid),
+            base.get().add(mid),
             hi - mid,
-            scratch.0.add(lo),
+            scratch.get().add(lo),
             cmp,
+            audits,
+            lo,
         );
         // The merge moved `[lo, hi)` into the scratch range; move it back.
         // No user code runs here, so this cannot unwind half-done.
-        ptr::copy_nonoverlapping(scratch.0.add(lo), base.0.add(lo), hi - lo);
+        let _claim = audits.base.claim_range(lo, hi);
+        ptr::copy_nonoverlapping(scratch.get().add(lo), base.get().add(lo), hi - lo);
     }
 }
 
@@ -200,7 +206,9 @@ fn sort_runs<T, F>(
 ///
 /// # Safety
 /// The caller must have exclusive access to all three ranges, and `out`
-/// must not overlap the inputs.
+/// must not overlap the inputs. `out_off` is the absolute scratch offset
+/// of `out` (audit bookkeeping only).
+#[allow(clippy::too_many_arguments)]
 unsafe fn par_merge<T, F>(
     left: *mut T,
     left_len: usize,
@@ -208,11 +216,16 @@ unsafe fn par_merge<T, F>(
     right_len: usize,
     out: *mut T,
     cmp: &F,
+    audits: &SortAudits,
+    out_off: usize,
 ) where
     T: Send,
     F: Fn(&T, &T) -> Ordering + Sync,
 {
     if left_len + right_len <= MERGE_SEQ_LEN {
+        let _claim = audits
+            .scratch
+            .claim_range(out_off, out_off + left_len + right_len);
         seq_merge(left, left_len, right, right_len, out, cmp);
         return;
     }
@@ -235,12 +248,23 @@ unsafe fn par_merge<T, F>(
         let left_at = left_run.partition_point(|x| cmp(x, pivot) != Ordering::Greater);
         (left_at, right_at)
     };
-    let (l, r, o) = (SendPtr(left), SendPtr(right), SendPtr(out));
+    let (l, r, o) = (SendPtr::new(left), SendPtr::new(right), SendPtr::new(out));
     crate::join(
         move || {
             // SAFETY: `[0, left_at)` × `[0, right_at)` → out `[0, left_at
             // + right_at)` is disjoint from the sibling's ranges.
-            unsafe { par_merge(l.get(), left_at, r.get(), right_at, o.get(), cmp) }
+            unsafe {
+                par_merge(
+                    l.get(),
+                    left_at,
+                    r.get(),
+                    right_at,
+                    o.get(),
+                    cmp,
+                    audits,
+                    out_off,
+                )
+            }
         },
         move || {
             // SAFETY: the complementary ranges, equally disjoint.
@@ -252,6 +276,8 @@ unsafe fn par_merge<T, F>(
                     right_len - right_at,
                     o.get().add(left_at + right_at),
                     cmp,
+                    audits,
+                    out_off + left_at + right_at,
                 )
             }
         },

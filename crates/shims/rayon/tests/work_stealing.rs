@@ -292,15 +292,18 @@ fn with_max_len_forces_parallel_decomposition_below_cheap_gate() {
             .collect()
     });
     assert_eq!(enumerated, vec![1; 10]);
-    // On a single-threaded pool the hint never forces pool dispatch.
-    let inline: Vec<usize> = pool(1).install(|| {
+    // A single-threaded pool walks the *same* piece tree (inline, no
+    // stealing): accumulator grouping is a function of the input alone,
+    // never of the worker count, so reductions stay byte-identical
+    // across every RAYON_NUM_THREADS.
+    let single: Vec<usize> = pool(1).install(|| {
         (0..10usize)
             .into_par_iter()
             .with_max_len(1)
             .fold(|| 0usize, |acc, _| acc + 1)
             .collect()
     });
-    assert_eq!(inline, vec![10]);
+    assert_eq!(single, vec![1; 10]);
 }
 
 #[test]

@@ -1,0 +1,120 @@
+//! Byte-identity under adversarial steal orders.
+//!
+//! The executor shim's chaos mode (`ThreadPoolBuilder::chaos_seed`)
+//! permutes each steal's victim scan and injects yields, exercising
+//! schedules an idle machine never produces. The workspace's determinism
+//! contract says scheduling must be *invisible*: decomposition is a
+//! function of input length alone, so every seed × thread-count
+//! combination must reproduce the single-threaded result bit for bit —
+//! for the most order-sensitive primitives (float reduction), the
+//! parallel sort, and the full tiled correlation/dissimilarity kernels.
+
+use pfg_data::correlation::{correlation_matrix_with, TileConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+
+const CHAOS_SEEDS: [u64; 3] = [1, 2, 3];
+const THREADS: [usize; 2] = [2, 8];
+
+fn chaos_pool(threads: usize, seed: u64) -> ThreadPool {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .chaos_seed(seed)
+        .build()
+        .expect("pool builds")
+}
+
+fn reference_pool() -> ThreadPool {
+    ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("pool builds")
+}
+
+/// Runs `op` on the reference pool and on every seed × thread-count chaos
+/// pool, asserting all results equal via `eq` (callers pass bit-level
+/// comparisons for floats).
+fn assert_schedule_invariant<R>(op: impl Fn() -> R, eq: impl Fn(&R, &R) -> bool) {
+    let reference = reference_pool().install(&op);
+    for threads in THREADS {
+        for seed in CHAOS_SEEDS {
+            let got = chaos_pool(threads, seed).install(&op);
+            assert!(
+                eq(&got, &reference),
+                "result diverged under chaos seed {seed} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn float_reduction_is_schedule_invariant() {
+    let v: Vec<f64> = (0..50_000).map(|i| (i as f64 * 0.37).sin()).collect();
+    assert_schedule_invariant(
+        || {
+            v.par_iter()
+                .map(|&x| x * 1.000001 + 0.25)
+                .fold(|| 0.0f64, |acc, x| acc + x)
+                .reduce(|| 0.0f64, |a, b| a + b)
+        },
+        |a, b| a.to_bits() == b.to_bits(),
+    );
+}
+
+#[test]
+fn parallel_sort_is_schedule_invariant() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let base: Vec<f64> = (0..40_000).map(|_| rng.gen_range(-1.0f64..1.0)).collect();
+    assert_schedule_invariant(
+        || {
+            let mut v = base.clone();
+            v.par_sort_by(|a, b| a.total_cmp(b));
+            v
+        },
+        |a, b| {
+            a.len() == b.len()
+                && a.iter()
+                    .zip(b.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits())
+        },
+    );
+}
+
+#[test]
+fn tiled_correlation_is_schedule_invariant() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let series: Vec<Vec<f64>> = (0..48)
+        .map(|_| (0..96).map(|_| rng.gen_range(-1.0f64..1.0)).collect())
+        .collect();
+    let config = TileConfig { tile: 8 };
+    assert_schedule_invariant(
+        || correlation_matrix_with(&series, config).0,
+        |a, b| {
+            a.n() == b.n()
+                && a.as_slice()
+                    .iter()
+                    .zip(b.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits())
+        },
+    );
+}
+
+#[test]
+fn dissimilarity_pipeline_input_is_schedule_invariant() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let series: Vec<Vec<f64>> = (0..40)
+        .map(|_| (0..64).map(|_| rng.gen_range(-1.0f64..1.0)).collect())
+        .collect();
+    assert_schedule_invariant(
+        || pfg_data::correlation::dissimilarity_matrix(&series),
+        |a, b| {
+            a.n() == b.n()
+                && a.as_slice()
+                    .iter()
+                    .zip(b.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits())
+        },
+    );
+}
