@@ -16,12 +16,17 @@
 //! hot paths cost nothing in ordinary builds (asserted by the
 //! `zero_sized_when_disabled` test).
 //!
-//! Two claim disciplines cover the workspace's write patterns:
+//! Three claim disciplines cover the workspace's write patterns:
 //!
 //! * [`DisjointWriteAudit::cells`] — an *exactly-once* registry over `len`
 //!   flat cells. [`DisjointWriteAudit::write_once`] marks a cell written;
 //!   a second write to the same cell panics. Lock-free (one CAS per
 //!   write), so it can sit on `n²`-element kernels.
+//! * [`DisjointWriteAudit::sparse_cells`] — the exactly-once registry over
+//!   an *unbounded* index space, for claim protocols whose indices grow
+//!   monotonically for the life of the structure (the work-stealing
+//!   deque's absolute slot indices). Mutex + `BTreeMap` instead of a flat
+//!   CAS array; only the checking build pays for it.
 //! * [`DisjointWriteAudit::ranges`] — a registry of *live* `[start, end)`
 //!   claims. [`DisjointWriteAudit::claim_range`] panics if the range
 //!   overlaps any claim still alive, and the returned [`RangeClaim`] guard
@@ -101,6 +106,8 @@ mod imp {
         /// One slot per cell: null = unwritten, else the first writer's
         /// claim site.
         Cells(Vec<AtomicPtr<Location<'static>>>),
+        /// Unbounded index space: index → first writer's claim site.
+        Sparse(Mutex<std::collections::BTreeMap<usize, Site>>),
         Ranges(Mutex<RangeTable>),
     }
 
@@ -128,6 +135,13 @@ mod imp {
             }
         }
 
+        pub fn sparse_cells(label: &'static str) -> Self {
+            DisjointWriteAudit {
+                label,
+                mode: Mode::Sparse(Mutex::new(std::collections::BTreeMap::new())),
+            }
+        }
+
         pub fn ranges(label: &'static str) -> Self {
             DisjointWriteAudit {
                 label,
@@ -140,11 +154,26 @@ mod imp {
 
         #[track_caller]
         pub fn write_once(&self, idx: usize) {
-            let Mode::Cells(cells) = &self.mode else {
-                panic!(
+            let site: Site = Location::caller();
+            let cells = match &self.mode {
+                Mode::Cells(cells) => cells,
+                Mode::Sparse(map) => {
+                    // Violation panics below may be caught by tests; keep
+                    // the registry usable afterwards by ignoring poison.
+                    let mut map = map.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Some(first) = map.insert(idx, site) {
+                        panic!(
+                            "racecheck[{}]: double write to cell {idx}: first claimed at \
+                             {first}, claimed again at {site}",
+                            self.label
+                        );
+                    }
+                    return;
+                }
+                Mode::Ranges(_) => panic!(
                     "racecheck[{}]: write_once on a range-mode audit",
                     self.label
-                );
+                ),
             };
             assert!(
                 idx < cells.len(),
@@ -152,7 +181,6 @@ mod imp {
                 self.label,
                 cells.len()
             );
-            let site: Site = Location::caller();
             let new = site as *const Location<'static> as *mut Location<'static>;
             if let Err(first) = cells[idx].compare_exchange(
                 std::ptr::null_mut(),
@@ -257,6 +285,13 @@ impl DisjointWriteAudit {
         DisjointWriteAudit
     }
 
+    /// Exactly-once registry over an unbounded index space (no-op in this
+    /// build).
+    #[inline(always)]
+    pub fn sparse_cells(_label: &'static str) -> Self {
+        DisjointWriteAudit
+    }
+
     /// Live-range registry (no-op in this build).
     #[inline(always)]
     pub fn ranges(_label: &'static str) -> Self {
@@ -315,6 +350,9 @@ mod tests {
             let cells = DisjointWriteAudit::cells("off", 4);
             cells.write_once(1);
             cells.write_once(1); // double write: no panic without the cfg
+            let sparse = DisjointWriteAudit::sparse_cells("off");
+            sparse.write_once(9);
+            sparse.write_once(9); // double write: no panic without the cfg
             let ranges = DisjointWriteAudit::ranges("off");
             let _a = ranges.claim_range(0, 10);
             let _b = ranges.claim_range(5, 15); // overlap: no panic
@@ -352,6 +390,27 @@ mod tests {
             for i in 0..4 {
                 audit.write_once(i);
             }
+        }
+
+        #[test]
+        fn sparse_cells_accept_unbounded_distinct_indices() {
+            let audit = DisjointWriteAudit::sparse_cells("sparse");
+            audit.write_once(0);
+            audit.write_once(usize::MAX / 2);
+            audit.write_once(7_000_000_000);
+        }
+
+        #[test]
+        fn sparse_double_write_panics_with_both_sites() {
+            let audit = DisjointWriteAudit::sparse_cells("sparse-under-test");
+            audit.write_once(41);
+            let msg = panic_message(move || audit.write_once(41));
+            assert!(msg.contains("sparse-under-test"), "{msg}");
+            assert!(msg.contains("double write to cell 41"), "{msg}");
+            assert!(
+                msg.matches("lib.rs").count() >= 2,
+                "expected two claim sites in: {msg}"
+            );
         }
 
         #[test]

@@ -293,6 +293,47 @@ fn bench_executor(c: &mut Criterion) {
             },
         );
     }
+    // Deque-contention series: `with_max_len(1)` forces one job per item,
+    // so the split tree floods the owner's deque with fine-grained jobs
+    // while the other workers hammer its top with steal CASes — the
+    // contended owner-pop vs thief-steal regime the lock-free Chase–Lev
+    // deque exists for. The `owner_only` variant runs the same job flood
+    // on a 1-thread pool: no thief ever CASes, isolating the uncontended
+    // push/pop fast path that the old mutex ring paid a lock for on every
+    // operation.
+    {
+        let owner_pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("owner-only bench pool");
+        for &n in &[1_024usize, 4_096] {
+            let data: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+            group.bench_with_input(BenchmarkId::new("steal/contended", n), &data, |b, data| {
+                b.iter(|| {
+                    pool.install(|| {
+                        let total: f64 = data
+                            .par_iter()
+                            .with_max_len(1)
+                            .map(|&x| x * 1.000_1 + 0.5)
+                            .sum();
+                        black_box(total)
+                    })
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("steal/owner_only", n), &data, |b, data| {
+                b.iter(|| {
+                    owner_pool.install(|| {
+                        let total: f64 = data
+                            .par_iter()
+                            .with_max_len(1)
+                            .map(|&x| x * 1.000_1 + 0.5)
+                            .sum();
+                        black_box(total)
+                    })
+                })
+            });
+        }
+    }
     {
         let n = 32_768usize;
         let data: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();

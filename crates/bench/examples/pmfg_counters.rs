@@ -5,7 +5,7 @@
 //! Usage: `cargo run --release -p pfg_bench --example pmfg_counters`
 
 use pfg_bench::{BenchDataset, SuiteConfig};
-use pfg_core::{pmfg_sequential, pmfg_with_config, PmfgConfig};
+use pfg_core::{pmfg_sequential, pmfg_with_config, BatchSchedule, PmfgConfig};
 use pfg_data::ucr_catalogue;
 use std::time::Instant;
 
@@ -39,10 +39,13 @@ fn main() {
             (32, 128),
             (64, 128),
             (64, 256),
+            (128, 512),
         ] {
             let config = PmfgConfig {
-                initial_batch: ib,
-                max_batch: mb,
+                batch: BatchSchedule {
+                    initial: ib,
+                    cap: mb,
+                },
             };
             let mut best = f64::INFINITY;
             let mut p = None;
@@ -53,11 +56,12 @@ fn main() {
             }
             let p = p.unwrap();
             println!(
-                "  ({ib:>3},{mb:>5}): examined={} rounds={} par_rej={} commit_rej={} min {:.1}ms",
+                "  ({ib:>3},{mb:>5}): examined={} rounds={} par_rej={} commit_rej={} retests={} min {:.1}ms",
                 p.candidates_examined,
                 p.rounds,
                 p.parallel_rejections,
                 p.rejections - p.parallel_rejections,
+                p.commit_retests,
                 best
             );
         }

@@ -3,21 +3,25 @@
 //! the consumer of the bench-record trajectory.
 //!
 //! Usage:
-//!   `cargo run -p pfg_bench --bin bench_diff -- <baseline_dir> [current_dir] [--threshold <pct>]`
+//!   `cargo run -p pfg_bench --bin bench_diff -- <baseline_dir> [current_dir] [--threshold <pct>] [--allow <file>]`
 //!
 //! `current_dir` defaults to the standard record directory
 //! (`$BENCH_RECORD_DIR` or `target/bench-records`); the threshold defaults
-//! to 30 (percent). Exits non-zero when any benchmark's mean time regressed
-//! by more than the threshold, so CI can surface it.
+//! to 30 (percent). `--allow` names a per-series allowlist (the repo's
+//! `bench.allow`, mirroring `lint.allow`): allowed series still print
+//! their comparison but cannot fail the gate. Exits non-zero when any
+//! non-allowed benchmark's mean time regressed by more than the
+//! threshold, so CI can gate on it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pfg_bench::records::{diff_directories, record_dir};
+use pfg_bench::records::{diff_directories, record_dir, BenchAllowlist};
 
 fn main() -> ExitCode {
     let mut positional: Vec<String> = Vec::new();
     let mut threshold = 30.0_f64;
+    let mut allow = BenchAllowlist::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--threshold" {
@@ -28,12 +32,29 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             }
+        } else if arg == "--allow" {
+            let Some(path) = args.next() else {
+                eprintln!("--allow requires a file path");
+                return ExitCode::from(2);
+            };
+            match BenchAllowlist::load(PathBuf::from(&path).as_path()) {
+                Ok(list) => allow = list,
+                Err(err) => {
+                    // A gate that silently loses its allowlist would fail
+                    // on every known-noisy series; fail the invocation
+                    // instead.
+                    eprintln!("--allow {path}: {err}");
+                    return ExitCode::from(2);
+                }
+            }
         } else {
             positional.push(arg);
         }
     }
     let Some(baseline) = positional.first().map(PathBuf::from) else {
-        eprintln!("usage: bench_diff <baseline_dir> [current_dir] [--threshold <pct>]");
+        eprintln!(
+            "usage: bench_diff <baseline_dir> [current_dir] [--threshold <pct>] [--allow <file>]"
+        );
         return ExitCode::from(2);
     };
     let current = positional
@@ -62,10 +83,10 @@ fn main() -> ExitCode {
             c.baseline_ns,
             c.current_ns,
             c.change_pct,
-            if c.is_regression(threshold) {
-                "  REGRESSION"
-            } else {
-                ""
+            match (c.is_regression(threshold), allow.is_allowed(&c.key)) {
+                (true, false) => "  REGRESSION",
+                (true, true) => "  REGRESSION (allowed)",
+                _ => "",
             }
         );
     }
@@ -76,18 +97,29 @@ fn main() -> ExitCode {
         println!("{key:<44} (removed: present only in baseline)");
     }
 
-    let regressions = report.regressions(threshold);
-    if regressions.is_empty() {
+    let gating = report.gating_regressions(threshold, &allow);
+    let allowed = report.regressions(threshold).len() - gating.len();
+    if gating.is_empty() {
         println!(
-            "bench_diff: {} benchmarks compared, none regressed by more than {threshold}%",
-            report.comparisons.len()
+            "bench_diff: {} benchmarks compared, none regressed by more than {threshold}%{}",
+            report.comparisons.len(),
+            if allowed > 0 {
+                format!(" ({allowed} allowed regressions ignored)")
+            } else {
+                String::new()
+            }
         );
         ExitCode::SUCCESS
     } else {
         println!(
-            "bench_diff: {} of {} benchmarks regressed by more than {threshold}%",
-            regressions.len(),
-            report.comparisons.len()
+            "bench_diff: {} of {} benchmarks regressed by more than {threshold}%{}",
+            gating.len(),
+            report.comparisons.len(),
+            if allowed > 0 {
+                format!(" ({allowed} more allowed)")
+            } else {
+                String::new()
+            }
         );
         ExitCode::FAILURE
     }

@@ -258,6 +258,58 @@ impl DiffReport {
             .filter(|c| c.is_regression(threshold_pct))
             .collect()
     }
+
+    /// [`DiffReport::regressions`] minus the series matched by `allow` —
+    /// the failing set for a gating CI run.
+    pub fn gating_regressions(
+        &self,
+        threshold_pct: f64,
+        allow: &BenchAllowlist,
+    ) -> Vec<&BenchComparison> {
+        self.comparisons
+            .iter()
+            .filter(|c| c.is_regression(threshold_pct) && !allow.is_allowed(&c.key))
+            .collect()
+    }
+}
+
+/// A per-series allowlist for the bench gate, mirroring `lint.allow`'s
+/// discipline: one benchmark-key prefix per line, `#` comments and blank
+/// lines ignored. An allowed series still prints its comparison — the
+/// trajectory stays visible — but cannot fail the gate. Keep the file
+/// short: an entry documents a series known to be scheduler- or
+/// allocator-noisy on shared CI runners, not a license to regress.
+#[derive(Debug, Clone, Default)]
+pub struct BenchAllowlist {
+    prefixes: Vec<String>,
+}
+
+impl BenchAllowlist {
+    /// Parses allowlist text (prefix-per-line format described above).
+    pub fn parse(text: &str) -> Self {
+        let prefixes = text
+            .lines()
+            .map(|line| line.split('#').next().unwrap_or("").trim())
+            .filter(|line| !line.is_empty())
+            .map(str::to_string)
+            .collect();
+        BenchAllowlist { prefixes }
+    }
+
+    /// Loads and parses an allowlist file.
+    ///
+    /// # Errors
+    /// Propagates the underlying read error (a missing file is an error:
+    /// a gating CI step should fail loudly, not silently gate on nothing).
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        Ok(Self::parse(&std::fs::read_to_string(path)?))
+    }
+
+    /// Whether `key` (a `bench/label` benchmark key) matches any allowed
+    /// prefix.
+    pub fn is_allowed(&self, key: &str) -> bool {
+        self.prefixes.iter().any(|p| key.starts_with(p.as_str()))
+    }
 }
 
 /// Loads every `BENCH_*.json` file of `dir` into `(key, mean_ns)` pairs,
@@ -398,6 +450,44 @@ mod tests {
         assert_eq!(report.only_current, vec!["a/new".to_string()]);
         assert_eq!(report.regressions(30.0).len(), 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn allowlist_matches_prefixes_and_ignores_comments() {
+        let allow = BenchAllowlist::parse(
+            "# noisy on shared runners\nexecutor/round_trip/spawn_per_call\n\nprimitives/write_ # inline comment\n",
+        );
+        assert!(allow.is_allowed("executor/round_trip/spawn_per_call/1024"));
+        assert!(allow.is_allowed("primitives/write_max/10000"));
+        assert!(!allow.is_allowed("executor/round_trip/work_stealing/1024"));
+        assert!(!allow.is_allowed("primitives/sort/10000"));
+        assert!(!BenchAllowlist::default().is_allowed("anything"));
+    }
+
+    #[test]
+    fn gating_regressions_exclude_allowed_series() {
+        let report = DiffReport {
+            comparisons: vec![
+                BenchComparison {
+                    key: "a/noisy".into(),
+                    baseline_ns: 100.0,
+                    current_ns: 200.0,
+                    change_pct: 100.0,
+                },
+                BenchComparison {
+                    key: "a/real".into(),
+                    baseline_ns: 100.0,
+                    current_ns: 180.0,
+                    change_pct: 80.0,
+                },
+            ],
+            ..DiffReport::default()
+        };
+        let allow = BenchAllowlist::parse("a/noisy\n");
+        assert_eq!(report.regressions(40.0).len(), 2);
+        let gating = report.gating_regressions(40.0, &allow);
+        assert_eq!(gating.len(), 1);
+        assert_eq!(gating[0].key, "a/real");
     }
 
     #[test]

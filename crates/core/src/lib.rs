@@ -47,6 +47,7 @@ pub mod error;
 pub mod face;
 pub mod pipeline;
 pub mod pmfg;
+pub mod schedule;
 pub mod tmfg;
 
 pub use bubble_tree::{Bubble, BubbleTree};
@@ -59,5 +60,6 @@ pub use error::CoreError;
 pub use face::Triangle;
 pub use pipeline::{ParTdbht, ParTdbhtConfig, ParTdbhtResult, StageTimings};
 pub use pmfg::{pmfg, pmfg_prescreened, pmfg_sequential, pmfg_with_config, Pmfg, PmfgConfig};
+pub use schedule::BatchSchedule;
 pub use tmfg::{tmfg, tmfg_prescreened, Tmfg, TmfgConfig};
 pub use tmfg::{BatchFreshness, RoundStats};

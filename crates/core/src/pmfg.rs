@@ -20,15 +20,39 @@
 //!    candidate rejected against the round-start graph would therefore
 //!    also be rejected by the sequential algorithm, whose test graph only
 //!    ever grows — parallel rejections are **final** and need no retry.
-//! 3. **Sequential commit.** Survivors are committed in sorted order.
-//!    A survivor whose round has no earlier acceptance was tested against
-//!    exactly the graph the sequential algorithm would use, so it commits
-//!    for free; later survivors are cheaply re-validated against the
-//!    committed graph plus the edges accepted earlier in the same round.
-//!    A commit-time rejection is the *exact* sequential decision, so it
-//!    too is final. The result is **byte-identical** to [`pmfg_sequential`]
-//!    at every thread count (the candidate schedule depends only on the
-//!    input), which the differential tests pin down.
+//! 3. **Conflict-graph commit.** Survivors are committed in sorted order,
+//!    but only survivors that *conflict* with an edge accepted earlier in
+//!    the same round pay a commit-time re-test. The conflict structure is
+//!    connected-component independence, tracked by an incremental
+//!    union-find with round-stamped components (`RoundDsu`, private to
+//!    this module):
+//!
+//!    A survivor `e = (u, v)` is **clean** when neither `u`'s nor `v`'s
+//!    connected component (in the committed graph `G = G₀ + A`, where
+//!    `G₀` is the round-start graph and `A` the edges accepted earlier
+//!    this round) contains an endpoint of any edge of `A`. Then the
+//!    components of `u` and `v` are *exactly* what they were in `G₀` —
+//!    no `A`-edge touches them, and component membership only changes by
+//!    touching — so the subgraph `G + e` adds `e` into is identical to
+//!    the one `G₀ + e` adds it into. Planarity is decided per connected
+//!    component (a graph is planar iff each component is), every other
+//!    component of `G` is planar because `G` is (commits preserve
+//!    planarity by construction), and the parallel phase proved
+//!    `G₀ + e` planar — so `G + e` is planar and `e` commits **without a
+//!    re-test**, matching the sequential decision exactly. A *dirty*
+//!    survivor is re-validated against the committed graph (counted in
+//!    [`Pmfg::commit_retests`]); that test is the exact test the
+//!    sequential algorithm would run, so its accept *and* reject
+//!    outcomes are final. Either way the result is **byte-identical** to
+//!    [`pmfg_sequential`] at every thread count (the candidate schedule
+//!    depends only on the input), which the differential tests pin down.
+//!
+//!    The shortcut has teeth because the PMFG spends most of its rounds
+//!    on a *disconnected* graph: the heaviest `~n ln n / 2` edges arrive
+//!    before random-weight components merge (Erdős–Rényi connectivity),
+//!    which is most of the `3n − 6` acceptances — exactly the
+//!    acceptance-heavy rounds where the old unconditional re-validation
+//!    concentrated.
 //!
 //! The batch size adapts deterministically to the observed rejection rate:
 //! early rounds are acceptance-heavy (small batches avoid useless stale
@@ -58,6 +82,7 @@ use pfg_primitives::par_sort_unstable_by;
 use rayon::prelude::*;
 
 use crate::error::CoreError;
+use crate::schedule::BatchSchedule;
 
 thread_local! {
     /// Per-thread planarity scratch for the speculative batch phase. Pool
@@ -74,31 +99,22 @@ thread_local! {
 /// across `RAYON_NUM_THREADS`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PmfgConfig {
-    /// Number of candidates speculatively tested in the first round.
-    /// Early rounds accept almost every candidate, and every acceptance
-    /// after the first in a round needs a sequential re-validation, so
-    /// small early batches waste less work.
-    pub initial_batch: usize,
-    /// Upper bound for the adaptive batch growth. Once rejections dominate
-    /// (the typical steady state), each rejection-heavy round doubles the
-    /// batch up to this cap, turning nearly all tests into final parallel
-    /// rejections.
-    pub max_batch: usize,
+    /// The speculative round sizes: `batch.initial` candidates in the
+    /// first round (early rounds accept almost every candidate, and an
+    /// acceptance can dirty later survivors of its round, so small early
+    /// batches waste less work), doubling on rejection-heavy rounds up to
+    /// `batch.cap` (once rejections dominate — the steady state — large
+    /// batches turn almost all tests into final parallel rejections).
+    pub batch: BatchSchedule,
 }
 
 impl Default for PmfgConfig {
-    /// Defaults measured on the construction bench (ECG5000 correlation
-    /// matrices, n ∈ {100, 250}): `initial_batch = 32`, `max_batch = 128`.
-    /// Larger caps inflate the two costs that never parallelize — stale
-    /// survivors that must be re-tested at commit time, and the
-    /// speculative tail past the point where the graph became maximal —
-    /// e.g. a 4096 cap spends 2333 commit-time re-tests at n = 250 where
-    /// the 128 cap spends 238. Smaller caps only add (cheap) round
-    /// barriers.
+    /// [`BatchSchedule::PMFG_ROUNDS`] — `initial = 32`, `cap = 128`,
+    /// measured on the construction bench; see the schedule's docs for
+    /// the sweep numbers.
     fn default() -> Self {
         Self {
-            initial_batch: 32,
-            max_batch: 128,
+            batch: BatchSchedule::PMFG_ROUNDS,
         }
     }
 }
@@ -123,6 +139,13 @@ pub struct Pmfg {
     /// `parallel_rejections / rejections` measures how much of the
     /// rejection work — the bulk of PMFG's cost — left the critical path.
     pub parallel_rejections: usize,
+    /// Commit-time planarity re-tests: survivors whose connected
+    /// component was touched by an earlier acceptance of the same round
+    /// (the conflict-graph commit's *dirty* case — see the module docs).
+    /// Clean survivors commit with no test at all; before the conflict
+    /// commit, *every* survivor after a round's first acceptance paid
+    /// this test. `0` for [`pmfg_sequential`].
+    pub commit_retests: usize,
     /// Full-row re-scans performed by the prescreened candidate stream
     /// ([`pmfg_prescreened`]) to keep its emission order exact. `0` for
     /// the dense builders.
@@ -180,15 +203,16 @@ impl<'a, S: SimilaritySource> CandidateStream<'a, S> {
                 pairs.push((i, j));
             }
         }
-        // First chunk: a few multiples of the acceptance target, so typical
-        // constructions refill at most a handful of times.
+        // First chunk: a few multiples of the acceptance target (clamped
+        // into the schedule's range), so typical constructions refill at
+        // most a handful of times.
         let target = 3 * n.saturating_sub(2);
         Self {
             s,
             pairs,
             pos: 0,
             sorted_end: 0,
-            chunk: (4 * target).max(1024),
+            chunk: BatchSchedule::CANDIDATE_CHUNK.clamp(4 * target),
         }
     }
 
@@ -204,7 +228,7 @@ impl<'a, S: SimilaritySource> CandidateStream<'a, S> {
         }
         par_sort_unstable_by(&mut pool[..take], |&a, &b| candidate_cmp(s, a, b));
         self.sorted_end += take;
-        self.chunk *= 2;
+        self.chunk = BatchSchedule::CANDIDATE_CHUNK.grow(self.chunk);
     }
 }
 
@@ -483,10 +507,71 @@ fn validate<S: SimilaritySource>(s: &S, config: PmfgConfig) -> Result<(), CoreEr
     if n < 4 {
         return Err(CoreError::TooFewVertices { got: n });
     }
-    if config.initial_batch == 0 || config.initial_batch > config.max_batch {
-        return Err(CoreError::InvalidBatch);
+    config.batch.validate()
+}
+
+/// Incremental union-find over the committed graph's vertices, with
+/// round-stamped components — the conflict structure of the commit phase.
+///
+/// Components only ever merge (edges are only added), so one structure
+/// serves the whole construction. Each acceptance unions its endpoints
+/// and stamps the merged component with the current round id; a survivor
+/// is **clean** iff neither endpoint's component carries the current
+/// round's stamp, i.e. no edge accepted earlier this round has an
+/// endpoint in either component (see the module docs for why clean
+/// survivors commit without a re-test). Stamps live on roots and every
+/// union re-stamps the winning root, so staleness cannot survive a merge.
+struct RoundDsu {
+    /// Parent forest with path halving; roots point at themselves.
+    parent: Vec<u32>,
+    /// Component size, for union by size (valid at roots).
+    size: Vec<u32>,
+    /// Id of the last round that accepted an edge with an endpoint in
+    /// this component (valid at roots; 0 = never, round ids start at 1).
+    stamp: Vec<usize>,
+}
+
+impl RoundDsu {
+    fn new(n: usize) -> Self {
+        RoundDsu {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            stamp: vec![0; n],
+        }
     }
-    Ok(())
+
+    fn find(&mut self, mut v: usize) -> usize {
+        while self.parent[v] as usize != v {
+            // Path halving: point at the grandparent as we walk.
+            let grandparent = self.parent[self.parent[v] as usize];
+            self.parent[v] = grandparent;
+            v = grandparent as usize;
+        }
+        v
+    }
+
+    /// `true` iff neither endpoint's component was touched by an
+    /// acceptance stamped `round`.
+    fn is_clean(&mut self, u: usize, v: usize, round: usize) -> bool {
+        let ru = self.find(u);
+        let rv = self.find(v);
+        self.stamp[ru] != round && self.stamp[rv] != round
+    }
+
+    /// Records the acceptance of edge `(u, v)` in `round`: unions the
+    /// components and stamps the merged root.
+    fn accept(&mut self, u: usize, v: usize, round: usize) {
+        let mut ru = self.find(u);
+        let mut rv = self.find(v);
+        if ru != rv {
+            if self.size[ru] < self.size[rv] {
+                std::mem::swap(&mut ru, &mut rv);
+            }
+            self.parent[rv] = ru as u32;
+            self.size[ru] += self.size[rv];
+        }
+        self.stamp[ru] = round;
+    }
 }
 
 /// The round loop, generic over how candidates are produced. Both streams
@@ -501,11 +586,13 @@ fn pmfg_rounds<S: SimilaritySource, C: CandidateSource>(
     let target_edges = 3 * n - 6;
     let mut graph = WeightedGraph::new(n);
     let mut commit_scratch = LrScratch::new();
-    let mut batch_size = config.initial_batch;
+    let mut dsu = RoundDsu::new(n);
+    let mut batch_size = config.batch.initial;
     let mut candidates_examined = 0;
     let mut rejections = 0;
     let mut rounds = 0;
     let mut parallel_rejections = 0;
+    let mut commit_retests = 0;
     while graph.num_edges() < target_edges {
         let batch = stream.peek(batch_size);
         if batch.is_empty() {
@@ -536,9 +623,12 @@ fn pmfg_rounds<S: SimilaritySource, C: CandidateSource>(
         parallel_rejections += round_rejections;
         rejections += round_rejections;
         candidates_examined += batch.len();
-        // Commit phase: survivors in sorted order, re-validated only
-        // against edges accepted earlier in this round.
-        let mut accepts_this_round = 0usize;
+        // Commit phase: survivors in sorted order through the conflict
+        // structure — only a survivor whose component was touched by an
+        // earlier acceptance of this round (dirty) is re-validated; clean
+        // survivors commit with no test (module docs, point 3). Round ids
+        // start at 1 so the zero-initialised stamps read as "never".
+        let round_id = rounds + 1;
         for (k, &(u, v)) in batch.iter().enumerate() {
             if !verdicts[k] {
                 continue;
@@ -547,15 +637,17 @@ fn pmfg_rounds<S: SimilaritySource, C: CandidateSource>(
                 break;
             }
             let (u, v) = (u as usize, v as usize);
-            // With no earlier acceptance the committed graph is exactly
-            // the graph the parallel verdict was computed against, so the
-            // survivor commits without a second test.
-            if accepts_this_round == 0 || commit_scratch.stays_planar_with_edge(&graph, u, v) {
-                graph.add_edge(u, v, s.get(u, v));
-                accepts_this_round += 1;
-            } else {
+            let accepted = dsu.is_clean(u, v, round_id) || {
                 // The sequential algorithm would have made this exact
-                // test against this exact graph: a final rejection.
+                // test against this exact graph: accept and reject
+                // outcomes are both final.
+                commit_retests += 1;
+                commit_scratch.stays_planar_with_edge(&graph, u, v)
+            };
+            if accepted {
+                graph.add_edge(u, v, s.get(u, v));
+                dsu.accept(u, v, round_id);
+            } else {
                 rejections += 1;
             }
         }
@@ -566,7 +658,7 @@ fn pmfg_rounds<S: SimilaritySource, C: CandidateSource>(
         // the batch so the (perfectly parallel, final) rejection tests
         // amortize the round overhead.
         if 2 * round_rejections >= batch_len {
-            batch_size = (batch_size * 2).min(config.max_batch);
+            batch_size = config.batch.grow(batch_size);
         }
     }
     Ok(Pmfg {
@@ -575,6 +667,7 @@ fn pmfg_rounds<S: SimilaritySource, C: CandidateSource>(
         rejections,
         rounds,
         parallel_rejections,
+        commit_retests,
         prescreen_rescans: stream.rescans(),
     })
 }
@@ -619,6 +712,7 @@ pub fn pmfg_sequential<S: SimilaritySource>(s: &S) -> Result<Pmfg, CoreError> {
         rejections,
         rounds: 0,
         parallel_rejections: 0,
+        commit_retests: 0,
         prescreen_rescans: 0,
     })
 }
@@ -673,18 +767,15 @@ mod tests {
     #[test]
     fn rejects_invalid_batch_config() {
         let s = SymmetricMatrix::filled(8, 0.5);
-        for config in [
-            PmfgConfig {
-                initial_batch: 0,
-                max_batch: 8,
-            },
-            PmfgConfig {
-                initial_batch: 64,
-                max_batch: 8,
+        for batch in [
+            BatchSchedule { initial: 0, cap: 8 },
+            BatchSchedule {
+                initial: 64,
+                cap: 8,
             },
         ] {
             assert!(matches!(
-                pmfg_with_config(&s, config),
+                pmfg_with_config(&s, PmfgConfig { batch }),
                 Err(CoreError::InvalidBatch)
             ));
         }
@@ -785,8 +876,137 @@ mod tests {
                     baseline.parallel_rejections, par.parallel_rejections,
                     "{ctx}: parallel rejections"
                 );
+                assert_eq!(
+                    baseline.commit_retests, par.commit_retests,
+                    "{ctx}: commit re-tests"
+                );
             }
         }
+    }
+
+    #[test]
+    fn adversarial_same_round_conflicts_match_sequential() {
+        // Worst case for the conflict-graph commit: one giant round whose
+        // survivors all collide. Near-uniform weights on a K_n mean every
+        // single-edge test against the round-start graph passes, so the
+        // whole pair list survives round 1 and the commit phase must
+        // serially re-discover the planarity limit — maximal dirty-path
+        // traffic, including genuine commit-time *rejections*.
+        let n = 20;
+        let mut rng = StdRng::seed_from_u64(97);
+        let s = SymmetricMatrix::from_fn(n, |i, j| {
+            if i == j {
+                1.0
+            } else {
+                0.5 + rng.gen_range(0.0..1e-6)
+            }
+        });
+        let config = PmfgConfig {
+            batch: BatchSchedule {
+                initial: 1024,
+                cap: 1024,
+            },
+        };
+        let seq = pmfg_sequential(&s).unwrap();
+        let mut counters = Vec::new();
+        for threads in [1, 2, 8] {
+            let p = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| pmfg_with_config(&s, config).unwrap());
+            assert_eq!(
+                edge_list(&seq),
+                edge_list(&p),
+                "{threads} threads: edge set"
+            );
+            assert!(
+                p.commit_retests > 0,
+                "{threads} threads: conflicting survivors must re-test"
+            );
+            assert!(
+                p.rejections > p.parallel_rejections,
+                "{threads} threads: same-round conflicts must reject at commit time"
+            );
+            counters.push((
+                p.rounds,
+                p.rejections,
+                p.parallel_rejections,
+                p.commit_retests,
+            ));
+        }
+        assert_eq!(counters[0], counters[1]);
+        assert_eq!(counters[1], counters[2]);
+    }
+
+    #[test]
+    fn conflict_commit_saves_retests_vs_unconditional_rule() {
+        // The shortcut's bite. Replay the pre-conflict-commit rule —
+        // every survivor after a round's first acceptance pays a
+        // commit-time test — on the same schedule, and check the
+        // conflict commit (a) builds the same graph and (b) performs
+        // strictly fewer re-tests. (It can never perform more: a dirty
+        // survivor implies an earlier acceptance this round, so every
+        // new-rule re-test is an old-rule re-test.)
+        let s = random_similarity(60, 7);
+        let config = PmfgConfig::default();
+        let p = pmfg_with_config(&s, config).unwrap();
+
+        let n = s.n();
+        let target = 3 * n - 6;
+        let mut stream = CandidateStream::new(&s);
+        let mut graph = WeightedGraph::new(n);
+        let mut scratch = LrScratch::new();
+        let mut batch_size = config.batch.initial;
+        let mut old_retests = 0usize;
+        while graph.num_edges() < target {
+            let batch: Vec<(u32, u32)> = stream.peek(batch_size).to_vec();
+            if batch.is_empty() {
+                break;
+            }
+            // Round-start verdicts, as the parallel phase computes them.
+            let verdicts: Vec<bool> = batch
+                .iter()
+                .map(|&(u, v)| scratch.stays_planar_with_edge(&graph, u as usize, v as usize))
+                .collect();
+            let round_rejections = verdicts.iter().filter(|&&ok| !ok).count();
+            let mut accepts = 0usize;
+            for (k, &(u, v)) in batch.iter().enumerate() {
+                if !verdicts[k] {
+                    continue;
+                }
+                if graph.num_edges() == target {
+                    break;
+                }
+                let (u, v) = (u as usize, v as usize);
+                let ok = accepts == 0 || {
+                    old_retests += 1;
+                    scratch.stays_planar_with_edge(&graph, u, v)
+                };
+                if ok {
+                    graph.add_edge(u, v, s.get(u, v));
+                    accepts += 1;
+                }
+            }
+            stream.consume(batch.len());
+            if 2 * round_rejections >= batch.len() {
+                batch_size = config.batch.grow(batch_size);
+            }
+        }
+
+        let replay_edges: Vec<(usize, usize, u64)> =
+            graph.edges().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+        assert_eq!(
+            edge_list(&p),
+            replay_edges,
+            "replay must build the same graph"
+        );
+        assert!(
+            p.commit_retests < old_retests,
+            "conflict commit saved nothing: {} re-tests vs old rule's {}",
+            p.commit_retests,
+            old_retests
+        );
     }
 
     #[test]
@@ -795,22 +1015,16 @@ mod tests {
         // only trade speculative work for commit re-validation.
         let s = random_similarity(40, 19);
         let reference = edge_list(&pmfg_sequential(&s).unwrap());
-        for config in [
-            PmfgConfig {
-                initial_batch: 1,
-                max_batch: 1,
-            },
-            PmfgConfig {
-                initial_batch: 3,
-                max_batch: 7,
-            },
-            PmfgConfig {
-                initial_batch: 1024,
-                max_batch: 4096,
+        for batch in [
+            BatchSchedule { initial: 1, cap: 1 },
+            BatchSchedule { initial: 3, cap: 7 },
+            BatchSchedule {
+                initial: 1024,
+                cap: 4096,
             },
         ] {
-            let p = pmfg_with_config(&s, config).unwrap();
-            assert_eq!(edge_list(&p), reference, "{config:?}");
+            let p = pmfg_with_config(&s, PmfgConfig { batch }).unwrap();
+            assert_eq!(edge_list(&p), reference, "{batch:?}");
         }
     }
 
@@ -935,6 +1149,10 @@ mod tests {
                     dense.parallel_rejections, p.parallel_rejections,
                     "{ctx}: parallel rejections"
                 );
+                assert_eq!(
+                    dense.commit_retests, p.commit_retests,
+                    "{ctx}: commit re-tests"
+                );
                 if k == s.n() - 1 {
                     assert_eq!(p.prescreen_rescans, 0, "{ctx}: complete pool");
                 }
@@ -969,9 +1187,12 @@ mod tests {
         // post-maximality survivor of the final round.
         assert!(p.candidates_examined >= accepted + p.rejections);
         assert!(p.rounds >= 1);
+        // Only processed survivors re-test, and never a round's first.
+        assert!(p.commit_retests <= accepted + (p.rejections - p.parallel_rejections));
         let seq = pmfg_sequential(&s).unwrap();
         assert_eq!(seq.rounds, 0);
         assert_eq!(seq.parallel_rejections, 0);
+        assert_eq!(seq.commit_retests, 0);
         assert_eq!(
             seq.candidates_examined,
             seq.graph.num_edges() + seq.rejections

@@ -108,7 +108,7 @@ pub struct Insertion {
 
 /// Per-round accounting of the batch selector: how full the round was and
 /// how much staleness (conflicts, cache exhaustion) it had to absorb.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RoundStats {
     /// Upper bound on this round's insertions:
     /// `min(prefix, |remaining|, |active faces|)` at round start.
@@ -129,7 +129,32 @@ pub struct RoundStats {
     /// round-start information was stale and intra-round freshness
     /// recovered quality the simultaneous placement would have lost.
     pub reassigned: usize,
+    /// Wall time of this round's placement pass in nanoseconds — the
+    /// O(batch²) sequential loop of [`BatchFreshness::IntraRound`] (or the
+    /// straight-line application under
+    /// [`BatchFreshness::Simultaneous`]). The construction bench folds
+    /// this into the per-stage breakdown: if intra-round placement ever
+    /// dominated the parallel candidate refresh it pays for, the freshness
+    /// default would need revisiting.
+    pub placement_ns: u64,
 }
+
+/// `placement_ns` is wall-clock noise, not algorithm state: two
+/// byte-identical constructions time differently, so the timer is excluded
+/// from equality. The differential tests compare `round_stats` across
+/// thread counts, prescreen modes and chaos seeds, and must keep passing
+/// bit-for-bit on every *semantic* counter.
+impl PartialEq for RoundStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.target == other.target
+            && self.selected == other.selected
+            && self.conflicts == other.conflicts
+            && self.rescans == other.rescans
+            && self.reassigned == other.reassigned
+    }
+}
+
+impl Eq for RoundStats {}
 
 impl RoundStats {
     /// Fraction of the round's target that was actually inserted (1.0 for
@@ -207,6 +232,12 @@ impl Tmfg {
     /// placement).
     pub fn total_reassigned(&self) -> usize {
         self.round_stats.iter().map(|r| r.reassigned).sum()
+    }
+
+    /// Total nanoseconds spent in the sequential placement pass across all
+    /// rounds (see [`RoundStats::placement_ns`]).
+    pub fn total_placement_ns(&self) -> u64 {
+        self.round_stats.iter().map(|r| r.placement_ns).sum()
     }
 }
 
@@ -586,14 +617,17 @@ impl<'a, S: SimilaritySource> Builder<'a, S> {
             self.num_remaining -= 1;
         }
 
-        let mut faces_to_refresh: Vec<usize> = match self.freshness {
+        let placement_start = std::time::Instant::now();
+        let groups: Vec<ChildGroup> = match self.freshness {
             BatchFreshness::Simultaneous => self.place_simultaneous(selected),
             BatchFreshness::IntraRound => self.place_intra_round(selected, stats),
         };
+        stats.placement_ns = placement_start.elapsed().as_nanos() as u64;
 
         // Line 15: lazily advance the faces whose head vertex was inserted
         // this round; only faces whose truncated cache drained need a full
         // recomputation.
+        let mut faces_to_refresh: Vec<usize> = Vec::new();
         for &(_, v, _) in selected {
             self.gains.on_vertex_inserted(
                 v,
@@ -603,19 +637,52 @@ impl<'a, S: SimilaritySource> Builder<'a, S> {
             );
         }
 
+        let s = self.s;
+        let remaining = &self.remaining;
+        let depth = self.gains.depth();
+
+        // Line 16, children: each insertion's three new faces refresh off
+        // one fused scan of the remaining pool (4 similarity loads per
+        // vertex instead of 9 — the follow-up paper's gain maintenance).
+        // Children consumed later in the same round (intra-round freshness)
+        // are skipped at install. The prescreened source keeps the per-face
+        // certified refresh instead: its pooled top-K gather is already
+        // sublinear, and the exactness certificate is per-face.
+        if self.prescreen.is_none() {
+            let fused: Vec<(ChildGroup, [crate::tmfg::gains::CandidateList; 3])> = groups
+                .par_iter()
+                .map(|&g| {
+                    (
+                        g,
+                        GainTable::compute_candidates_for_children(
+                            s, g.parent, g.vertex, remaining, depth,
+                        ),
+                    )
+                })
+                .collect();
+            for (g, lists) in fused {
+                for (slot, (list, truncated)) in lists.into_iter().enumerate() {
+                    let f = g.children[slot];
+                    if self.face_active[f] {
+                        self.gains.install(f, list, truncated);
+                    }
+                }
+            }
+        } else {
+            faces_to_refresh.extend(groups.iter().flat_map(|g| g.children));
+        }
+
         faces_to_refresh.sort_unstable();
         faces_to_refresh.dedup();
         faces_to_refresh.retain(|&f| self.face_active[f]);
 
-        // Line 16: recompute the candidate lists for the affected faces, in
-        // parallel (each face scans the remaining vertex set — or, when the
-        // prescreen certifies it, just the corners' pooled top-K lists).
-        let s = self.s;
+        // Line 16, drained survivors (and, on the prescreened path, the
+        // children): recompute the candidate lists in parallel (each face
+        // scans the remaining vertex set — or, when the prescreen certifies
+        // it, just the corners' pooled top-K lists).
         let prescreen = self.prescreen;
-        let remaining = &self.remaining;
         let num_remaining = self.num_remaining;
         let faces = &self.faces;
-        let depth = self.gains.depth();
         let updates: Vec<(usize, (crate::tmfg::gains::CandidateList, bool))> = faces_to_refresh
             .par_iter()
             .map(|&f| {
@@ -632,13 +699,18 @@ impl<'a, S: SimilaritySource> Builder<'a, S> {
     }
 
     /// Applies every selected pair against the round-start face set (the
-    /// paper's literal semantics). Returns the created face ids.
-    fn place_simultaneous(&mut self, selected: &[(usize, usize, f64)]) -> Vec<usize> {
+    /// paper's literal semantics). Returns the created child groups.
+    fn place_simultaneous(&mut self, selected: &[(usize, usize, f64)]) -> Vec<ChildGroup> {
         let round = self.rounds;
-        let mut new_faces = Vec::with_capacity(3 * selected.len());
+        let mut groups = Vec::with_capacity(selected.len());
         for &(face_id, v, gain) in selected {
             let t = self.faces[face_id];
-            new_faces.extend(self.insert_vertex(face_id, v));
+            let children = self.insert_vertex(face_id, v);
+            groups.push(ChildGroup {
+                parent: t,
+                vertex: v,
+                children,
+            });
             self.insertions.push(Insertion {
                 vertex: v,
                 face: t,
@@ -646,7 +718,7 @@ impl<'a, S: SimilaritySource> Builder<'a, S> {
                 round,
             });
         }
-        new_faces
+        groups
     }
 
     /// Places the selected cohort one vertex at a time in decreasing
@@ -654,14 +726,15 @@ impl<'a, S: SimilaritySource> Builder<'a, S> {
     /// for the rest of the cohort — the intra-round freshness that lets an
     /// arrival cohort nucleate the way sequential insertion would. Each
     /// vertex keeps its phase-1 face reserved as a fallback, so the cohort
-    /// always places completely. O(batch²) sequential work. Returns the
-    /// created face ids that survived the round (plus none that were
-    /// consumed — those are filtered by the caller's `face_active` check).
+    /// always places completely. O(batch²) sequential work, timed into
+    /// [`RoundStats::placement_ns`] by the caller. Returns the created
+    /// child groups; groups whose faces were consumed later in the same
+    /// round are filtered by the caller's `face_active` check.
     fn place_intra_round(
         &mut self,
         selected: &[(usize, usize, f64)],
         stats: &mut RoundStats,
-    ) -> Vec<usize> {
+    ) -> Vec<ChildGroup> {
         let round = self.rounds;
         struct Pending {
             vertex: usize,
@@ -686,7 +759,7 @@ impl<'a, S: SimilaritySource> Builder<'a, S> {
         // Faces created this round that are still unused; every pending
         // vertex may claim any of them.
         let mut open_children: Vec<usize> = Vec::with_capacity(3 * selected.len());
-        let mut all_children: Vec<usize> = Vec::with_capacity(3 * selected.len());
+        let mut groups: Vec<ChildGroup> = Vec::with_capacity(selected.len());
 
         while !pending.is_empty() {
             // Deterministic argmax: gain, ties towards the smaller vertex.
@@ -715,7 +788,11 @@ impl<'a, S: SimilaritySource> Builder<'a, S> {
                 round,
             });
             open_children.extend(created);
-            all_children.extend(created);
+            groups.push(ChildGroup {
+                parent: t,
+                vertex: p.vertex,
+                children: created,
+            });
 
             for q in &mut pending {
                 if q.best_face == face_id {
@@ -742,8 +819,20 @@ impl<'a, S: SimilaritySource> Builder<'a, S> {
                 }
             }
         }
-        all_children
+        groups
     }
+}
+
+/// One insertion's split, kept together for the fused candidate refresh:
+/// the consumed parent face, the inserted vertex, and the three child face
+/// ids in [`Triangle::split_with`] order (so
+/// [`GainTable::compute_candidates_for_children`]'s k-th list installs
+/// into `children[k]`).
+#[derive(Debug, Clone, Copy)]
+struct ChildGroup {
+    parent: Triangle,
+    vertex: usize,
+    children: [usize; 3],
 }
 
 /// One candidate refresh, routed through the prescreen when available:

@@ -21,6 +21,13 @@
 //!   when its cached list runs dry *and* the list was truncated (the
 //!   remaining pool held more candidates than the cache depth), so refresh
 //!   work stays proportional to the faces actually affected by a round.
+//! * **Fused child refresh.** The only faces that *must* be recomputed
+//!   every round are the 3 per insertion that did not exist before it.
+//!   Those three share two corners with the consumed parent and one with
+//!   each other, so one scan over the remaining pool serves all three —
+//!   4 similarity loads per vertex instead of 9 — via
+//!   [`GainTable::compute_candidates_for_children`], bitwise identical to
+//!   three standalone refreshes.
 //!
 //! The reverse index `faces_of_best` maps each vertex to the faces whose
 //! current head it is. A face re-registers on every head change and each
@@ -35,15 +42,18 @@
 use pfg_graph::{SimilaritySource, TopKCandidates};
 
 use crate::face::Triangle;
+use crate::schedule::BatchSchedule;
 
-/// Smallest per-face candidate cache depth.
-pub const MIN_CACHE_DEPTH: usize = 4;
+/// Smallest per-face candidate cache depth
+/// ([`BatchSchedule::TMFG_CACHE_DEPTH`]`.initial`).
+pub const MIN_CACHE_DEPTH: usize = BatchSchedule::TMFG_CACHE_DEPTH.initial;
 
-/// Largest per-face candidate cache depth. Deeper caches make mid-round
-/// conflict refills cheaper but every face refresh pays O(depth) per
-/// candidate hit; 32 keeps the memory and refresh cost trivial while making
-/// full rescans rare even for large prefixes.
-pub const MAX_CACHE_DEPTH: usize = 32;
+/// Largest per-face candidate cache depth
+/// ([`BatchSchedule::TMFG_CACHE_DEPTH`]`.cap`). Deeper caches make
+/// mid-round conflict refills cheaper but every face refresh pays
+/// O(depth) per candidate hit; 32 keeps the memory and refresh cost
+/// trivial while making full rescans rare even for large prefixes.
+pub const MAX_CACHE_DEPTH: usize = BatchSchedule::TMFG_CACHE_DEPTH.cap;
 
 /// A freshly computed per-face candidate list (decreasing gain) and
 /// whether it was truncated at the cache depth.
@@ -102,7 +112,7 @@ impl GainTable {
     /// asked for another.
     pub fn new(num_vertices: usize, prefix: usize) -> Self {
         Self {
-            depth: prefix.clamp(MIN_CACHE_DEPTH, MAX_CACHE_DEPTH),
+            depth: BatchSchedule::TMFG_CACHE_DEPTH.clamp(prefix),
             lists: Vec::new(),
             cursor: Vec::new(),
             truncated: Vec::new(),
@@ -282,6 +292,77 @@ impl GainTable {
             list.truncate(depth);
         }
         (list, truncated)
+    }
+
+    /// Fused candidate refresh for the three child faces created by one
+    /// insertion: splitting `parent = {a, b, c}` with `vertex = v` yields
+    /// `{v,a,b}`, `{v,b,c}`, `{v,a,c}` (in [`Triangle::split_with`]
+    /// order), and the three scans share all of their similarity reads —
+    /// each remaining vertex `u` needs only the four loads `s(a,u)`,
+    /// `s(b,u)`, `s(c,u)`, `s(v,u)` instead of the nine that three
+    /// independent [`GainTable::compute_candidates`] calls would issue.
+    /// This is the follow-up paper's cheap per-round gain maintenance:
+    /// refresh work is driven by the round's insertions (3 lists per
+    /// insertion off one scan), not by full candidate-cache invalidation.
+    ///
+    /// Byte-identity with the unfused path is load-bearing: each child's
+    /// gain is summed **in that child's sorted-corner order** (the order
+    /// [`GainTable::gain_of`] uses), because float addition is not
+    /// associative and the differential tests compare gains bitwise. The
+    /// per-child selection loop (NaN skip, strict-worst displacement,
+    /// `partition_point` insert) is the same code shape as
+    /// [`GainTable::compute_candidates`], so each returned list is exactly
+    /// what a standalone refresh of that child would have produced.
+    pub fn compute_candidates_for_children<S: SimilaritySource>(
+        s: &S,
+        parent: Triangle,
+        vertex: usize,
+        remaining: &[bool],
+        depth: usize,
+    ) -> [CandidateList; 3] {
+        let [a, b, c] = parent.corners();
+        // Load order of the shared reads; slot 3 is the inserted vertex.
+        let ids = [a, b, c, vertex];
+        // perm[k][i]: which shared load is child k's i-th sorted corner.
+        let mut perm = [[0usize; 3]; 3];
+        for (k, child) in parent.split_with(vertex).iter().enumerate() {
+            for (i, corner) in child.corners().into_iter().enumerate() {
+                perm[k][i] = ids
+                    .iter()
+                    .position(|&x| x == corner)
+                    .expect("child corners come from {parent} ∪ {vertex}");
+            }
+        }
+        let mut lists: [Vec<(usize, f64)>; 3] =
+            std::array::from_fn(|_| Vec::with_capacity(depth + 1));
+        let mut truncated = [false; 3];
+        for (u, &is_remaining) in remaining.iter().enumerate() {
+            if !is_remaining {
+                continue;
+            }
+            let w = [s.get(a, u), s.get(b, u), s.get(c, u), s.get(vertex, u)];
+            for k in 0..3 {
+                let [i, j, l] = perm[k];
+                let gain = w[i] + w[j] + w[l];
+                if gain.is_nan() {
+                    continue;
+                }
+                let list = &mut lists[k];
+                if list.len() == depth {
+                    let (_, worst) = list[depth - 1];
+                    if gain <= worst {
+                        truncated[k] = true;
+                        continue;
+                    }
+                    truncated[k] = true;
+                }
+                let at = list.partition_point(|&(_, g)| g >= gain);
+                list.insert(at, (u, gain));
+                list.truncate(depth);
+            }
+        }
+        let [l0, l1, l2] = lists;
+        [(l0, truncated[0]), (l1, truncated[1]), (l2, truncated[2])]
     }
 
     /// Scans for the best vertex to insert into `triangle` among vertices
@@ -528,6 +609,71 @@ mod tests {
                 .is_some_and(|(v, _)| v != 4),
             "rescan must not pick a NaN gain"
         );
+    }
+
+    #[test]
+    fn fused_child_refresh_is_bitwise_identical_to_unfused() {
+        // The fused scan must reproduce, bit for bit, what three
+        // independent compute_candidates calls produce for the children of
+        // one insertion — including gain sums (addition order), tie-break
+        // order and truncation flags. Irrational-ish weights make any
+        // addition-order deviation visible.
+        let n = 24;
+        let s = SymmetricMatrix::from_fn(n, |i, j| {
+            if i == j {
+                1.0
+            } else {
+                (((i * 31 + j * 17) % 97) as f64 / 97.0).sin().abs()
+            }
+        });
+        let parent = Triangle::new(2, 11, 19);
+        let vertex = 7;
+        let mut remaining = vec![true; n];
+        for v in [2, 11, 19, 7, 0, 1] {
+            remaining[v] = false;
+        }
+        for depth in [1, 4, 32] {
+            let fused =
+                GainTable::compute_candidates_for_children(&s, parent, vertex, &remaining, depth);
+            for (k, child) in parent.split_with(vertex).into_iter().enumerate() {
+                let unfused = GainTable::compute_candidates(&s, child, &remaining, depth);
+                assert_eq!(fused[k].1, unfused.1, "depth {depth} child {k}: flag");
+                assert_eq!(fused[k].0.len(), unfused.0.len());
+                for (f, u) in fused[k].0.iter().zip(&unfused.0) {
+                    assert_eq!(f.0, u.0, "depth {depth} child {k}: vertex");
+                    assert_eq!(
+                        f.1.to_bits(),
+                        u.1.to_bits(),
+                        "depth {depth} child {k}: gain bits"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_child_refresh_skips_nan_gains() {
+        let s = SymmetricMatrix::from_fn(8, |i, j| {
+            if i == j {
+                1.0
+            } else if i.max(j) == 6 {
+                f64::NAN
+            } else {
+                0.5
+            }
+        });
+        let parent = Triangle::new(0, 1, 2);
+        let mut remaining = vec![true; 8];
+        for v in [0, 1, 2, 3] {
+            remaining[v] = false;
+        }
+        let fused = GainTable::compute_candidates_for_children(&s, parent, 3, &remaining, 8);
+        for (k, (list, _)) in fused.iter().enumerate() {
+            assert!(
+                list.iter().all(|&(v, g)| v != 6 && !g.is_nan()),
+                "child {k} must skip the NaN vertex"
+            );
+        }
     }
 
     #[test]

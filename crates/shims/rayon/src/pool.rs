@@ -14,18 +14,25 @@
 //!
 //! # Architecture
 //!
-//! * **Per-worker deques, Chase–Lev-style discipline.** Each worker owns a
-//!   deque ([`WorkerDeque`]): the owner pushes and pops at the *back*
-//!   (LIFO, so a worker dives depth-first into its own subtree and the
+//! * **Per-worker lock-free Chase–Lev deques.** Each worker owns a deque
+//!   ([`WorkerDeque`]): the owner pushes and pops at the *bottom* (LIFO,
+//!   so a worker dives depth-first into its own subtree and the
 //!   just-pushed half is still cache-hot when popped), thieves steal from
-//!   the *front* (FIFO, so a thief takes the *oldest* — largest — pending
-//!   subtree). The buffer itself is a mutex-guarded ring rather than the
-//!   lock-free Chase–Lev array: the lock is uncontended on the owner fast
-//!   path (one futex-free atomic acquire), and it makes the
-//!   pop-vs-steal race trivially sound where the lock-free version needs
-//!   subtle fences. Threads that are not pool workers (the caller of a
-//!   parallel operation) push to and pop from a shared **injector** deque
-//!   with the same back-for-owner / front-for-thief discipline.
+//!   the *top* (FIFO, so a thief takes the *oldest* — largest — pending
+//!   subtree). The buffer is the real Chase–Lev growable circular array
+//!   with the C11 orderings of Lê et al. (CGO '13): owner push and
+//!   non-last pop are lock-free (no CAS, no lock — one `SeqCst` fence on
+//!   the pop path), and a CAS on `top` arbitrates only the contended
+//!   cases, a steal and the owner's pop of the *last* element. An earlier
+//!   revision used a mutex-guarded ring here ("uncontended on the owner
+//!   fast path"); profiling fine-grained rounds showed the owner still
+//!   paid an atomic RMW + unlock per tree node and every steal serialised
+//!   against the owner, which is exactly the tax the Chase–Lev array
+//!   removes. The memory-ordering argument lives on [`WorkerDeque`].
+//!   Threads that are not pool workers (the caller of a parallel
+//!   operation) push to and pop from a shared mutex-guarded **injector**
+//!   deque — rarely touched (once per batch, not per tree node), so it
+//!   keeps the trivially-sound lock.
 //! * **Fork–join via [`crate::join`]** (see `join.rs`): `join(a, b)`
 //!   publishes `b` as a stealable [`JobRef`] pointing into the caller's
 //!   stack, runs `a` inline, then either pops `b` back (not stolen: run it
@@ -76,7 +83,7 @@
 use std::cell::{RefCell, UnsafeCell};
 use std::collections::VecDeque;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use crate::join::join_in;
@@ -172,10 +179,280 @@ impl JobRef {
     }
 }
 
-/// One worker's deque: owner pushes/pops at the back, thieves steal from
-/// the front.
+/// Initial capacity (slots) of a worker deque's circular buffer. Grows by
+/// doubling; 64 covers every split tree this executor produces
+/// ([`MAX_PIECES`] = 64 leaves ⇒ at most ~6 simultaneously pending jobs
+/// per worker), so growth only triggers under deeply nested operations.
+const DEQUE_INITIAL_CAP: usize = 64;
+
+/// One storage cell of a [`Buffer`]. A [`JobRef`] is two pointer-sized
+/// words (data pointer + fn pointer), stored as two *independent* relaxed
+/// atomics — there is no double-word atomic here, and none is needed: a
+/// reader's loads are only *trusted* after validation (the owner's
+/// fence-then-`top`-load, or a thief's winning CAS on `top`) proves the
+/// cell could not have been overwritten between the loads; losers discard
+/// whatever possibly-torn pair they read. The `seq` word is a monotone
+/// per-deque push ticket that lets the racecheck build assert each
+/// published job is consumed exactly once (see [`WorkerDeque::audit`]);
+/// it costs one relaxed store per push and is dead weight otherwise —
+/// measured in the executor round-trip bench as noise next to the
+/// removed lock traffic.
+struct Slot {
+    data: AtomicPtr<()>,
+    exec: AtomicPtr<()>,
+    seq: AtomicUsize,
+}
+
+/// The growable circular array behind a [`WorkerDeque`]. `cap` is always a
+/// power of two so index wrap is a mask. Cells are addressed by *absolute*
+/// deque index (`bottom`/`top` never wrap; they are monotone over the pool
+/// lifetime modulo owner pop/push reuse), masked into the buffer.
+struct Buffer {
+    mask: usize,
+    slots: Box<[Slot]>,
+}
+
+impl Buffer {
+    fn alloc(cap: usize) -> *mut Buffer {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| Slot {
+                data: AtomicPtr::new(std::ptr::null_mut()),
+                exec: AtomicPtr::new(std::ptr::null_mut()),
+                seq: AtomicUsize::new(0),
+            })
+            .collect();
+        Box::into_raw(Box::new(Buffer {
+            mask: cap - 1,
+            slots,
+        }))
+    }
+
+    fn cap(&self) -> usize {
+        self.mask + 1
+    }
+
+    fn slot(&self, index: isize) -> &Slot {
+        &self.slots[index as usize & self.mask]
+    }
+
+    /// Stores `job` at absolute index `index` (owner only; relaxed stores
+    /// are published by the subsequent `Release` store of `bottom` or of
+    /// the buffer pointer).
+    fn write(&self, index: isize, job: JobRef, seq: usize) {
+        let slot = self.slot(index);
+        slot.data.store(job.data.cast_mut(), Ordering::Relaxed);
+        slot.exec
+            .store(job.execute_fn as *mut (), Ordering::Relaxed);
+        slot.seq.store(seq, Ordering::Relaxed);
+    }
+
+    /// Loads the cell at absolute index `index`. The result is
+    /// speculative — callers must validate (see [`Slot`]) before trusting
+    /// the pair.
+    fn read(&self, index: isize) -> (JobRef, usize) {
+        let slot = self.slot(index);
+        let data = slot.data.load(Ordering::Relaxed) as *const ();
+        let exec = slot.exec.load(Ordering::Relaxed);
+        let seq = slot.seq.load(Ordering::Relaxed);
+        type ExecFn = unsafe fn(*const (), &PoolState);
+        // SAFETY: transmuting a data pointer back to the fn pointer it was
+        // cast from in `write`; validation (CAS win / owner fence) proves
+        // the pair is the coherent value of one `write` before use.
+        let execute_fn: ExecFn = unsafe { std::mem::transmute::<*mut (), ExecFn>(exec) };
+        (JobRef { data, execute_fn }, seq)
+    }
+}
+
+/// Outcome of [`WorkerDeque::steal`].
+enum Steal {
+    /// No job visible at the top of the deque.
+    Empty,
+    /// Lost the CAS race for the top job to the owner or another thief;
+    /// the deque may still hold work — caller decides whether to rescan.
+    Retry,
+    /// Won the top job.
+    Success(JobRef),
+}
+
+/// One worker's lock-free Chase–Lev deque: the owner pushes and pops at
+/// `bottom`, thieves steal at `top`, over a growable circular [`Buffer`].
+///
+/// # Memory-ordering argument (Lê et al., CGO '13, Fig. 1)
+///
+/// * **`push`** writes the cell (relaxed) and then `Release`-stores
+///   `bottom + 1`; a thief's `Acquire` load of `bottom` that observes the
+///   new value therefore also observes the cell write. The `Acquire` load
+///   of `top` in `push` only bounds the occupancy check for growth.
+/// * **`take`** (owner pop) `Relaxed`-stores the decremented `bottom`,
+///   then a **`SeqCst` fence**, then loads `top`. A concurrent `steal`
+///   loads `top`, then a **`SeqCst` fence**, then loads `bottom`. The two
+///   fences give a total order: either the owner's `bottom` decrement is
+///   visible to the thief (which then sees `top >= bottom` and backs off
+///   the last element), or the thief's `top` increment (its CAS) is
+///   visible to the owner (which then sees the smaller window). Both
+///   seeing a one-element window falls through to the CAS on `top`, which
+///   arbitrates — exactly one of them wins the last element.
+/// * **Cell reads are speculative.** A thief reads the cell *before* its
+///   CAS; the value is only trusted if the CAS on `top` succeeds, which
+///   proves `top` never moved past the cell, and the owner cannot have
+///   overwritten it: overwriting absolute index `i` in the *same* buffer
+///   requires `bottom - top >= cap`, which triggers growth into a *new*
+///   buffer instead (capacity doubling ⇒ the live window never wraps onto
+///   itself).
+/// * **Growth** copies the live window `[top, bottom)` into a
+///   twice-as-large buffer at the same absolute indices and publishes the
+///   new buffer pointer with `Release` (thieves load it `Acquire`, so a
+///   thief that sees the new buffer sees the copies). The old buffer is
+///   *retired, not freed*: a stale thief may still hold its pointer and
+///   read a cell from it — the cell it validates via CAS still holds the
+///   correct value there (copies don't mutate the source) — so retired
+///   buffers stay allocated in [`WorkerDeque::retired`] until the deque
+///   drops with the pool.
+///
+/// # Racecheck hook
+///
+/// Every push tickets the job with a monotone per-deque sequence number;
+/// every successful claim (owner pop or winning steal) registers that
+/// ticket with a [`pfg_audit::DisjointWriteAudit::sparse_cells`] registry.
+/// Under `--cfg pfg_racecheck` a broken ordering that lets two threads
+/// claim one published job panics with both claim sites; in normal builds
+/// the registry is zero-sized and the calls compile out.
 struct WorkerDeque {
-    jobs: Mutex<VecDeque<JobRef>>,
+    /// Next absolute index the owner pushes at. Decremented (then mostly
+    /// restored) during `take`.
+    bottom: AtomicIsize,
+    /// Absolute index of the oldest live job; advanced only by the CAS in
+    /// `steal`/last-element `take`.
+    top: AtomicIsize,
+    /// Current circular buffer; swapped (never mutated in place) on grow.
+    buffer: AtomicPtr<Buffer>,
+    /// Superseded buffers, kept allocated until drop so stale thieves can
+    /// finish their speculative reads (see the module ordering argument).
+    /// Locked only by the owner on grow — never on a hot path. The `Box`
+    /// is load-bearing, not indirection for its own sake: stale thieves
+    /// hold raw `*mut Buffer` pointers to these exact allocations, so the
+    /// `Vec` growing must never move a retired `Buffer`.
+    #[allow(clippy::vec_box)]
+    retired: Mutex<Vec<Box<Buffer>>>,
+    /// Monotone push ticket counter (owner-incremented, relaxed).
+    push_seq: AtomicUsize,
+    /// Exactly-once claim registry over push tickets (racecheck builds).
+    audit: pfg_audit::DisjointWriteAudit,
+}
+
+impl WorkerDeque {
+    fn new() -> Self {
+        WorkerDeque {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Buffer::alloc(DEQUE_INITIAL_CAP)),
+            retired: Mutex::new(Vec::new()),
+            push_seq: AtomicUsize::new(0),
+            audit: pfg_audit::DisjointWriteAudit::sparse_cells("worker deque claims"),
+        }
+    }
+
+    /// Owner-only: publishes `job` at the bottom of the deque.
+    fn push(&self, job: JobRef) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = self.buffer.load(Ordering::Relaxed);
+        // SAFETY: `buffer` always points at a live allocation (swapped
+        // buffers are retired, not freed, until drop).
+        unsafe {
+            if b - t >= (*buf).cap() as isize {
+                buf = self.grow(buf, t, b);
+            }
+            let seq = self.push_seq.fetch_add(1, Ordering::Relaxed);
+            (*buf).write(b, job, seq);
+        }
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner-only: pops the most recently pushed job still in the deque
+    /// (LIFO). Lock-free; a CAS happens only when taking the last element
+    /// races a thief.
+    fn take(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = self.buffer.load(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty: restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        // SAFETY: live buffer (see `push`); `t <= b` proves index `b`
+        // holds a published job only we can overwrite.
+        let (job, seq) = unsafe { (*buf).read(b) };
+        if t == b {
+            // Last element: race thieves for it via the `top` CAS.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            if !won {
+                return None;
+            }
+        }
+        self.audit.write_once(seq);
+        Some(job)
+    }
+
+    /// Any thread: tries to steal the oldest job (FIFO).
+    fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let buf = self.buffer.load(Ordering::Acquire);
+        // SAFETY: live buffer; the read is speculative and only trusted if
+        // the CAS below wins (see the ordering argument on the type).
+        let (job, seq) = unsafe { (*buf).read(t) };
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        self.audit.write_once(seq);
+        Steal::Success(job)
+    }
+
+    /// Owner-only: doubles the buffer, copying the live window `[t, b)` to
+    /// the same absolute indices, publishes it, and retires the old one.
+    ///
+    /// # Safety
+    /// `old` must be the deque's current buffer and the caller must be the
+    /// deque's owner (sole writer of `buffer` and the cells).
+    unsafe fn grow(&self, old: *mut Buffer, t: isize, b: isize) -> *mut Buffer {
+        let new = Buffer::alloc((*old).cap() * 2);
+        for i in t..b {
+            let (job, seq) = (*old).read(i);
+            (*new).write(i, job, seq);
+        }
+        self.buffer.store(new, Ordering::Release);
+        self.retired
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Box::from_raw(old));
+        new
+    }
+}
+
+impl Drop for WorkerDeque {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; the current buffer was produced by
+        // `Buffer::alloc` and never freed elsewhere (`retired` holds the
+        // superseded ones and drops them with the Vec).
+        unsafe { drop(Box::from_raw(*self.buffer.get_mut())) };
+    }
 }
 
 /// Shared state of one thread pool.
@@ -263,11 +540,7 @@ impl PoolState {
         let worker_count = num_threads.saturating_sub(1);
         let state = Arc::new(PoolState {
             injector: Mutex::new(VecDeque::new()),
-            workers: (0..worker_count)
-                .map(|_| WorkerDeque {
-                    jobs: Mutex::new(VecDeque::new()),
-                })
-                .collect(),
+            workers: (0..worker_count).map(|_| WorkerDeque::new()).collect(),
             sleep_lock: Mutex::new(()),
             sleep_cv: Condvar::new(),
             sleepers: AtomicUsize::new(0),
@@ -364,11 +637,7 @@ impl PoolState {
 pub(crate) fn push_job(pool: &Arc<PoolState>, job: JobRef) {
     let pushed_local = CTX.with(|c| match &*c.borrow() {
         Some(Ctx::Worker(p, i)) if Arc::ptr_eq(p, pool) => {
-            p.workers[*i]
-                .jobs
-                .lock()
-                .expect("worker deque lock")
-                .push_back(job);
+            p.workers[*i].push(job);
             true
         }
         _ => false,
@@ -390,23 +659,28 @@ pub(crate) fn push_job(pool: &Arc<PoolState>, job: JobRef) {
 /// sits in a deque while its stack frame is pinned inside `join`, and a
 /// frame never hosts two pending jobs at the same address, so an address
 /// match *is* the job we pushed. LIFO discipline means our job is at the
-/// back unless it was stolen (deeper pushes have already been popped by
-/// the time we look).
+/// bottom unless it was stolen (deeper pushes have already been popped by
+/// the time we look) — so on the worker path we `take` unconditionally
+/// and check identity after: the popped job is either ours or the deque
+/// had already lost ours to a thief, in which case whatever `take`
+/// returned belongs to an *outer* pinned frame and is pushed straight
+/// back (bottom position is unchanged by a take-then-push pair, so the
+/// restore is invisible to thieves' FIFO order).
 pub(crate) fn pop_job_if(pool: &Arc<PoolState>, job: &JobRef) -> bool {
     let deque = CTX.with(|c| match &*c.borrow() {
         Some(Ctx::Worker(p, i)) if Arc::ptr_eq(p, pool) => Some(*i),
         _ => None,
     });
     let popped = match deque {
-        Some(i) => {
-            let mut jobs = pool.workers[i].jobs.lock().expect("worker deque lock");
-            if jobs.back().is_some_and(|back| back.same_as(job)) {
-                jobs.pop_back();
-                true
-            } else {
+        Some(i) => match pool.workers[i].take() {
+            Some(bottom) if bottom.same_as(job) => true,
+            Some(other) => {
+                // Ours was stolen; `other` is an outer frame's pending job.
+                pool.workers[i].push(other);
                 false
             }
-        }
+            None => false,
+        },
         None => {
             let mut jobs = pool.injector.lock().expect("pool injector lock");
             if jobs.back().is_some_and(|back| back.same_as(job)) {
@@ -431,12 +705,7 @@ pub(crate) fn pop_job_if(pool: &Arc<PoolState>, job: &JobRef) -> bool {
 /// invisible in results).
 fn find_work(pool: &PoolState, own_index: Option<usize>) -> Option<JobRef> {
     if let Some(i) = own_index {
-        if let Some(job) = pool.workers[i]
-            .jobs
-            .lock()
-            .expect("worker deque lock")
-            .pop_back()
-        {
+        if let Some(job) = pool.workers[i].take() {
             pool.pending_jobs.fetch_sub(1, Ordering::SeqCst);
             return Some(job);
         }
@@ -473,12 +742,11 @@ fn find_work(pool: &PoolState, own_index: Option<usize>) -> Option<JobRef> {
         if own_index == Some(target) {
             continue;
         }
-        let stolen = pool.workers[target]
-            .jobs
-            .lock()
-            .expect("worker deque lock")
-            .pop_front();
-        if let Some(job) = stolen {
+        // A lost CAS (`Retry`) is treated like empty and the scan moves to
+        // the next victim: the job went to *someone*, so progress was
+        // made, and every caller of `find_work` already loops — `None`
+        // with `pending_jobs > 0` never parks (see `park`'s re-check).
+        if let Steal::Success(job) = pool.workers[target].steal() {
             pool.pending_jobs.fetch_sub(1, Ordering::SeqCst);
             return Some(job);
         }

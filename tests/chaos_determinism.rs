@@ -102,6 +102,63 @@ fn tiled_correlation_is_schedule_invariant() {
 }
 
 #[test]
+fn fine_grained_steal_storm_is_schedule_invariant() {
+    // `with_max_len(1)` turns every item into its own job, flooding the
+    // owner's Chase–Lev deque and maximising thief CAS traffic on its top
+    // pointer — the schedule-space stress for the lock-free deque's
+    // owner/thief race window (last-element CAS, speculative cell reads,
+    // buffer growth mid-storm). The fold tree is a function of input
+    // length only, so the bit-exact sum must survive every steal order.
+    let v: Vec<f64> = (0..4_096).map(|i| (i as f64 * 0.61).cos()).collect();
+    assert_schedule_invariant(
+        || {
+            v.par_iter()
+                .with_max_len(1)
+                .map(|&x| x * 1.000001 + 0.25)
+                .fold(|| 0.0f64, |acc, x| acc + x)
+                .reduce(|| 0.0f64, |a, b| a + b)
+        },
+        |a, b| a.to_bits() == b.to_bits(),
+    );
+}
+
+#[test]
+fn pmfg_construction_is_schedule_invariant() {
+    // End-to-end PMFG under chaos: the speculative round tests run on the
+    // pool (and are reordered by the chaos schedule), but the
+    // conflict-graph commit replays survivors in candidate order on the
+    // calling thread, so edges, rounds and every counter — including the
+    // commit re-test count — must be byte-identical to the 1-thread run.
+    let mut rng = StdRng::seed_from_u64(23);
+    let n = 60;
+    let s = pfg_graph::SymmetricMatrix::from_fn(n, |i, j| {
+        if i == j {
+            1.0
+        } else {
+            rng.gen_range(0.0f64..1.0)
+        }
+    });
+    assert_schedule_invariant(
+        || pfg_core::pmfg(&s).expect("pmfg builds"),
+        |a, b| {
+            let a_edges: Vec<_> = a.graph.edges().collect();
+            let b_edges: Vec<_> = b.graph.edges().collect();
+            a_edges.len() == b_edges.len()
+                && a_edges
+                    .iter()
+                    .zip(&b_edges)
+                    .all(|((u1, v1, w1), (u2, v2, w2))| {
+                        u1 == u2 && v1 == v2 && w1.to_bits() == w2.to_bits()
+                    })
+                && a.rounds == b.rounds
+                && a.rejections == b.rejections
+                && a.parallel_rejections == b.parallel_rejections
+                && a.commit_retests == b.commit_retests
+        },
+    );
+}
+
+#[test]
 fn dissimilarity_pipeline_input_is_schedule_invariant() {
     let mut rng = StdRng::seed_from_u64(13);
     let series: Vec<Vec<f64>> = (0..40)
