@@ -1,0 +1,28 @@
+//! Known-bad fixture for the `atomic-ordering` and
+//! `relaxed-protocol-field` rules. Linted by unit tests only (the
+//! workspace sweep skips `fixtures/`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct Slot {
+    top: AtomicUsize,
+}
+
+fn raw_atomic_traffic(slot: &Slot, n: &AtomicUsize) {
+    n.store(1, Ordering::SeqCst);
+    // A hand-rolled protocol-field relaxation outside the protocol
+    // modules: both rules fire here.
+    slot.top.store(2, Ordering::Relaxed);
+}
+
+fn cmp_ordering_is_fine(a: u32, b: u32) -> std::cmp::Ordering {
+    // `Ordering::Less` and friends are std::cmp — must NOT match.
+    match a.cmp(&b) {
+        std::cmp::Ordering::Less => std::cmp::Ordering::Less,
+        other => other,
+    }
+}
+
+fn mentions_in_strings_are_fine() -> &'static str {
+    "Ordering::Relaxed on .top is only text here, like AtomicUsize"
+}

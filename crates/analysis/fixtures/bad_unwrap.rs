@@ -1,0 +1,21 @@
+//! Known-bad fixture for the `no-unwrap` rule. The fixture test lints it
+//! under a hot-path pseudo-path (`crates/core/src/...`); the rule is
+//! applicability-scoped and reports nothing elsewhere.
+
+fn hot_path(values: &[f64]) -> f64 {
+    let first = values.first().unwrap();
+    // `expect` with an invariant message is the sanctioned form.
+    let last = values.last().expect("caller guarantees non-empty input");
+    // `unwrap_or` does not panic and must not match.
+    let mid = values.get(values.len() / 2).copied().unwrap_or(0.0);
+    first + last + mid
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

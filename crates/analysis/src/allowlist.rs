@@ -12,13 +12,20 @@
 //! allowing wall-clock reads in the bench crate must not also allow, say,
 //! hash iteration there. The workspace's file is `lint.allow` at the repo
 //! root; every entry carries a comment saying why the exemption is sound.
+//!
+//! Parsing and matching live in the shared [`pfg_primitives::allow`]
+//! module (the bench gate's `bench.allow` uses the same line discipline);
+//! this wrapper keeps the linter's load semantics — a missing file is an
+//! empty allowlist, not an error.
 
 use std::path::Path;
 
-/// Parsed allowlist: `(rule, path-prefix)` entries.
+use pfg_primitives::AllowFile;
+
+/// Parsed allowlist: rule-scoped `(rule, path-prefix)` entries.
 #[derive(Debug, Clone, Default)]
 pub struct Allowlist {
-    entries: Vec<(String, String)>,
+    file: AllowFile,
 }
 
 impl Allowlist {
@@ -26,18 +33,9 @@ impl Allowlist {
     /// suppress nothing but do not error, so the file can lead its
     /// linter).
     pub fn parse(text: &str) -> Self {
-        let mut entries = Vec::new();
-        for raw in text.lines() {
-            let line = raw.split('#').next().unwrap_or("").trim();
-            if line.is_empty() {
-                continue;
-            }
-            let mut parts = line.split_whitespace();
-            if let (Some(rule), Some(prefix)) = (parts.next(), parts.next()) {
-                entries.push((rule.to_string(), prefix.to_string()));
-            }
+        Allowlist {
+            file: AllowFile::parse_scoped(text),
         }
-        Allowlist { entries }
     }
 
     /// Loads and parses a file; a missing file is an empty allowlist.
@@ -51,19 +49,17 @@ impl Allowlist {
 
     /// Whether findings of `rule` in `rel_path` are suppressed.
     pub fn allows(&self, rule: &str, rel_path: &str) -> bool {
-        self.entries
-            .iter()
-            .any(|(r, prefix)| (r == rule || r == "*") && rel_path.starts_with(prefix.as_str()))
+        self.file.allows(Some(rule), rel_path)
     }
 
     /// Number of entries (for reporting).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.file.len()
     }
 
     /// Whether the allowlist is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.file.is_empty()
     }
 }
 

@@ -32,8 +32,8 @@ pub mod scanner;
 
 pub use allowlist::Allowlist;
 pub use rules::{
-    check_source, Violation, RULE_HASH_ITER, RULE_PARTIAL_CMP, RULE_RAW_THREAD, RULE_UNSAFE,
-    RULE_WALL_CLOCK,
+    check_source, Violation, RULE_ATOMIC_ORDERING, RULE_HASH_ITER, RULE_PARTIAL_CMP,
+    RULE_RAW_THREAD, RULE_RELAXED_FIELD, RULE_UNSAFE, RULE_UNWRAP, RULE_WALL_CLOCK,
 };
 
 use std::path::{Path, PathBuf};
@@ -176,6 +176,47 @@ mod tests {
         // Line 4: static mut. Line 8: thread::spawn. The cfg(test) spawn
         // must not match.
         assert_eq!(hits, vec![4, 8]);
+    }
+
+    #[test]
+    fn bad_atomic_ordering_fixture_flags_raw_atomics_not_cmp() {
+        let v = lint_fixture("bad_atomic_ordering.rs");
+        let atomic_hits: Vec<usize> = v
+            .iter()
+            .filter(|f| f.rule == RULE_ATOMIC_ORDERING)
+            .map(|f| f.line)
+            .collect();
+        // Line 5: the std::sync::atomic import. Line 8: an AtomicUsize
+        // field. Line 11: an AtomicUsize parameter. Lines 12/15: memory
+        // orderings at use sites. The std::cmp::Ordering comparator and
+        // the string-literal mentions must NOT match.
+        assert_eq!(atomic_hits, vec![5, 8, 11, 12, 15]);
+        let relaxed_hits: Vec<usize> = v
+            .iter()
+            .filter(|f| f.rule == RULE_RELAXED_FIELD)
+            .map(|f| f.line)
+            .collect();
+        // Only the `.top` store with `Ordering::Relaxed` — the SeqCst
+        // store on line 12 touches no protocol field.
+        assert_eq!(relaxed_hits, vec![15]);
+    }
+
+    #[test]
+    fn bad_unwrap_fixture_is_scoped_to_hot_path_crates() {
+        let path = fixture_dir().join("bad_unwrap.rs");
+        let source = std::fs::read_to_string(&path).expect("fixture exists");
+        // Under a hot-path pseudo-path: the bare unwrap on line 6 fires;
+        // `expect`, `unwrap_or`, and the cfg(test) unwrap do not.
+        let hits: Vec<usize> = check_source("crates/core/src/bad_unwrap.rs", &source)
+            .iter()
+            .filter(|f| f.rule == RULE_UNWRAP)
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(hits, vec![6]);
+        // Outside the scoped prefixes the rule does not apply at all.
+        assert!(check_source("crates/bench/src/bad_unwrap.rs", &source)
+            .iter()
+            .all(|f| f.rule != RULE_UNWRAP));
     }
 
     #[test]

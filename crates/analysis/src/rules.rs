@@ -26,6 +26,25 @@
 //! * [`RULE_RAW_THREAD`] — no `thread::spawn` or `static mut` in non-test
 //!   code outside the allowlisted executor shim: all parallelism goes
 //!   through the pool so the chaos/racecheck harnesses see it.
+//! * [`RULE_ATOMIC_ORDERING`] — no raw `std::sync::atomic` use (atomic
+//!   types or the five memory-ordering variants) outside the allowlisted
+//!   concurrency crates (the executor shim's platform abstraction, the
+//!   audit registry, the model checker): an atomic the platform shim does
+//!   not mediate is an atomic the model checker never explores. Keyed on
+//!   the *memory* orderings (`SeqCst`, `Acquire`, `Release`, `AcqRel`,
+//!   `Relaxed`) and atomic type names — never bare `Ordering::`, which
+//!   would flag every `std::cmp::Ordering` comparator in the tree.
+//! * [`RULE_RELAXED_FIELD`] — no `Relaxed` ordering on an access to a
+//!   `top` / `bottom` / `buffer` field outside the protocol modules:
+//!   those three words are the Chase–Lev deque's published state, and
+//!   every relaxation of their orderings must live where the model
+//!   checker and the ordering proof can see it.
+//! * [`RULE_UNWRAP`] — no `.unwrap()` in the non-test hot paths
+//!   (`crates/{core,graph,data}/src`): algorithm code propagates errors
+//!   or documents the invariant with `expect`; a bare unwrap panics
+//!   mid-parallel-stage with no context. This rule is path-scoped by
+//!   *applicability* (the contract only covers the hot-path crates), not
+//!   by suppression.
 
 use crate::scanner::{scan, Line};
 
@@ -39,6 +58,13 @@ pub const RULE_HASH_ITER: &str = "no-hash-iteration";
 pub const RULE_WALL_CLOCK: &str = "no-wall-clock";
 /// A raw thread spawn or `static mut` outside the executor shim.
 pub const RULE_RAW_THREAD: &str = "no-raw-thread";
+/// Raw atomic use outside the platform shim / audit / model crates.
+pub const RULE_ATOMIC_ORDERING: &str = "atomic-ordering";
+/// `Relaxed` on a `top`/`bottom`/`buffer` field access outside the
+/// protocol modules.
+pub const RULE_RELAXED_FIELD: &str = "relaxed-protocol-field";
+/// `.unwrap()` in non-test hot-path code.
+pub const RULE_UNWRAP: &str = "no-unwrap";
 
 /// One finding: rule, repo-relative file, 1-based line, message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +96,9 @@ pub fn check_source(rel_path: &str, source: &str) -> Vec<Violation> {
     check_hash_iteration(rel_path, &lines, &mut out);
     check_wall_clock(rel_path, &lines, &mut out);
     check_raw_thread(rel_path, &lines, &mut out);
+    check_atomic_ordering(rel_path, &lines, &mut out);
+    check_relaxed_field(rel_path, &lines, &mut out);
+    check_unwrap(rel_path, &lines, &mut out);
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
@@ -355,6 +384,140 @@ fn check_raw_thread(file: &str, lines: &[Line], out: &mut Vec<Violation>) {
                 message: format!(
                     "`{what}` outside the executor shim — parallelism must go through the pool"
                 ),
+            });
+        }
+    }
+}
+
+/// The atomic type names of `std::sync::atomic`. Matched as whole tokens,
+/// so e.g. a local `AtomicUsizeLike` does not fire.
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicUsize",
+    "AtomicIsize",
+    "AtomicPtr",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+];
+
+/// The five *memory* orderings. Deliberately not `Less`/`Equal`/`Greater`
+/// and never bare `Ordering::` — `std::cmp::Ordering` is everywhere in
+/// comparator code and must not trip a concurrency rule.
+const MEMORY_ORDERINGS: &[&str] = &["SeqCst", "AcqRel", "Acquire", "Release", "Relaxed"];
+
+/// Whether the line uses the memory-ordering variant `v` as
+/// `Ordering::<v>`. `Release` / `Acquire` / `Relaxed` are also plain
+/// English (and identifiers elsewhere), so the `Ordering::` path directly
+/// before the token is required to mean the enum variant.
+fn uses_ordering(code: &str, v: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = find_token(code, v, from) {
+        if code[..at].ends_with("Ordering::") {
+            return true;
+        }
+        from = at + v.len();
+    }
+    false
+}
+
+/// First memory-ordering variant used on the line, if any.
+fn memory_ordering_on(code: &str) -> Option<&'static str> {
+    MEMORY_ORDERINGS
+        .iter()
+        .copied()
+        .find(|v| uses_ordering(code, v))
+}
+
+fn check_atomic_ordering(file: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let what = if code.contains("sync::atomic") {
+            Some("std::sync::atomic".to_string())
+        } else if let Some(ty) = ATOMIC_TYPES.iter().find(|t| has_token(code, t)) {
+            Some((*ty).to_string())
+        } else {
+            memory_ordering_on(code).map(|v| format!("Ordering::{v}"))
+        };
+        if let Some(what) = what {
+            out.push(Violation {
+                rule: RULE_ATOMIC_ORDERING,
+                file: file.to_string(),
+                line: i + 1,
+                message: format!(
+                    "raw atomic use (`{what}`) outside the platform shim / audit / model \
+                     crates — an atomic the shim does not mediate is one the model checker \
+                     never explores"
+                ),
+            });
+        }
+    }
+}
+
+/// The Chase–Lev deque's published fields. A `Relaxed` near an access to
+/// one of these outside the protocol modules is either a copy of protocol
+/// code drifting out of the proof's sight, or a new protocol — both are
+/// findings.
+const PROTOCOL_FIELDS: &[&str] = &["top", "bottom", "buffer"];
+
+fn check_relaxed_field(file: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    for (i, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        if !uses_ordering(code, "Relaxed") {
+            continue;
+        }
+        let field = PROTOCOL_FIELDS.iter().find(|f| {
+            let mut from = 0;
+            while let Some(at) = find_token(code, f, from) {
+                if code[..at].ends_with('.') {
+                    return true;
+                }
+                from = at + f.len();
+            }
+            false
+        });
+        if let Some(field) = field {
+            out.push(Violation {
+                rule: RULE_RELAXED_FIELD,
+                file: file.to_string(),
+                line: i + 1,
+                message: format!(
+                    "`Relaxed` ordering on a `.{field}` access outside the protocol modules \
+                     — the deque's published fields are model-checked only in \
+                     crates/shims/rayon/src/protocol/"
+                ),
+            });
+        }
+    }
+}
+
+/// The crates whose `src` trees the no-unwrap contract covers: the
+/// parallel algorithm hot paths. Applicability scoping, not suppression —
+/// harness/test/bench code may unwrap freely.
+const UNWRAP_SCOPED_PREFIXES: &[&str] =
+    &["crates/core/src/", "crates/graph/src/", "crates/data/src/"];
+
+fn check_unwrap(file: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    if !UNWRAP_SCOPED_PREFIXES.iter().any(|p| file.starts_with(p)) {
+        return;
+    }
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if line.code.contains(".unwrap()") {
+            out.push(Violation {
+                rule: RULE_UNWRAP,
+                file: file.to_string(),
+                line: i + 1,
+                message: "`.unwrap()` in hot-path code — propagate the error or document the \
+                          invariant with `expect`"
+                    .to_string(),
             });
         }
     }

@@ -16,6 +16,8 @@ use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+use pfg_primitives::AllowFile;
+
 /// A single flat JSON object: string and number fields only.
 pub type FlatRecord = BTreeMap<String, JsonScalar>;
 
@@ -279,21 +281,21 @@ impl DiffReport {
 /// trajectory stays visible — but cannot fail the gate. Keep the file
 /// short: an entry documents a series known to be scheduler- or
 /// allocator-noisy on shared CI runners, not a license to regress.
+///
+/// Parsing and matching live in the shared [`pfg_primitives::allow`]
+/// module (the linter's `lint.allow` uses the same line discipline); this
+/// wrapper keeps the gate's load semantics — a missing file is an error.
 #[derive(Debug, Clone, Default)]
 pub struct BenchAllowlist {
-    prefixes: Vec<String>,
+    file: AllowFile,
 }
 
 impl BenchAllowlist {
     /// Parses allowlist text (prefix-per-line format described above).
     pub fn parse(text: &str) -> Self {
-        let prefixes = text
-            .lines()
-            .map(|line| line.split('#').next().unwrap_or("").trim())
-            .filter(|line| !line.is_empty())
-            .map(str::to_string)
-            .collect();
-        BenchAllowlist { prefixes }
+        BenchAllowlist {
+            file: AllowFile::parse_prefixes(text),
+        }
     }
 
     /// Loads and parses an allowlist file.
@@ -308,7 +310,7 @@ impl BenchAllowlist {
     /// Whether `key` (a `bench/label` benchmark key) matches any allowed
     /// prefix.
     pub fn is_allowed(&self, key: &str) -> bool {
-        self.prefixes.iter().any(|p| key.starts_with(p.as_str()))
+        self.file.allows(None, key)
     }
 }
 

@@ -1,0 +1,393 @@
+//! Shim atomic types implementing the protocol [`Platform`], routing every
+//! operation through the run's scheduler and simulated memory. Each atomic
+//! is just an index into the run's location table; `#[track_caller]` on
+//! every op records the *protocol* source line in failure traces.
+
+use std::marker::PhantomData;
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use rayon::protocol::{
+    AtomicCell, AtomicInt, AtomicPtrCell, Parker, Platform, SlotPayload, WakeKind,
+};
+
+use crate::exec::{current_tid, with_ctx, RunCtl};
+
+/// Marker platform type: the protocols monomorphized over the model atomics.
+pub struct ModelPlatform;
+
+impl Platform for ModelPlatform {
+    type AtomicUsize = ModelAtomicUsize;
+    type AtomicIsize = ModelAtomicIsize;
+    type AtomicBool = ModelAtomicBool;
+    type AtomicPtr<T> = ModelAtomicPtr<T>;
+
+    #[track_caller]
+    fn fence(order: Ordering) {
+        model_fence(order);
+    }
+}
+
+/// A scheduler-visible memory fence. `Release`-or-stronger drains the
+/// calling thread's store buffers; the `skip_take_fence` mutation removes
+/// the call site entirely, which is what the explorer then catches.
+#[track_caller]
+pub fn model_fence(order: Ordering) {
+    let caller = Location::caller();
+    with_ctx(|cx| cx.ctl.op_fence(cx.tid, order, caller));
+}
+
+fn new_loc(init: usize) -> (Arc<RunCtl>, usize) {
+    with_ctx(|cx| (cx.ctl.clone(), cx.ctl.alloc_loc(init)))
+}
+
+/// One word of simulated shared memory.
+pub struct ModelAtomicUsize {
+    ctl: Arc<RunCtl>,
+    loc: usize,
+}
+
+impl ModelAtomicUsize {
+    /// Mark this location freed (used by [`Token::poison_cell`] under the
+    /// `free_on_grow` mutation); any later access fails the run.
+    pub fn poison(&self) {
+        self.ctl.poison_loc(self.loc);
+    }
+}
+
+impl AtomicCell<usize> for ModelAtomicUsize {
+    fn new(v: usize) -> Self {
+        let (ctl, loc) = new_loc(v);
+        ModelAtomicUsize { ctl, loc }
+    }
+    #[track_caller]
+    fn load(&self, _order: Ordering) -> usize {
+        self.ctl
+            .op_load(current_tid(), self.loc, Location::caller())
+    }
+    #[track_caller]
+    fn store(&self, v: usize, order: Ordering) {
+        self.ctl
+            .op_store(current_tid(), self.loc, v, order, Location::caller());
+    }
+    #[track_caller]
+    fn swap(&self, v: usize, _order: Ordering) -> usize {
+        self.ctl.op_rmw(
+            current_tid(),
+            self.loc,
+            |_| Some(v),
+            "swap",
+            Location::caller(),
+        )
+    }
+    #[track_caller]
+    fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<usize, usize> {
+        let mut won = false;
+        let old = self.ctl.op_rmw(
+            current_tid(),
+            self.loc,
+            |v| {
+                if v == current {
+                    won = true;
+                    Some(new)
+                } else {
+                    None
+                }
+            },
+            "compare_exchange",
+            Location::caller(),
+        );
+        if won {
+            Ok(old)
+        } else {
+            Err(old)
+        }
+    }
+}
+
+impl AtomicInt<usize> for ModelAtomicUsize {
+    #[track_caller]
+    fn fetch_add(&self, v: usize, _order: Ordering) -> usize {
+        self.ctl.op_rmw(
+            current_tid(),
+            self.loc,
+            |old| Some(old.wrapping_add(v)),
+            "fetch_add",
+            Location::caller(),
+        )
+    }
+    #[track_caller]
+    fn fetch_sub(&self, v: usize, _order: Ordering) -> usize {
+        self.ctl.op_rmw(
+            current_tid(),
+            self.loc,
+            |old| Some(old.wrapping_sub(v)),
+            "fetch_sub",
+            Location::caller(),
+        )
+    }
+}
+
+/// Signed counterpart (the deque's `top`/`bottom`), stored as the word's
+/// bit pattern.
+pub struct ModelAtomicIsize {
+    ctl: Arc<RunCtl>,
+    loc: usize,
+}
+
+impl AtomicCell<isize> for ModelAtomicIsize {
+    fn new(v: isize) -> Self {
+        let (ctl, loc) = new_loc(v as usize);
+        ModelAtomicIsize { ctl, loc }
+    }
+    #[track_caller]
+    fn load(&self, _order: Ordering) -> isize {
+        self.ctl
+            .op_load(current_tid(), self.loc, Location::caller()) as isize
+    }
+    #[track_caller]
+    fn store(&self, v: isize, order: Ordering) {
+        self.ctl.op_store(
+            current_tid(),
+            self.loc,
+            v as usize,
+            order,
+            Location::caller(),
+        );
+    }
+    #[track_caller]
+    fn swap(&self, v: isize, _order: Ordering) -> isize {
+        self.ctl.op_rmw(
+            current_tid(),
+            self.loc,
+            |_| Some(v as usize),
+            "swap",
+            Location::caller(),
+        ) as isize
+    }
+    #[track_caller]
+    fn compare_exchange(
+        &self,
+        current: isize,
+        new: isize,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<isize, isize> {
+        let mut won = false;
+        let old = self.ctl.op_rmw(
+            current_tid(),
+            self.loc,
+            |v| {
+                if v == current as usize {
+                    won = true;
+                    Some(new as usize)
+                } else {
+                    None
+                }
+            },
+            "compare_exchange",
+            Location::caller(),
+        ) as isize;
+        if won {
+            Ok(old)
+        } else {
+            Err(old)
+        }
+    }
+}
+
+impl AtomicInt<isize> for ModelAtomicIsize {
+    #[track_caller]
+    fn fetch_add(&self, v: isize, _order: Ordering) -> isize {
+        self.ctl.op_rmw(
+            current_tid(),
+            self.loc,
+            |old| Some((old as isize).wrapping_add(v) as usize),
+            "fetch_add",
+            Location::caller(),
+        ) as isize
+    }
+    #[track_caller]
+    fn fetch_sub(&self, v: isize, _order: Ordering) -> isize {
+        self.ctl.op_rmw(
+            current_tid(),
+            self.loc,
+            |old| Some((old as isize).wrapping_sub(v) as usize),
+            "fetch_sub",
+            Location::caller(),
+        ) as isize
+    }
+}
+
+pub struct ModelAtomicBool {
+    ctl: Arc<RunCtl>,
+    loc: usize,
+}
+
+impl AtomicCell<bool> for ModelAtomicBool {
+    fn new(v: bool) -> Self {
+        let (ctl, loc) = new_loc(v as usize);
+        ModelAtomicBool { ctl, loc }
+    }
+    #[track_caller]
+    fn load(&self, _order: Ordering) -> bool {
+        self.ctl
+            .op_load(current_tid(), self.loc, Location::caller())
+            != 0
+    }
+    #[track_caller]
+    fn store(&self, v: bool, order: Ordering) {
+        self.ctl.op_store(
+            current_tid(),
+            self.loc,
+            v as usize,
+            order,
+            Location::caller(),
+        );
+    }
+    #[track_caller]
+    fn swap(&self, v: bool, _order: Ordering) -> bool {
+        self.ctl.op_rmw(
+            current_tid(),
+            self.loc,
+            |_| Some(v as usize),
+            "swap",
+            Location::caller(),
+        ) != 0
+    }
+    #[track_caller]
+    fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<bool, bool> {
+        let mut won = false;
+        let old = self.ctl.op_rmw(
+            current_tid(),
+            self.loc,
+            |v| {
+                if v == current as usize {
+                    won = true;
+                    Some(new as usize)
+                } else {
+                    None
+                }
+            },
+            "compare_exchange",
+            Location::caller(),
+        );
+        if won {
+            Ok(old != 0)
+        } else {
+            Err(old != 0)
+        }
+    }
+}
+
+/// Pointer cell storing the address bits. Choice structure never depends on
+/// address *values*, so replay determinism is unaffected by allocator or
+/// ASLR variation between runs.
+pub struct ModelAtomicPtr<T> {
+    ctl: Arc<RunCtl>,
+    loc: usize,
+    // fn-pointer phantom: Send + Sync regardless of T, like std's AtomicPtr.
+    _marker: PhantomData<fn(*mut T) -> *mut T>,
+}
+
+impl<T> AtomicPtrCell<T> for ModelAtomicPtr<T> {
+    fn new(v: *mut T) -> Self {
+        let (ctl, loc) = new_loc(v as usize);
+        ModelAtomicPtr {
+            ctl,
+            loc,
+            _marker: PhantomData,
+        }
+    }
+    #[track_caller]
+    fn load(&self, _order: Ordering) -> *mut T {
+        self.ctl
+            .op_load(current_tid(), self.loc, Location::caller()) as *mut T
+    }
+    #[track_caller]
+    fn store(&self, v: *mut T, order: Ordering) {
+        self.ctl.op_store(
+            current_tid(),
+            self.loc,
+            v as usize,
+            order,
+            Location::caller(),
+        );
+    }
+}
+
+/// Model parker: a model mutex + condvar pair. Parking is a
+/// scheduler-visible blocked state, so a lost wakeup shows up as a
+/// deadlock instead of a hang.
+pub struct ModelParker {
+    ctl: Arc<RunCtl>,
+    m: usize,
+    cv: usize,
+}
+
+impl Parker for ModelParker {
+    fn new() -> Self {
+        with_ctx(|cx| ModelParker {
+            ctl: cx.ctl.clone(),
+            m: cx.ctl.alloc_mutex(),
+            cv: cx.ctl.alloc_cv(),
+        })
+    }
+
+    fn park_if(&self, should_sleep: impl FnOnce() -> bool) {
+        let tid = current_tid();
+        self.ctl.mutex_lock(tid, self.m);
+        if should_sleep() {
+            self.ctl.cv_wait(tid, self.cv, self.m);
+        }
+        self.ctl.mutex_unlock(tid, self.m);
+    }
+
+    fn locked(&self, f: impl FnOnce() -> Option<WakeKind>) {
+        let tid = current_tid();
+        self.ctl.mutex_lock(tid, self.m);
+        if let Some(kind) = f() {
+            self.ctl.cv_notify(self.cv, matches!(kind, WakeKind::All));
+        }
+        self.ctl.mutex_unlock(tid, self.m);
+    }
+}
+
+/// The model deque payload: a ticket word. `Token(0)` is the never-pushed
+/// sentinel an empty cell reads as — a stolen `Token(0)` means a thief
+/// observed a published `bottom` before the cell write it was supposed to
+/// cover (exactly what the `relaxed_bottom_publish` mutation permits).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+impl SlotPayload<ModelPlatform> for Token {
+    type Cell = ModelAtomicUsize;
+
+    fn empty_cell() -> ModelAtomicUsize {
+        AtomicCell::new(0)
+    }
+    #[track_caller]
+    fn write_cell(cell: &ModelAtomicUsize, v: Token) {
+        cell.store(v.0, Ordering::Relaxed);
+    }
+    #[track_caller]
+    fn read_cell(cell: &ModelAtomicUsize) -> Token {
+        Token(cell.load(Ordering::Relaxed))
+    }
+    fn poison_cell(cell: &ModelAtomicUsize) {
+        cell.poison();
+    }
+}

@@ -1,0 +1,734 @@
+//! Run-time machinery shared by the explorer driver and the model worker
+//! threads: simulated shared memory with per-(thread, location) store
+//! buffers, model mutexes/condvars backing the protocol `Parker`, the
+//! replayable decision stream, and the baton handoff that guarantees exactly
+//! one thread executes at a time.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::Location;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Sentinel thread id for the driver (scenario setup and the finish oracle).
+/// Driver ops never yield to the scheduler and never buffer stores.
+pub(crate) const DRIVER_TID: usize = usize::MAX;
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A worker that panicked while holding a guard poisons the mutex; the
+    // driver still needs the state to finish tearing the run down.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub(crate) fn panic_msg(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decision stream: the DFS backbone
+// ---------------------------------------------------------------------------
+
+/// One recorded nondeterministic choice: which alternative was taken out of
+/// how many. Both scheduler picks and store-buffer flush picks live in the
+/// same stream, consumed in deterministic execution order, so replaying the
+/// stream replays the run exactly.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Choice {
+    pub chosen: usize,
+    pub alts: usize,
+}
+
+pub(crate) struct DecisionStream {
+    choices: Vec<Choice>,
+    cursor: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Worker <-> driver handshake
+// ---------------------------------------------------------------------------
+
+/// Why a worker cannot currently run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum BlockKind {
+    /// Waiting to acquire a held model mutex.
+    Mutex(usize),
+    /// Waiting on a model condvar (schedulable once notified).
+    Cv(usize),
+}
+
+pub(crate) enum Cmd {
+    Run {
+        ctl: Arc<RunCtl>,
+        tid: usize,
+        body: Box<dyn FnOnce() + Send + 'static>,
+    },
+    /// Grant: run until the next yield point (executing at most one op).
+    Step,
+    /// Unwind out of the scenario closure and report `Done`.
+    Abort,
+    /// Terminate the worker OS thread.
+    Exit,
+}
+
+#[derive(Debug)]
+pub(crate) enum Rep {
+    AtYield,
+    /// At a [`spin_hint`] fairness point: runnable, but deprioritized until
+    /// some other thread executes a grant.
+    AtSpin,
+    Blocked(BlockKind),
+    Done,
+    Panicked(String),
+}
+
+/// One-slot rendezvous channel pair between the driver and one worker.
+#[derive(Default)]
+pub(crate) struct WorkerLink {
+    cmd: Mutex<Option<Cmd>>,
+    cmd_cv: Condvar,
+    rep: Mutex<Option<Rep>>,
+    rep_cv: Condvar,
+}
+
+impl WorkerLink {
+    pub fn send_cmd(&self, c: Cmd) {
+        let mut g = relock(&self.cmd);
+        debug_assert!(g.is_none(), "command overrun");
+        *g = Some(c);
+        self.cmd_cv.notify_one();
+    }
+
+    pub fn recv_cmd(&self) -> Cmd {
+        let mut g = relock(&self.cmd);
+        loop {
+            if let Some(c) = g.take() {
+                return c;
+            }
+            g = self.cmd_cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    pub fn send_rep(&self, r: Rep) {
+        let mut g = relock(&self.rep);
+        debug_assert!(g.is_none(), "report overrun");
+        *g = Some(r);
+        self.rep_cv.notify_one();
+    }
+
+    pub fn recv_rep(&self) -> Rep {
+        let mut g = relock(&self.rep);
+        loop {
+            if let Some(r) = g.take() {
+                return r;
+            }
+            g = self.rep_cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Panic payload used to unwind a worker out of an aborted run. Not a bug:
+/// the run already concluded (failure found, or sibling panicked) and the
+/// worker just needs to return to its idle loop.
+pub(crate) struct AbortRun;
+
+fn wait_step(link: &WorkerLink) {
+    match link.recv_cmd() {
+        Cmd::Step => {}
+        Cmd::Abort => std::panic::panic_any(AbortRun),
+        Cmd::Run { .. } | Cmd::Exit => unreachable!("run/exit command at a yield point"),
+    }
+}
+
+/// Body of each model worker OS thread: idle until `Run`, execute the
+/// scenario closure under the baton protocol, report, repeat.
+pub(crate) fn worker_main(link: Arc<WorkerLink>) {
+    loop {
+        match link.recv_cmd() {
+            Cmd::Run { ctl, tid, body } => {
+                CTX.with(|c| *c.borrow_mut() = Some(Ctx { ctl, tid }));
+                // Announce readiness, then wait for the first grant *inside*
+                // the catch so an immediate abort unwinds cleanly.
+                link.send_rep(Rep::AtYield);
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    wait_step(&link);
+                    body();
+                }));
+                CTX.with(|c| *c.borrow_mut() = None);
+                match res {
+                    Ok(()) => link.send_rep(Rep::Done),
+                    Err(p) if p.is::<AbortRun>() => link.send_rep(Rep::Done),
+                    Err(p) => link.send_rep(Rep::Panicked(panic_msg(p.as_ref()))),
+                }
+            }
+            Cmd::Exit => return,
+            Cmd::Step | Cmd::Abort => unreachable!("step/abort outside a run"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local run context
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Ctx {
+    pub ctl: Arc<RunCtl>,
+    pub tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> R {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let ctx = b
+            .as_ref()
+            .expect("pfg_model atomics used outside pfg_model::explore");
+        f(ctx)
+    })
+}
+
+pub(crate) fn current_tid() -> usize {
+    with_ctx(|cx| cx.tid)
+}
+
+pub(crate) fn set_driver_ctx(ctl: &Arc<RunCtl>) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            ctl: ctl.clone(),
+            tid: DRIVER_TID,
+        })
+    });
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// CHESS-style fair-yield point for scenario spin loops.
+///
+/// A retry loop like "try to claim, else park, else retry" never
+/// terminates under a maximally unfair scheduler: once the preemption
+/// budget is spent the explorer keeps granting the spinning thread, whose
+/// retries are futile until *another* thread advances. Real schedulers are
+/// fair; model checkers encode that assumption at explicit yield points
+/// (loom requires spin loops be rewritten around its yielder; CHESS
+/// deprioritizes threads that called `Thread.Yield`). Calling `spin_hint`
+/// at the bottom of a futile retry marks this thread *spinning*: it stays
+/// runnable, but the scheduler will not grant it again until some other
+/// thread has executed at least one operation (or nothing else can run).
+/// Every interleaving of the first futile pass — and of each retry against
+/// each intervening op of the other threads — is still explored; only
+/// back-to-back futile retries with no intervening progress are pruned,
+/// which is exactly the fair-scheduling assumption.
+///
+/// No-op on the driver and during teardown.
+#[track_caller]
+pub fn spin_hint() {
+    let caller = Location::caller();
+    with_ctx(|cx| {
+        let ctl = &cx.ctl;
+        if cx.tid == DRIVER_TID || ctl.aborting() {
+            return;
+        }
+        ctl.trace_op(cx.tid, caller, || {
+            "spin-hint (futile retry; deprioritized until another thread runs)".to_string()
+        });
+        let link = ctl.link(cx.tid);
+        link.send_rep(Rep::AtSpin);
+        wait_step(&link);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Simulated memory
+// ---------------------------------------------------------------------------
+
+struct LocState {
+    value: usize,
+    /// Set by `poison_cell` when the free-on-grow mutation "frees" a buffer;
+    /// any later access is a modeled use-after-free.
+    poisoned: bool,
+}
+
+struct Waiter {
+    tid: usize,
+    notified: bool,
+}
+
+#[derive(Default)]
+struct MemState {
+    locs: Vec<LocState>,
+    /// `buffers[tid][loc]` = FIFO of that thread's stores to `loc` that are
+    /// not yet visible to other threads (the PSO store buffer).
+    buffers: Vec<BTreeMap<usize, VecDeque<usize>>>,
+    /// `true` = held.
+    mutexes: Vec<bool>,
+    cvs: Vec<Vec<Waiter>>,
+}
+
+impl MemState {
+    fn pending(&self, tid: usize, loc: usize) -> usize {
+        self.buffers
+            .get(tid)
+            .and_then(|b| b.get(&loc))
+            .map_or(0, |q| q.len())
+    }
+
+    fn flush_one(&mut self, tid: usize, loc: usize) {
+        let v = self
+            .buffers
+            .get_mut(tid)
+            .and_then(|b| b.get_mut(&loc))
+            .and_then(|q| q.pop_front());
+        if let Some(v) = v {
+            self.locs[loc].value = v;
+        }
+    }
+
+    /// Drain every buffered store of `tid` to shared memory, in location
+    /// order (deterministic; per-location FIFO preserved).
+    fn flush_own(&mut self, tid: usize) {
+        if let Some(buf) = self.buffers.get_mut(tid) {
+            for (loc, q) in std::mem::take(buf) {
+                for v in q {
+                    self.locs[loc].value = v;
+                }
+            }
+        }
+    }
+
+    fn buf_push(&mut self, tid: usize, loc: usize, v: usize) {
+        while self.buffers.len() <= tid {
+            self.buffers.push(BTreeMap::new());
+        }
+        self.buffers[tid].entry(loc).or_default().push_back(v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunCtl: everything one run shares
+// ---------------------------------------------------------------------------
+
+pub(crate) struct RunCtl {
+    mem: Mutex<MemState>,
+    dec: Mutex<DecisionStream>,
+    links: Mutex<Vec<Arc<WorkerLink>>>,
+    /// Set while tearing a run down: yield points and choice points become
+    /// no-ops so unwinding drop glue (e.g. `Deque::drop`'s buffer load)
+    /// neither blocks on the scheduler nor pollutes the decision stream.
+    aborting: AtomicBool,
+    record: bool,
+    trace: Mutex<Vec<String>>,
+}
+
+impl RunCtl {
+    pub fn new(prefix: Vec<Choice>, record: bool) -> Self {
+        RunCtl {
+            mem: Mutex::new(MemState::default()),
+            dec: Mutex::new(DecisionStream {
+                choices: prefix,
+                cursor: 0,
+            }),
+            links: Mutex::new(Vec::new()),
+            aborting: AtomicBool::new(false),
+            record,
+            trace: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn set_links(&self, links: Vec<Arc<WorkerLink>>) {
+        *relock(&self.links) = links;
+    }
+
+    pub fn begin_abort(&self) {
+        self.aborting.store(true, Ordering::SeqCst);
+    }
+
+    fn aborting(&self) -> bool {
+        self.aborting.load(Ordering::SeqCst)
+    }
+
+    /// The run's decisions, exactly as consumed (replay prefixes are always
+    /// fully consumed before fresh choices extend them).
+    pub fn harvest_decisions(&self) -> Vec<Choice> {
+        relock(&self.dec).choices.clone()
+    }
+
+    pub fn harvest_trace(&self) -> Vec<String> {
+        std::mem::take(&mut relock(&self.trace))
+    }
+
+    // -- nondeterminism -----------------------------------------------------
+
+    /// Consume one choice point with `alts` alternatives: replayed from the
+    /// prefix if present, else recorded as alternative 0 (DFS first branch).
+    pub fn choose(&self, alts: usize) -> usize {
+        debug_assert!(alts >= 1);
+        if alts == 1 || self.aborting() {
+            return 0;
+        }
+        let mut d = relock(&self.dec);
+        if d.cursor < d.choices.len() {
+            let c = d.choices[d.cursor];
+            assert_eq!(
+                c.alts, alts,
+                "replay divergence: choice point had {} alternatives on replay but {} when recorded; \
+                 scenario closures must be deterministic (no wall clock, no ambient randomness)",
+                alts, c.alts
+            );
+            d.cursor += 1;
+            c.chosen
+        } else {
+            d.choices.push(Choice { chosen: 0, alts });
+            d.cursor += 1;
+            0
+        }
+    }
+
+    fn trace_op(
+        &self,
+        tid: usize,
+        caller: &'static Location<'static>,
+        desc: impl FnOnce() -> String,
+    ) {
+        if self.record && !self.aborting() {
+            let who = if tid == DRIVER_TID {
+                "driver".to_string()
+            } else {
+                format!("t{tid}")
+            };
+            relock(&self.trace).push(format!(
+                "{who} {}:{} {}",
+                caller.file(),
+                caller.line(),
+                desc()
+            ));
+        }
+    }
+
+    // -- scheduling ---------------------------------------------------------
+
+    fn link(&self, tid: usize) -> Arc<WorkerLink> {
+        relock(&self.links)[tid].clone()
+    }
+
+    /// Announce the next op and wait for a scheduler grant. No-op for the
+    /// driver and during run teardown.
+    fn yield_point(&self, tid: usize) {
+        if tid == DRIVER_TID || self.aborting() {
+            return;
+        }
+        let link = self.link(tid);
+        link.send_rep(Rep::AtYield);
+        wait_step(&link);
+    }
+
+    /// Report `tid` blocked and wait to be granted again (the driver grants
+    /// a blocked thread only once `is_unblocked` holds).
+    fn block_point(&self, tid: usize, kind: BlockKind) {
+        if self.aborting() {
+            return;
+        }
+        let link = self.link(tid);
+        link.send_rep(Rep::Blocked(kind));
+        wait_step(&link);
+    }
+
+    /// Driver-side schedulability test for a blocked thread.
+    pub fn is_unblocked(&self, tid: usize, kind: BlockKind) -> bool {
+        let mem = relock(&self.mem);
+        match kind {
+            BlockKind::Mutex(m) => !mem.mutexes[m],
+            BlockKind::Cv(c) => mem.cvs[c].iter().any(|w| w.tid == tid && w.notified),
+        }
+    }
+
+    // -- memory -------------------------------------------------------------
+
+    pub fn alloc_loc(&self, init: usize) -> usize {
+        let mut mem = relock(&self.mem);
+        mem.locs.push(LocState {
+            value: init,
+            poisoned: false,
+        });
+        mem.locs.len() - 1
+    }
+
+    /// Mark a location freed (free-on-grow mutation). Its buffered stores are
+    /// dropped; any later access is reported as a use-after-free.
+    pub fn poison_loc(&self, loc: usize) {
+        let mut mem = relock(&self.mem);
+        mem.locs[loc].poisoned = true;
+        for buf in &mut mem.buffers {
+            buf.remove(&loc);
+        }
+    }
+
+    /// At every access of `loc`, each *other* thread's buffered stores to
+    /// `loc` may drain first: one independent FIFO-prefix choice per thread.
+    /// This is where the explorer branches on store-buffer visibility.
+    fn flush_choices(&self, mem: &mut MemState, tid: usize, loc: usize) {
+        if self.aborting() {
+            return;
+        }
+        for u in 0..mem.buffers.len() {
+            if u == tid {
+                continue;
+            }
+            let n = mem.pending(u, loc);
+            if n == 0 {
+                continue;
+            }
+            let k = self.choose(n + 1);
+            for _ in 0..k {
+                mem.flush_one(u, loc);
+            }
+        }
+    }
+
+    fn poison_failure(&self, what: &str, loc: usize, caller: &'static Location<'static>) -> ! {
+        panic!(
+            "{what} of freed location loc#{loc} at {}:{} — use-after-free that buffer \
+             retirement exists to prevent",
+            caller.file(),
+            caller.line()
+        )
+    }
+
+    /// Sequentially consistent load with own-store forwarding.
+    pub fn op_load(&self, tid: usize, loc: usize, caller: &'static Location<'static>) -> usize {
+        self.yield_point(tid);
+        let (v, poisoned) = {
+            let mut mem = relock(&self.mem);
+            if tid != DRIVER_TID {
+                self.flush_choices(&mut mem, tid, loc);
+            }
+            if mem.locs[loc].poisoned && !self.aborting() {
+                (0, true)
+            } else {
+                let fwd = if tid != DRIVER_TID {
+                    mem.buffers
+                        .get(tid)
+                        .and_then(|b| b.get(&loc))
+                        .and_then(|q| q.back().copied())
+                } else {
+                    None
+                };
+                (fwd.unwrap_or(mem.locs[loc].value), false)
+            }
+        };
+        if poisoned {
+            self.poison_failure("load", loc, caller);
+        }
+        self.trace_op(tid, caller, || format!("load loc#{loc} -> {v}"));
+        v
+    }
+
+    /// `Relaxed` worker stores buffer; `Release`/`SeqCst` (and all driver)
+    /// stores flush the thread's buffers and write shared memory.
+    pub fn op_store(
+        &self,
+        tid: usize,
+        loc: usize,
+        v: usize,
+        order: Ordering,
+        caller: &'static Location<'static>,
+    ) {
+        self.yield_point(tid);
+        let poisoned = {
+            let mut mem = relock(&self.mem);
+            if tid != DRIVER_TID {
+                self.flush_choices(&mut mem, tid, loc);
+            }
+            if mem.locs[loc].poisoned && !self.aborting() {
+                true
+            } else {
+                if matches!(order, Ordering::Relaxed) && tid != DRIVER_TID {
+                    mem.buf_push(tid, loc, v);
+                } else {
+                    if tid != DRIVER_TID {
+                        mem.flush_own(tid);
+                    }
+                    mem.locs[loc].value = v;
+                }
+                false
+            }
+        };
+        if poisoned {
+            self.poison_failure("store", loc, caller);
+        }
+        self.trace_op(tid, caller, || {
+            format!("store loc#{loc} <- {v} ({order:?})")
+        });
+    }
+
+    /// Read-modify-write. Modeled sequentially consistent regardless of the
+    /// requested ordering (an RMW always flushes the thread's buffers and
+    /// acts on shared memory) — a deliberate under-approximation, strong
+    /// enough for every protocol here, and never a false positive.
+    pub fn op_rmw(
+        &self,
+        tid: usize,
+        loc: usize,
+        f: impl FnOnce(usize) -> Option<usize>,
+        desc: &'static str,
+        caller: &'static Location<'static>,
+    ) -> usize {
+        self.yield_point(tid);
+        let (old, poisoned) = {
+            let mut mem = relock(&self.mem);
+            if tid != DRIVER_TID {
+                self.flush_choices(&mut mem, tid, loc);
+            }
+            if mem.locs[loc].poisoned && !self.aborting() {
+                (0, true)
+            } else {
+                if tid != DRIVER_TID {
+                    mem.flush_own(tid);
+                }
+                let old = mem.locs[loc].value;
+                if let Some(new) = f(old) {
+                    mem.locs[loc].value = new;
+                }
+                (old, false)
+            }
+        };
+        if poisoned {
+            self.poison_failure(desc, loc, caller);
+        }
+        self.trace_op(tid, caller, || format!("{desc} loc#{loc} (was {old})"));
+        old
+    }
+
+    /// `Release`-or-stronger fences drain the thread's store buffers;
+    /// acquire-only fences are no-ops under sequentially consistent loads.
+    pub fn op_fence(&self, tid: usize, order: Ordering, caller: &'static Location<'static>) {
+        self.yield_point(tid);
+        if tid == DRIVER_TID {
+            return;
+        }
+        if matches!(
+            order,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        ) {
+            relock(&self.mem).flush_own(tid);
+        }
+        self.trace_op(tid, caller, || format!("fence({order:?})"));
+    }
+
+    /// Drain every thread's store buffers (run quiescence, before the finish
+    /// oracle inspects final state).
+    pub fn flush_everything(&self) {
+        let mut mem = relock(&self.mem);
+        for tid in 0..mem.buffers.len() {
+            mem.flush_own(tid);
+        }
+    }
+
+    // -- model mutexes / condvars (back the protocol Parker) ---------------
+
+    pub fn alloc_mutex(&self) -> usize {
+        let mut mem = relock(&self.mem);
+        mem.mutexes.push(false);
+        mem.mutexes.len() - 1
+    }
+
+    pub fn alloc_cv(&self) -> usize {
+        let mut mem = relock(&self.mem);
+        mem.cvs.push(Vec::new());
+        mem.cvs.len() - 1
+    }
+
+    pub fn mutex_lock(&self, tid: usize, m: usize) {
+        if tid == DRIVER_TID || self.aborting() {
+            return;
+        }
+        self.yield_point(tid);
+        loop {
+            {
+                let mut mem = relock(&self.mem);
+                if !mem.mutexes[m] {
+                    mem.mutexes[m] = true;
+                    return;
+                }
+            }
+            self.block_point(tid, BlockKind::Mutex(m));
+            if self.aborting() {
+                return;
+            }
+        }
+    }
+
+    pub fn mutex_unlock(&self, tid: usize, m: usize) {
+        if tid == DRIVER_TID || self.aborting() {
+            return;
+        }
+        let mut mem = relock(&self.mem);
+        debug_assert!(mem.mutexes[m], "unlock of a free model mutex");
+        mem.mutexes[m] = false;
+        // A real mutex release publishes the critical section's writes.
+        mem.flush_own(tid);
+    }
+
+    /// Atomically release `m` and join the wait set of `cv`; once notified
+    /// and granted, re-acquire `m` before returning. No spurious wakeups:
+    /// a protocol that needs them to make progress has a lost-wakeup bug,
+    /// which this model reports as a deadlock.
+    pub fn cv_wait(&self, tid: usize, cv: usize, m: usize) {
+        assert_ne!(tid, DRIVER_TID, "driver cannot wait on a model condvar");
+        if self.aborting() {
+            return;
+        }
+        {
+            let mut mem = relock(&self.mem);
+            debug_assert!(mem.mutexes[m], "cv_wait without the mutex held");
+            mem.mutexes[m] = false;
+            mem.flush_own(tid);
+            mem.cvs[cv].push(Waiter {
+                tid,
+                notified: false,
+            });
+        }
+        self.block_point(tid, BlockKind::Cv(cv));
+        {
+            let mut mem = relock(&self.mem);
+            mem.cvs[cv].retain(|w| w.tid != tid);
+        }
+        loop {
+            {
+                let mut mem = relock(&self.mem);
+                if !mem.mutexes[m] {
+                    mem.mutexes[m] = true;
+                    return;
+                }
+            }
+            self.block_point(tid, BlockKind::Mutex(m));
+            if self.aborting() {
+                return;
+            }
+        }
+    }
+
+    /// Mark waiters notified. `notify_one` picks the earliest un-notified
+    /// waiter (deterministic; a real condvar may pick any — scenarios here
+    /// never have two waiters racing for one notification).
+    pub fn cv_notify(&self, cv: usize, all: bool) {
+        let mut mem = relock(&self.mem);
+        if all {
+            for w in &mut mem.cvs[cv] {
+                w.notified = true;
+            }
+        } else if let Some(w) = mem.cvs[cv].iter_mut().find(|w| !w.notified) {
+            w.notified = true;
+        }
+    }
+}

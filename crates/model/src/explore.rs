@@ -1,0 +1,433 @@
+//! The depth-first schedule explorer: iterative deepening over a CHESS-style
+//! preemption bound, exact replay from a recorded decision stack, and a
+//! fixed pool of reusable OS worker threads (one per model thread).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread;
+
+use crate::exec::{self, BlockKind, Choice, Cmd, Rep, RunCtl, WorkerLink};
+
+/// Exploration limits. The defaults suit the protocol scenarios in this
+/// workspace; tests that need deeper preemption (the sleep-protocol
+/// mutation needs 4) say so explicitly.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Maximum context switches away from a still-runnable thread per
+    /// schedule (switches away from a blocked or finished thread are free).
+    /// Explored by iterative deepening: bound 0 first, so counterexamples
+    /// surface at their minimal preemption count.
+    pub preemption_bound: usize,
+    /// Hard budget on executed schedules, summed across deepening passes.
+    /// Hitting it stops the search with `Outcome::complete == false` —
+    /// callers asserting exhaustiveness will then fail loudly.
+    pub max_schedules: u64,
+    /// Per-run cap on scheduler grants, to catch unbounded scenarios.
+    pub max_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: 2,
+            max_schedules: 500_000,
+            max_steps: 20_000,
+        }
+    }
+}
+
+impl Config {
+    /// Default limits at a given preemption bound.
+    pub fn with_bound(preemption_bound: usize) -> Self {
+        Config {
+            preemption_bound,
+            ..Config::default()
+        }
+    }
+}
+
+/// What the search found.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Schedules executed (deepening re-explores low-preemption prefixes,
+    /// which is counted too).
+    pub schedules: u64,
+    /// `true` iff every schedule within the preemption bound was explored
+    /// without finding a failure.
+    pub complete: bool,
+    pub failure: Option<Failure>,
+}
+
+impl Outcome {
+    /// Assert the search was exhaustive and clean (soundness suites).
+    #[track_caller]
+    pub fn assert_clean(&self) {
+        if let Some(f) = &self.failure {
+            panic!(
+                "model check failed after {} schedules (preemption bound {}):\n  {}\ntrace:\n{}",
+                self.schedules,
+                f.preemptions,
+                f.message,
+                f.render_trace()
+            );
+        }
+        assert!(
+            self.complete,
+            "model check exhausted its schedule budget after {} schedules without completing \
+             — raise max_schedules or shrink the scenario",
+            self.schedules
+        );
+    }
+
+    /// The failure a mutation suite expects, or a panic naming what went
+    /// wrong (no failure, or budget exhaustion).
+    #[track_caller]
+    pub fn expect_failure(&self) -> &Failure {
+        match &self.failure {
+            Some(f) => f,
+            None => panic!(
+                "expected the explorer to find a failure, but {} schedules were {} and clean",
+                self.schedules,
+                if self.complete {
+                    "exhaustive"
+                } else {
+                    "budget-capped"
+                }
+            ),
+        }
+    }
+}
+
+/// A failing schedule, replayed with tracing on.
+#[derive(Debug)]
+pub struct Failure {
+    /// The panic message of the failing thread / oracle, or the deadlock
+    /// description.
+    pub message: String,
+    /// Preemption bound of the deepening pass that found it (== the minimal
+    /// preemption count, since shallower passes ran first).
+    pub preemptions: usize,
+    /// One line per executed op of the failing schedule.
+    pub trace: Vec<String>,
+}
+
+impl Failure {
+    pub fn render_trace(&self) -> String {
+        self.trace.join("\n")
+    }
+}
+
+/// One run's thread bodies plus the end-of-run oracle. Rebuilt fresh for
+/// every schedule by the `make` closure handed to [`explore`].
+#[derive(Default)]
+pub struct Scenario {
+    threads: Vec<Box<dyn FnOnce() + Send + 'static>>,
+    finish: Option<Box<dyn FnOnce() + 'static>>,
+}
+
+impl Scenario {
+    pub fn new() -> Self {
+        Scenario::default()
+    }
+
+    /// Add a model thread. Thread ids are assigned in call order.
+    pub fn thread(mut self, f: impl FnOnce() + Send + 'static) -> Self {
+        self.threads.push(Box::new(f));
+        self
+    }
+
+    /// Oracle run on the driver after every thread finished and all store
+    /// buffers drained; panics become run failures.
+    pub fn finish(mut self, f: impl FnOnce() + 'static) -> Self {
+        self.finish = Some(Box::new(f));
+        self
+    }
+}
+
+/// Exhaustively explore the interleavings of the scenario `make` builds,
+/// up to the configured preemption bound. `make` is invoked once per
+/// schedule and must be deterministic: same threads, same setup, no wall
+/// clock or ambient randomness (the replay machinery asserts this).
+pub fn explore(config: Config, mut make: impl FnMut() -> Scenario) -> Outcome {
+    let mut pool: Option<WorkerPool> = None;
+    let mut schedules = 0u64;
+    for bound in 0..=config.preemption_bound {
+        let mut prefix: Vec<Choice> = Vec::new();
+        loop {
+            if schedules >= config.max_schedules {
+                return Outcome {
+                    schedules,
+                    complete: false,
+                    failure: None,
+                };
+            }
+            let run = run_one(&mut pool, &mut make, prefix, bound, config.max_steps, false);
+            schedules += 1;
+            if let Some(message) = run.failure {
+                // Replay the same decision stack with tracing on for the
+                // report; determinism makes this exact.
+                let replay = run_one(
+                    &mut pool,
+                    &mut make,
+                    run.decisions.clone(),
+                    bound,
+                    config.max_steps,
+                    true,
+                );
+                return Outcome {
+                    schedules: schedules + 1,
+                    complete: false,
+                    failure: Some(Failure {
+                        message,
+                        preemptions: bound,
+                        trace: replay.trace,
+                    }),
+                };
+            }
+            let mut d = run.decisions;
+            if !advance(&mut d) {
+                break; // this deepening pass is exhausted
+            }
+            prefix = d;
+        }
+    }
+    Outcome {
+        schedules,
+        complete: true,
+        failure: None,
+    }
+}
+
+/// Standard DFS backtrack: bump the deepest choice that still has an
+/// untried alternative, dropping everything after it.
+fn advance(d: &mut Vec<Choice>) -> bool {
+    while let Some(last) = d.last_mut() {
+        if last.chosen + 1 < last.alts {
+            last.chosen += 1;
+            return true;
+        }
+        d.pop();
+    }
+    false
+}
+
+struct WorkerPool {
+    links: Vec<Arc<WorkerLink>>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(n: usize) -> Self {
+        let mut links = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let link = Arc::new(WorkerLink::default());
+            let worker_link = link.clone();
+            handles.push(thread::spawn(move || exec::worker_main(worker_link)));
+            links.push(link);
+        }
+        WorkerPool { links, handles }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Only ever dropped between runs, with every worker idle.
+        for l in &self.links {
+            l.send_cmd(Cmd::Exit);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+struct RunResult {
+    decisions: Vec<Choice>,
+    failure: Option<String>,
+    trace: Vec<String>,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum St {
+    Ready,
+    /// At a `spin_hint` fairness point: runnable, but not granted while any
+    /// non-spinning thread is; promoted back to `Ready` once another
+    /// thread executes a grant.
+    Spinning,
+    Blocked(BlockKind),
+    Done,
+}
+
+/// Execute one schedule: replay `prefix`, extend with first-alternative
+/// choices, and return the full decision record plus any failure.
+fn run_one(
+    pool: &mut Option<WorkerPool>,
+    make: &mut impl FnMut() -> Scenario,
+    prefix: Vec<Choice>,
+    bound: usize,
+    max_steps: usize,
+    record: bool,
+) -> RunResult {
+    let ctl = Arc::new(RunCtl::new(prefix, record));
+    exec::set_driver_ctx(&ctl);
+    let Scenario { threads, finish } = make();
+    let n = threads.len();
+    assert!(n >= 1, "scenario needs at least one thread");
+    let pool = pool.get_or_insert_with(|| WorkerPool::new(n));
+    assert_eq!(
+        pool.links.len(),
+        n,
+        "scenario thread count must be stable across runs"
+    );
+    ctl.set_links(pool.links.clone());
+
+    for (tid, body) in threads.into_iter().enumerate() {
+        pool.links[tid].send_cmd(Cmd::Run {
+            ctl: ctl.clone(),
+            tid,
+            body,
+        });
+        match pool.links[tid].recv_rep() {
+            Rep::AtYield => {}
+            other => unreachable!("worker {tid} failed to become ready: {other:?}"),
+        }
+    }
+
+    let mut status = vec![St::Ready; n];
+    let mut failure: Option<String> = None;
+
+    // The schedule loop runs under `catch_unwind` so a driver-side panic
+    // (a harness bug, a replay-divergence assert) still tears the workers
+    // down; otherwise a worker left waiting for a grant deadlocks the
+    // pool's Drop and the whole process hangs instead of failing.
+    let loop_panic = catch_unwind(AssertUnwindSafe(|| {
+        let mut current: Option<usize> = None;
+        let mut preemptions = 0usize;
+        let mut steps = 0usize;
+        loop {
+            let runnable: Vec<usize> = (0..n)
+                .filter(|&t| match status[t] {
+                    St::Ready | St::Spinning => true,
+                    St::Blocked(k) => ctl.is_unblocked(t, k),
+                    St::Done => false,
+                })
+                .collect();
+            if runnable.is_empty() {
+                let stuck: Vec<String> = (0..n)
+                    .filter(|&t| status[t] != St::Done)
+                    .map(|t| format!("t{t} {:?}", status[t]))
+                    .collect();
+                if !stuck.is_empty() {
+                    failure = Some(format!(
+                        "deadlock: every unfinished thread is blocked with no one left to wake \
+                         it (a lost wakeup): {}",
+                        stuck.join(", ")
+                    ));
+                }
+                break;
+            }
+
+            // Fairness: threads at a spin-hint are runnable but yield
+            // priority to everyone who is not.
+            let fresh: Vec<usize> = runnable
+                .iter()
+                .copied()
+                .filter(|&t| status[t] != St::Spinning)
+                .collect();
+            let base = if fresh.is_empty() { &runnable } else { &fresh };
+
+            let cur_fresh = current.is_some_and(|c| base.contains(&c) && status[c] != St::Spinning);
+            let candidates: Vec<usize> = if cur_fresh {
+                let c = current.unwrap();
+                if preemptions >= bound {
+                    vec![c]
+                } else {
+                    std::iter::once(c)
+                        .chain(base.iter().copied().filter(|&t| t != c))
+                        .collect()
+                }
+            } else {
+                base.clone()
+            };
+            let pick = candidates[ctl.choose(candidates.len())];
+            if cur_fresh && pick != current.unwrap() {
+                preemptions += 1;
+            }
+            current = Some(pick);
+            steps += 1;
+            if steps > max_steps {
+                failure = Some(format!(
+                    "livelock: the run exceeded {max_steps} scheduler grants without finishing \
+                     — an unbounded retry loop (missing `spin_hint`?) or a genuinely \
+                     non-terminating schedule"
+                ));
+                break;
+            }
+
+            pool.links[pick].send_cmd(Cmd::Step);
+            match pool.links[pick].recv_rep() {
+                Rep::AtYield => status[pick] = St::Ready,
+                Rep::AtSpin => status[pick] = St::Spinning,
+                Rep::Blocked(k) => status[pick] = St::Blocked(k),
+                Rep::Done => status[pick] = St::Done,
+                Rep::Panicked(msg) => {
+                    status[pick] = St::Done;
+                    failure = Some(msg);
+                    break;
+                }
+            }
+            // The grant may have advanced shared state: spinners other
+            // than the thread just granted get a fresh look.
+            for (t, st) in status.iter_mut().enumerate() {
+                if t != pick && *st == St::Spinning {
+                    *st = St::Ready;
+                }
+            }
+        }
+    }))
+    .err();
+
+    // Tear down: unwind every unfinished worker. `begin_abort` first, so
+    // drop glue running model ops neither blocks nor records choices.
+    ctl.begin_abort();
+    for (t, st) in status.iter().enumerate() {
+        if *st != St::Done {
+            pool.links[t].send_cmd(Cmd::Abort);
+            match pool.links[t].recv_rep() {
+                Rep::Done => {}
+                Rep::Panicked(msg) => {
+                    failure.get_or_insert(msg);
+                }
+                other => unreachable!("worker {t} mid-abort: {other:?}"),
+            }
+        }
+    }
+
+    if failure.is_none() {
+        // Quiescence: drain every store buffer, then run the oracle with
+        // all writes visible.
+        ctl.flush_everything();
+        if let Some(fin) = finish {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(fin)) {
+                failure = Some(exec::panic_msg(p.as_ref()));
+            }
+        }
+    } else {
+        drop(finish);
+    }
+
+    let decisions = ctl.harvest_decisions();
+    let trace = ctl.harvest_trace();
+    exec::clear_ctx();
+    if let Some(p) = loop_panic {
+        // A driver-side bug (replay divergence, a harness invariant). The
+        // workers are parked again, so re-raising is now safe.
+        std::panic::resume_unwind(p);
+    }
+    RunResult {
+        decisions,
+        failure,
+        trace,
+    }
+}

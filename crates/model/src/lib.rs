@@ -1,0 +1,68 @@
+//! `pfg_model` — a bounded exhaustive interleaving explorer for the
+//! executor's lock-free protocols.
+//!
+//! The rayon shim's deque and sleep/wake handshake live in generic
+//! `protocol` modules parameterized over a [`Platform`] of atomic types
+//! (`crates/shims/rayon/src/protocol/`). The production pool instantiates
+//! them with `std::sync::atomic`; this crate instantiates the *same* code
+//! with shim atomics (`ModelAtomicUsize`, `ModelAtomicPtr`,
+//! `model_fence`, …) that route every load, store, RMW, and fence through
+//! a cooperative scheduler. The scheduler then runs a depth-first search
+//! over thread interleavings — loom-style, but self-contained and offline —
+//! replaying each schedule deterministically from a recorded decision stack.
+//!
+//! # Memory model
+//!
+//! The explorer simulates a PSO-style store-buffer machine, which is
+//! strictly weaker than x86-TSO and strong enough to expose every seeded
+//! mutation in the protocol modules:
+//!
+//! - `Relaxed` stores enter a per-(thread, location) FIFO buffer and become
+//!   visible to other threads only when flushed.
+//! - `Release`/`SeqCst` stores, all RMWs (`swap`, `fetch_add`,
+//!   `compare_exchange`), and `Release`/`SeqCst` fences first flush *all* of
+//!   the acting thread's buffers, then hit shared memory.
+//! - Loads forward from the thread's own newest buffered store to that
+//!   location, else read shared memory. Loads are otherwise
+//!   sequentially consistent — the model under-approximates C11 (no
+//!   load-load reordering), so every failure it reports is a real
+//!   interleaving of some store-buffer machine, never a false positive.
+//! - Flushes are *also* scheduling-free nondeterminism: at every access of
+//!   location `L`, the explorer branches on how many of each *other*
+//!   thread's pending buffered stores to `L` drain first (FIFO prefixes).
+//!
+//! # Search
+//!
+//! One OS worker thread per model thread is spawned once and reused across
+//! schedules; a baton handoff guarantees exactly one runs at a time, so
+//! execution is sequential and replay is exact (no wall clock, no timers,
+//! no real parallelism). The driver bounds *preemptions* (context switches
+//! away from a runnable thread, CHESS-style) and iteratively deepens the
+//! bound, so minimal counterexamples surface first. Model mutexes and
+//! condvars back the protocol [`Parker`]; a run where every unfinished
+//! thread is blocked is reported as a deadlock — which is exactly the
+//! lost-wakeup failure mode of the sleep protocol.
+//!
+//! Everything here compiles only under `--cfg pfg_model` (like
+//! `pfg_racecheck`); without the cfg this crate is empty and the production
+//! executor is untouched.
+//!
+//! [`Platform`]: rayon::protocol::Platform
+//! [`Parker`]: rayon::protocol::Parker
+
+#[cfg(pfg_model)]
+mod atomics;
+#[cfg(pfg_model)]
+mod exec;
+#[cfg(pfg_model)]
+mod explore;
+
+#[cfg(pfg_model)]
+pub use atomics::{
+    model_fence, ModelAtomicBool, ModelAtomicIsize, ModelAtomicPtr, ModelAtomicUsize, ModelParker,
+    ModelPlatform, Token,
+};
+#[cfg(pfg_model)]
+pub use exec::spin_hint;
+#[cfg(pfg_model)]
+pub use explore::{explore, Config, Failure, Outcome, Scenario};

@@ -1,0 +1,221 @@
+//! Exhaustive model checks of the Chase–Lev deque protocol
+//! (`rayon::protocol::deque`), plus the deque half of the mutation suite:
+//! each seeded memory-ordering weakening must be caught by the explorer
+//! within the preemption bound.
+//!
+//! Compiled and run only under `RUSTFLAGS="--cfg pfg_model"` (the CI
+//! `model-check` job); an ordinary `cargo test` sees an empty test binary.
+#![cfg(pfg_model)]
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+use pfg_model::{explore, Config, ModelPlatform, Scenario, Token};
+use rayon::protocol::deque::{Deque, Steal};
+use rayon::protocol::MutationSpec;
+
+type ModelDeque = Deque<ModelPlatform, Token>;
+
+/// Per-thread claim log. Each model thread records into its own slot, so
+/// the log itself cannot introduce cross-thread blocking.
+#[derive(Clone, Default)]
+struct Claims(Arc<Mutex<Vec<Token>>>);
+
+impl Claims {
+    fn push(&self, t: Token) {
+        self.0.lock().unwrap().push(t);
+    }
+    fn take_all(&self) -> Vec<Token> {
+        std::mem::take(&mut self.0.lock().unwrap())
+    }
+}
+
+/// End-of-run oracle: every pushed token is claimed or still drainable,
+/// exactly once, and nothing never-pushed (e.g. the `Token(0)` empty-cell
+/// sentinel) was ever claimed.
+fn check_exactly_once(deque: &ModelDeque, claim_logs: &[Claims], pushed: usize) {
+    let mut seen = BTreeSet::new();
+    let mut claim =
+        |t: Token, who: &str| assert!(seen.insert(t), "{t:?} claimed twice (second by {who})");
+    for (i, log) in claim_logs.iter().enumerate() {
+        for t in log.take_all() {
+            claim(t, &format!("thread {i}"));
+        }
+    }
+    while let Some(t) = deque.take() {
+        claim(t, "the end-of-run drain");
+    }
+    let expected: BTreeSet<Token> = (1..=pushed).map(Token).collect();
+    assert_eq!(
+        seen, expected,
+        "claimed/drained set differs from the pushed set"
+    );
+}
+
+fn steal_some(deque: &ModelDeque, claims: &Claims, attempts: usize) {
+    for _ in 0..attempts {
+        if let Steal::Success(t) = deque.steal() {
+            claims.push(t);
+        }
+    }
+}
+
+/// Builds the canonical owner-vs-thieves scenario: the owner pushes
+/// `pushes` tokens (1-based) and then `take`s that many times; each of
+/// `thieves` thief threads makes `pushes` steal attempts.
+fn owner_thief_scenario(
+    initial_cap: usize,
+    pushes: usize,
+    thieves: usize,
+    mutation: MutationSpec,
+) -> Scenario {
+    let deque = Arc::new(ModelDeque::new(initial_cap, mutation));
+    let logs: Vec<Claims> = (0..thieves + 1).map(|_| Claims::default()).collect();
+
+    let mut scenario = Scenario::new();
+    {
+        let deque = deque.clone();
+        let claims = logs[0].clone();
+        scenario = scenario.thread(move || {
+            for i in 1..=pushes {
+                deque.push(Token(i));
+            }
+            for _ in 0..pushes {
+                if let Some(t) = deque.take() {
+                    claims.push(t);
+                }
+            }
+        });
+    }
+    for log in &logs[1..] {
+        let deque = deque.clone();
+        let claims = log.clone();
+        scenario = scenario.thread(move || steal_some(&deque, &claims, pushes));
+    }
+    scenario.finish(move || check_exactly_once(&deque, &logs, pushes))
+}
+
+/// The empty-deque race: one item, the owner pops it while a thief tries
+/// to steal it — covers `take`'s empty-restore path and the last-element
+/// CAS arbitration.
+#[test]
+fn owner_take_vs_single_steal_exhaustive() {
+    let outcome = explore(Config::default(), || {
+        owner_thief_scenario(4, 1, 1, MutationSpec::none())
+    });
+    outcome.assert_clean();
+    assert!(outcome.schedules > 1, "explorer found no interleavings");
+}
+
+/// Two items, two steal attempts: exercises the take-side fence
+/// arbitration with a non-last-element owner pop in play (the interaction
+/// the `skip_take_fence` mutation breaks).
+#[test]
+fn owner_takes_vs_thief_steals_exhaustive() {
+    let outcome = explore(Config::default(), || {
+        owner_thief_scenario(4, 2, 1, MutationSpec::none())
+    });
+    outcome.assert_clean();
+}
+
+/// Owner plus two thieves racing for a single item: the last-element CAS
+/// must elect exactly one winner among three contenders.
+#[test]
+fn two_thieves_last_element_exhaustive() {
+    let outcome = explore(Config::default(), || {
+        owner_thief_scenario(4, 1, 2, MutationSpec::none())
+    });
+    outcome.assert_clean();
+}
+
+/// Growth racing a steal: capacity 2, three pushes, so the third push
+/// reallocates mid-run while a thief may hold the superseded buffer.
+/// Sound only because grow retires instead of freeing (the `free_on_grow`
+/// mutation below removes exactly that and must fail).
+#[test]
+fn grow_races_steal_exhaustive() {
+    let outcome = explore(Config::default(), || {
+        owner_thief_scenario(2, 3, 1, MutationSpec::none())
+    });
+    outcome.assert_clean();
+}
+
+/// Determinism of the explorer itself: identical scenarios explore an
+/// identical schedule tree.
+#[test]
+fn exploration_is_deterministic() {
+    let run = || {
+        explore(Config::default(), || {
+            owner_thief_scenario(4, 1, 1, MutationSpec::none())
+        })
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.schedules, b.schedules);
+    assert!(a.complete && b.complete);
+}
+
+/// Mutation: dropping `take`'s SeqCst fence lets the owner's `bottom`
+/// decrement sit in its store buffer while a thief reads the stale bottom
+/// — thief and owner both claim the same non-last element. One preemption
+/// suffices; the default bound must catch it.
+#[test]
+fn mutation_skip_take_fence_is_caught() {
+    let mutation = MutationSpec {
+        skip_take_fence: true,
+        ..MutationSpec::none()
+    };
+    let outcome = explore(Config::default(), || {
+        owner_thief_scenario(4, 2, 1, mutation)
+    });
+    let failure = outcome.expect_failure();
+    // Either the harness oracle ("claimed twice") or, when pfg_racecheck is
+    // also on, the audit registry ("double write") reports it first.
+    assert!(
+        failure.message.contains("claimed twice") || failure.message.contains("double write"),
+        "expected a double-claim, got: {}",
+        failure.message
+    );
+    assert!(!failure.trace.is_empty(), "failure should carry a trace");
+}
+
+/// Mutation: demoting `push`'s Release publish of `bottom` to Relaxed lets
+/// a thief observe the new `bottom` before the cell write it was supposed
+/// to cover, stealing the never-pushed `Token(0)` sentinel. (This is the
+/// mutation the chaos sweep cannot catch on x86 — see
+/// `tests/chaos_misses_it.rs`.)
+#[test]
+fn mutation_relaxed_bottom_publish_is_caught() {
+    let mutation = MutationSpec {
+        relaxed_bottom_publish: true,
+        ..MutationSpec::none()
+    };
+    let outcome = explore(Config::default(), || {
+        owner_thief_scenario(4, 1, 1, mutation)
+    });
+    let failure = outcome.expect_failure();
+    assert!(
+        failure.message.contains("differs from the pushed set"),
+        "expected a never-pushed claim, got: {}",
+        failure.message
+    );
+}
+
+/// Mutation: freeing the superseded buffer on grow instead of retiring it
+/// turns a stale thief's speculative read into a use-after-free; the model
+/// simulates the free by poisoning and must report the stale read.
+#[test]
+fn mutation_free_on_grow_is_caught() {
+    let mutation = MutationSpec {
+        free_on_grow: true,
+        ..MutationSpec::none()
+    };
+    let outcome = explore(Config::default(), || {
+        owner_thief_scenario(2, 3, 1, mutation)
+    });
+    let failure = outcome.expect_failure();
+    assert!(
+        failure.message.contains("freed location"),
+        "expected a use-after-free, got: {}",
+        failure.message
+    );
+}

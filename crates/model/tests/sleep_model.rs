@@ -1,0 +1,178 @@
+//! Exhaustive model checks of the sleeper/pending-wake handshake
+//! (`rayon::protocol::sleep`): publish/park/claim, shutdown, the join-flag
+//! wait, and the PR 4 raced-wake mutation. A lost wakeup here is not a
+//! hang — the model scheduler sees every parked thread, so it surfaces as
+//! a detected deadlock with a trace.
+//!
+//! Compiled and run only under `RUSTFLAGS="--cfg pfg_model"` (the CI
+//! `model-check` job).
+#![cfg(pfg_model)]
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use pfg_model::{
+    explore, Config, ModelAtomicBool, ModelAtomicUsize, ModelParker, ModelPlatform, Scenario,
+};
+use rayon::protocol::sleep::SleepWake;
+use rayon::protocol::{AtomicCell, AtomicInt, MutationSpec};
+
+type ModelSleep = SleepWake<ModelPlatform, ModelParker>;
+
+/// A one-word stand-in for "jobs visible in some deque": claim = CAS a
+/// positive count down by one.
+fn try_claim(jobs: &ModelAtomicUsize) -> bool {
+    let v = jobs.load(Ordering::SeqCst);
+    v > 0
+        && jobs
+            .compare_exchange(v, v - 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+}
+
+/// The worker half of the pool's idle loop: claim if work is visible,
+/// otherwise park until woken, `target` times over.
+fn claim_or_park(sleep: &ModelSleep, jobs: &ModelAtomicUsize, target: usize) {
+    for _ in 0..target {
+        loop {
+            if try_claim(jobs) {
+                sleep.claimed();
+                break;
+            }
+            sleep.park(None);
+            // `park` returns immediately while `pending_jobs > 0`, which
+            // can hold before the matching push lands (announce-then-push)
+            // — a real spin window. Tell the scheduler this retry is
+            // futile until some other thread runs, or DFS at an exhausted
+            // preemption budget would grant the spinner forever.
+            pfg_model::spin_hint();
+        }
+    }
+}
+
+/// One worker parking for work, one publisher publishing `jobs` jobs.
+/// If any interleaving loses a wakeup, the worker parks forever and the
+/// explorer reports a deadlock.
+fn publish_park_scenario(njobs: usize, mutation: MutationSpec, seed_stale_wake: bool) -> Scenario {
+    let sleep = Arc::new(ModelSleep::new(mutation));
+    let jobs = Arc::new(<ModelAtomicUsize as AtomicCell<usize>>::new(0));
+    if seed_stale_wake {
+        sleep.seed_pending_wake_in_flight();
+    }
+    let worker = {
+        let (sleep, jobs) = (sleep.clone(), jobs.clone());
+        move || claim_or_park(&sleep, &jobs, njobs)
+    };
+    let publisher = {
+        let (sleep, jobs) = (sleep.clone(), jobs.clone());
+        move || {
+            for _ in 0..njobs {
+                // Mirrors `push_job`: count the job before it becomes
+                // claimable, wake after the push.
+                sleep.announce();
+                jobs.fetch_add(1, Ordering::SeqCst);
+                sleep.wake_for_work();
+            }
+        }
+    };
+    Scenario::new()
+        .thread(worker)
+        .thread(publisher)
+        .finish(move || assert_eq!(jobs.load(Ordering::SeqCst), 0, "unclaimed job left behind"))
+}
+
+/// The full organic two-job handshake — including waiter-less park exits
+/// racing the publisher's wake — must be lost-wakeup-free. Bound 3 keeps
+/// the pass well inside the CI budget while still covering every
+/// single-, double-, and triple-preemption race.
+#[test]
+fn publish_park_claim_exhaustive() {
+    let outcome = explore(Config::with_bound(3), || {
+        publish_park_scenario(2, MutationSpec::none(), false)
+    });
+    outcome.assert_clean();
+    assert!(outcome.schedules > 1, "explorer found no interleavings");
+}
+
+/// Starting from the PR 4 residue state (a wake-in-flight flag left set by
+/// a notify that landed on an empty wait set), the *entry* clear in `park`
+/// is what lets the next publisher's wake through. Unmutated: clean.
+#[test]
+fn stale_pending_wake_recovers_exhaustive() {
+    let outcome = explore(Config::with_bound(3), || {
+        publish_park_scenario(1, MutationSpec::none(), true)
+    });
+    outcome.assert_clean();
+}
+
+/// Mutation: removing the entry clear reintroduces the PR 4 bug — the
+/// stale in-flight flag makes the publisher skip its notify while the
+/// worker is committed to waiting. The explorer reports the deadlock.
+#[test]
+fn mutation_skip_park_entry_clear_is_caught() {
+    let mutation = MutationSpec {
+        skip_park_entry_clear: true,
+        ..MutationSpec::none()
+    };
+    let outcome = explore(Config::default(), || {
+        publish_park_scenario(1, mutation, true)
+    });
+    let failure = outcome.expect_failure();
+    assert!(
+        failure.message.contains("deadlock"),
+        "expected a lost-wakeup deadlock, got: {}",
+        failure.message
+    );
+    assert!(!failure.trace.is_empty(), "failure should carry a trace");
+}
+
+/// Shutdown must wake a parked worker in every interleaving: the shutdown
+/// store happens under the parker lock, so it cannot land between the
+/// worker's re-check and its wait.
+#[test]
+fn shutdown_wakes_parked_worker_exhaustive() {
+    let outcome = explore(Config::with_bound(3), || {
+        let sleep = Arc::new(ModelSleep::new(MutationSpec::none()));
+        let worker = {
+            let sleep = sleep.clone();
+            move || {
+                while !sleep.is_shut_down() {
+                    sleep.park(None);
+                }
+            }
+        };
+        let main = {
+            let sleep = sleep.clone();
+            move || sleep.shut_down()
+        };
+        Scenario::new().thread(worker).thread(main)
+    });
+    outcome.assert_clean();
+}
+
+/// The join-flag path: a thread parked on `done` must see every
+/// interleaving of the flag store + `wake_all` against its own
+/// register/re-check/wait sequence.
+#[test]
+fn wake_all_reaches_done_waiter_exhaustive() {
+    let outcome = explore(Config::with_bound(3), || {
+        let sleep = Arc::new(ModelSleep::new(MutationSpec::none()));
+        let done = Arc::new(<ModelAtomicBool as AtomicCell<bool>>::new(false));
+        let waiter = {
+            let (sleep, done) = (sleep.clone(), done.clone());
+            move || {
+                while !done.load(Ordering::SeqCst) {
+                    sleep.park(Some(&done));
+                }
+            }
+        };
+        let completer = {
+            let (sleep, done) = (sleep.clone(), done.clone());
+            move || {
+                done.store(true, Ordering::SeqCst);
+                sleep.wake_all();
+            }
+        };
+        Scenario::new().thread(waiter).thread(completer)
+    });
+    outcome.assert_clean();
+}

@@ -19,9 +19,11 @@
 //! registry rayon it is the randomized work-stealing scheduler — the
 //! primitives are source-compatible with both.
 
+pub mod allow;
 pub mod atomic;
 pub mod par;
 
+pub use allow::{AllowEntry, AllowFile};
 pub use atomic::{AtomicF64, PriorityCell};
 pub use par::{
     par_filter, par_max_by_key, par_max_index, par_min_index, par_sort_by, par_sort_unstable_by,

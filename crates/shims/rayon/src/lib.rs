@@ -68,6 +68,7 @@ use std::fmt;
 pub mod iter;
 mod join;
 mod pool;
+pub mod protocol;
 mod sort;
 
 pub use join::join;

@@ -15,7 +15,7 @@
 //! # Architecture
 //!
 //! * **Per-worker lock-free Chase–Lev deques.** Each worker owns a deque
-//!   ([`WorkerDeque`]): the owner pushes and pops at the *bottom* (LIFO,
+//!   ([`Deque`]): the owner pushes and pops at the *bottom* (LIFO,
 //!   so a worker dives depth-first into its own subtree and the
 //!   just-pushed half is still cache-hot when popped), thieves steal from
 //!   the *top* (FIFO, so a thief takes the *oldest* — largest — pending
@@ -28,7 +28,13 @@
 //!   fast path"); profiling fine-grained rounds showed the owner still
 //!   paid an atomic RMW + unlock per tree node and every steal serialised
 //!   against the owner, which is exactly the tax the Chase–Lev array
-//!   removes. The memory-ordering argument lives on [`WorkerDeque`].
+//!   removes. The deque (and the sleeper handshake below) live in
+//!   [`crate::protocol`], generic over an atomics trait: this module
+//!   instantiates them with real `std::sync::atomic` types
+//!   ([`StdPlatform`], monomorphized — same machine code as before the
+//!   extraction), while `pfg_model` instantiates the *same* code with
+//!   model atomics and exhaustively explores its bounded interleavings.
+//!   The memory-ordering argument lives on [`Deque`].
 //!   Threads that are not pool workers (the caller of a parallel
 //!   operation) push to and pop from a shared mutex-guarded **injector**
 //!   deque — rarely touched (once per batch, not per tree node), so it
@@ -68,9 +74,10 @@
 //!   dropped unexecuted). Workers survive; the pool keeps serving.
 //! * **Targeted wake-ups.** Sleepers park on one pool condvar. Publishing
 //!   a job wakes at most one worker, and only if some worker is actually
-//!   asleep and no previous wake is still in flight ([`PoolState::
-//!   wake_for_work`]); job completion wakes all sleepers so a caller
-//!   waiting on that job's flag re-checks it ([`PoolState::wake_all`]).
+//!   asleep and no previous wake is still in flight
+//!   ([`SleepWake::wake_for_work`]); job completion wakes all sleepers so a
+//!   caller waiting on that job's flag re-checks it
+//!   ([`SleepWake::wake_all`]).
 //!   The FIFO design's `notify_all` per round — every worker woken for
 //!   every batch — is gone, which is most visible on fine-grained rounds.
 //! * The **global pool** is built lazily on first use, sized by
@@ -83,10 +90,13 @@
 use std::cell::{RefCell, UnsafeCell};
 use std::collections::VecDeque;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::join::join_in;
+use crate::protocol::deque::{Deque, Steal};
+use crate::protocol::sleep::SleepWake;
+use crate::protocol::{MutationSpec, SlotPayload, StdParker, StdPlatform};
 
 /// Minimum number of items before a parallel operation bothers dispatching
 /// to the pool; below this the dispatch cost dominates the work.
@@ -185,273 +195,55 @@ impl JobRef {
 /// per worker), so growth only triggers under deeply nested operations.
 const DEQUE_INITIAL_CAP: usize = 64;
 
-/// One storage cell of a [`Buffer`]. A [`JobRef`] is two pointer-sized
-/// words (data pointer + fn pointer), stored as two *independent* relaxed
-/// atomics — there is no double-word atomic here, and none is needed: a
-/// reader's loads are only *trusted* after validation (the owner's
-/// fence-then-`top`-load, or a thief's winning CAS on `top`) proves the
-/// cell could not have been overwritten between the loads; losers discard
-/// whatever possibly-torn pair they read. The `seq` word is a monotone
-/// per-deque push ticket that lets the racecheck build assert each
-/// published job is consumed exactly once (see [`WorkerDeque::audit`]);
-/// it costs one relaxed store per push and is dead weight otherwise —
-/// measured in the executor round-trip bench as noise next to the
-/// removed lock traffic.
-struct Slot {
+/// One worker deque: the generic Chase–Lev protocol of
+/// [`crate::protocol::deque`] instantiated with real `std::sync::atomic`
+/// types and [`JobRef`] payloads. The memory-ordering argument lives on
+/// [`Deque`]; the payload-cell story (two independent relaxed pointer
+/// words, validated before trust) lives on `JobCell` below.
+type WorkerDeque = Deque<StdPlatform, JobRef>;
+
+/// Storage for one [`JobRef`] in a deque cell. A `JobRef` is two
+/// pointer-sized words (data pointer + fn pointer), stored as two
+/// *independent* relaxed atomics — there is no double-word atomic here,
+/// and none is needed: a reader's loads are only *trusted* after
+/// validation (the owner's fence-then-`top`-load, or a thief's winning
+/// CAS on `top`) proves the cell could not have been overwritten between
+/// the loads; losers discard whatever possibly-torn pair they read.
+pub(crate) struct JobCell {
     data: AtomicPtr<()>,
     exec: AtomicPtr<()>,
-    seq: AtomicUsize,
 }
 
-/// The growable circular array behind a [`WorkerDeque`]. `cap` is always a
-/// power of two so index wrap is a mask. Cells are addressed by *absolute*
-/// deque index (`bottom`/`top` never wrap; they are monotone over the pool
-/// lifetime modulo owner pop/push reuse), masked into the buffer.
-struct Buffer {
-    mask: usize,
-    slots: Box<[Slot]>,
-}
+impl SlotPayload<StdPlatform> for JobRef {
+    type Cell = JobCell;
 
-impl Buffer {
-    fn alloc(cap: usize) -> *mut Buffer {
-        debug_assert!(cap.is_power_of_two());
-        let slots = (0..cap)
-            .map(|_| Slot {
-                data: AtomicPtr::new(std::ptr::null_mut()),
-                exec: AtomicPtr::new(std::ptr::null_mut()),
-                seq: AtomicUsize::new(0),
-            })
-            .collect();
-        Box::into_raw(Box::new(Buffer {
-            mask: cap - 1,
-            slots,
-        }))
+    fn empty_cell() -> JobCell {
+        JobCell {
+            data: AtomicPtr::new(std::ptr::null_mut()),
+            exec: AtomicPtr::new(std::ptr::null_mut()),
+        }
     }
 
-    fn cap(&self) -> usize {
-        self.mask + 1
-    }
-
-    fn slot(&self, index: isize) -> &Slot {
-        &self.slots[index as usize & self.mask]
-    }
-
-    /// Stores `job` at absolute index `index` (owner only; relaxed stores
-    /// are published by the subsequent `Release` store of `bottom` or of
-    /// the buffer pointer).
-    fn write(&self, index: isize, job: JobRef, seq: usize) {
-        let slot = self.slot(index);
-        slot.data.store(job.data.cast_mut(), Ordering::Relaxed);
-        slot.exec
+    fn write_cell(cell: &JobCell, job: JobRef) {
+        cell.data.store(job.data.cast_mut(), Ordering::Relaxed);
+        cell.exec
             .store(job.execute_fn as *mut (), Ordering::Relaxed);
-        slot.seq.store(seq, Ordering::Relaxed);
     }
 
-    /// Loads the cell at absolute index `index`. The result is
-    /// speculative — callers must validate (see [`Slot`]) before trusting
-    /// the pair.
-    fn read(&self, index: isize) -> (JobRef, usize) {
-        let slot = self.slot(index);
-        let data = slot.data.load(Ordering::Relaxed) as *const ();
-        let exec = slot.exec.load(Ordering::Relaxed);
-        let seq = slot.seq.load(Ordering::Relaxed);
+    fn read_cell(cell: &JobCell) -> JobRef {
+        let data = cell.data.load(Ordering::Relaxed) as *const ();
+        let exec = cell.exec.load(Ordering::Relaxed);
         type ExecFn = unsafe fn(*const (), &PoolState);
         // SAFETY: transmuting a data pointer back to the fn pointer it was
-        // cast from in `write`; validation (CAS win / owner fence) proves
-        // the pair is the coherent value of one `write` before use.
+        // cast from in `write_cell`; validation (CAS win / owner fence)
+        // proves the pair is the coherent value of one write before use.
         let execute_fn: ExecFn = unsafe { std::mem::transmute::<*mut (), ExecFn>(exec) };
-        (JobRef { data, execute_fn }, seq)
-    }
-}
-
-/// Outcome of [`WorkerDeque::steal`].
-enum Steal {
-    /// No job visible at the top of the deque.
-    Empty,
-    /// Lost the CAS race for the top job to the owner or another thief;
-    /// the deque may still hold work — caller decides whether to rescan.
-    Retry,
-    /// Won the top job.
-    Success(JobRef),
-}
-
-/// One worker's lock-free Chase–Lev deque: the owner pushes and pops at
-/// `bottom`, thieves steal at `top`, over a growable circular [`Buffer`].
-///
-/// # Memory-ordering argument (Lê et al., CGO '13, Fig. 1)
-///
-/// * **`push`** writes the cell (relaxed) and then `Release`-stores
-///   `bottom + 1`; a thief's `Acquire` load of `bottom` that observes the
-///   new value therefore also observes the cell write. The `Acquire` load
-///   of `top` in `push` only bounds the occupancy check for growth.
-/// * **`take`** (owner pop) `Relaxed`-stores the decremented `bottom`,
-///   then a **`SeqCst` fence**, then loads `top`. A concurrent `steal`
-///   loads `top`, then a **`SeqCst` fence**, then loads `bottom`. The two
-///   fences give a total order: either the owner's `bottom` decrement is
-///   visible to the thief (which then sees `top >= bottom` and backs off
-///   the last element), or the thief's `top` increment (its CAS) is
-///   visible to the owner (which then sees the smaller window). Both
-///   seeing a one-element window falls through to the CAS on `top`, which
-///   arbitrates — exactly one of them wins the last element.
-/// * **Cell reads are speculative.** A thief reads the cell *before* its
-///   CAS; the value is only trusted if the CAS on `top` succeeds, which
-///   proves `top` never moved past the cell, and the owner cannot have
-///   overwritten it: overwriting absolute index `i` in the *same* buffer
-///   requires `bottom - top >= cap`, which triggers growth into a *new*
-///   buffer instead (capacity doubling ⇒ the live window never wraps onto
-///   itself).
-/// * **Growth** copies the live window `[top, bottom)` into a
-///   twice-as-large buffer at the same absolute indices and publishes the
-///   new buffer pointer with `Release` (thieves load it `Acquire`, so a
-///   thief that sees the new buffer sees the copies). The old buffer is
-///   *retired, not freed*: a stale thief may still hold its pointer and
-///   read a cell from it — the cell it validates via CAS still holds the
-///   correct value there (copies don't mutate the source) — so retired
-///   buffers stay allocated in [`WorkerDeque::retired`] until the deque
-///   drops with the pool.
-///
-/// # Racecheck hook
-///
-/// Every push tickets the job with a monotone per-deque sequence number;
-/// every successful claim (owner pop or winning steal) registers that
-/// ticket with a [`pfg_audit::DisjointWriteAudit::sparse_cells`] registry.
-/// Under `--cfg pfg_racecheck` a broken ordering that lets two threads
-/// claim one published job panics with both claim sites; in normal builds
-/// the registry is zero-sized and the calls compile out.
-struct WorkerDeque {
-    /// Next absolute index the owner pushes at. Decremented (then mostly
-    /// restored) during `take`.
-    bottom: AtomicIsize,
-    /// Absolute index of the oldest live job; advanced only by the CAS in
-    /// `steal`/last-element `take`.
-    top: AtomicIsize,
-    /// Current circular buffer; swapped (never mutated in place) on grow.
-    buffer: AtomicPtr<Buffer>,
-    /// Superseded buffers, kept allocated until drop so stale thieves can
-    /// finish their speculative reads (see the module ordering argument).
-    /// Locked only by the owner on grow — never on a hot path. The `Box`
-    /// is load-bearing, not indirection for its own sake: stale thieves
-    /// hold raw `*mut Buffer` pointers to these exact allocations, so the
-    /// `Vec` growing must never move a retired `Buffer`.
-    #[allow(clippy::vec_box)]
-    retired: Mutex<Vec<Box<Buffer>>>,
-    /// Monotone push ticket counter (owner-incremented, relaxed).
-    push_seq: AtomicUsize,
-    /// Exactly-once claim registry over push tickets (racecheck builds).
-    audit: pfg_audit::DisjointWriteAudit,
-}
-
-impl WorkerDeque {
-    fn new() -> Self {
-        WorkerDeque {
-            bottom: AtomicIsize::new(0),
-            top: AtomicIsize::new(0),
-            buffer: AtomicPtr::new(Buffer::alloc(DEQUE_INITIAL_CAP)),
-            retired: Mutex::new(Vec::new()),
-            push_seq: AtomicUsize::new(0),
-            audit: pfg_audit::DisjointWriteAudit::sparse_cells("worker deque claims"),
-        }
+        JobRef { data, execute_fn }
     }
 
-    /// Owner-only: publishes `job` at the bottom of the deque.
-    fn push(&self, job: JobRef) {
-        let b = self.bottom.load(Ordering::Relaxed);
-        let t = self.top.load(Ordering::Acquire);
-        let mut buf = self.buffer.load(Ordering::Relaxed);
-        // SAFETY: `buffer` always points at a live allocation (swapped
-        // buffers are retired, not freed, until drop).
-        unsafe {
-            if b - t >= (*buf).cap() as isize {
-                buf = self.grow(buf, t, b);
-            }
-            let seq = self.push_seq.fetch_add(1, Ordering::Relaxed);
-            (*buf).write(b, job, seq);
-        }
-        self.bottom.store(b + 1, Ordering::Release);
-    }
-
-    /// Owner-only: pops the most recently pushed job still in the deque
-    /// (LIFO). Lock-free; a CAS happens only when taking the last element
-    /// races a thief.
-    fn take(&self) -> Option<JobRef> {
-        let b = self.bottom.load(Ordering::Relaxed) - 1;
-        let buf = self.buffer.load(Ordering::Relaxed);
-        self.bottom.store(b, Ordering::Relaxed);
-        fence(Ordering::SeqCst);
-        let t = self.top.load(Ordering::Relaxed);
-        if t > b {
-            // Empty: restore bottom.
-            self.bottom.store(b + 1, Ordering::Relaxed);
-            return None;
-        }
-        // SAFETY: live buffer (see `push`); `t <= b` proves index `b`
-        // holds a published job only we can overwrite.
-        let (job, seq) = unsafe { (*buf).read(b) };
-        if t == b {
-            // Last element: race thieves for it via the `top` CAS.
-            let won = self
-                .top
-                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
-                .is_ok();
-            self.bottom.store(b + 1, Ordering::Relaxed);
-            if !won {
-                return None;
-            }
-        }
-        self.audit.write_once(seq);
-        Some(job)
-    }
-
-    /// Any thread: tries to steal the oldest job (FIFO).
-    fn steal(&self) -> Steal {
-        let t = self.top.load(Ordering::Acquire);
-        fence(Ordering::SeqCst);
-        let b = self.bottom.load(Ordering::Acquire);
-        if t >= b {
-            return Steal::Empty;
-        }
-        let buf = self.buffer.load(Ordering::Acquire);
-        // SAFETY: live buffer; the read is speculative and only trusted if
-        // the CAS below wins (see the ordering argument on the type).
-        let (job, seq) = unsafe { (*buf).read(t) };
-        if self
-            .top
-            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
-            .is_err()
-        {
-            return Steal::Retry;
-        }
-        self.audit.write_once(seq);
-        Steal::Success(job)
-    }
-
-    /// Owner-only: doubles the buffer, copying the live window `[t, b)` to
-    /// the same absolute indices, publishes it, and retires the old one.
-    ///
-    /// # Safety
-    /// `old` must be the deque's current buffer and the caller must be the
-    /// deque's owner (sole writer of `buffer` and the cells).
-    unsafe fn grow(&self, old: *mut Buffer, t: isize, b: isize) -> *mut Buffer {
-        let new = Buffer::alloc((*old).cap() * 2);
-        for i in t..b {
-            let (job, seq) = (*old).read(i);
-            (*new).write(i, job, seq);
-        }
-        self.buffer.store(new, Ordering::Release);
-        self.retired
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(Box::from_raw(old));
-        new
-    }
-}
-
-impl Drop for WorkerDeque {
-    fn drop(&mut self) {
-        // SAFETY: exclusive access; the current buffer was produced by
-        // `Buffer::alloc` and never freed elsewhere (`retired` holds the
-        // superseded ones and drops them with the Vec).
-        unsafe { drop(Box::from_raw(*self.buffer.get_mut())) };
+    fn poison_cell(_cell: &JobCell) {
+        // Unreachable in production: the `free_on_grow` mutation that
+        // poisons cells is compile-time `false` outside the model build.
     }
 }
 
@@ -464,26 +256,15 @@ pub(crate) struct PoolState {
     /// One deque per worker thread; `num_threads - 1` entries (the caller
     /// of an operation always helps, taking the last parallelism slot).
     workers: Vec<WorkerDeque>,
-    /// Guards the park/wake handshake (never held while working).
-    sleep_lock: Mutex<()>,
-    /// Parks idle workers and join-waiters out of work to steal.
-    sleep_cv: Condvar,
-    /// Number of threads currently parked (or committed to parking) on
-    /// `sleep_cv`. Publishers skip the wake syscall when this is zero.
-    sleepers: AtomicUsize,
-    /// 1 while a work wake-up is in flight (notified but the woken thread
-    /// has not rescanned yet); throttles redundant `notify_one`s when jobs
-    /// are published faster than workers wake.
-    pending_wake: AtomicUsize,
-    /// Jobs sitting in deques, not yet claimed. Parking threads re-check
-    /// this after registering as sleepers, closing the lost-wakeup race.
-    pending_jobs: AtomicUsize,
+    /// The sleeper/pending-wake handshake ([`SleepWake`], instantiated
+    /// with std atomics and the mutex + condvar [`StdParker`]): who is
+    /// parked, whether a work wake-up is in flight, how many published
+    /// jobs are unclaimed, and the shutdown flag.
+    sleep: SleepWake<StdPlatform, StdParker>,
     /// Parallelism this pool was built for. Only `num_threads - 1` worker
     /// threads exist — the batch caller always helps, taking the last
     /// slot, so `num_threads` threads compute concurrently.
     pub(crate) num_threads: usize,
-    /// Set by [`crate::ThreadPool`] drop; workers exit once out of work.
-    shutdown: AtomicBool,
     /// Seeded steal-order perturbation; `None` (the default) keeps the
     /// deterministic round-robin scan and costs one branch per steal scan.
     chaos: Option<Chaos>,
@@ -540,14 +321,11 @@ impl PoolState {
         let worker_count = num_threads.saturating_sub(1);
         let state = Arc::new(PoolState {
             injector: Mutex::new(VecDeque::new()),
-            workers: (0..worker_count).map(|_| WorkerDeque::new()).collect(),
-            sleep_lock: Mutex::new(()),
-            sleep_cv: Condvar::new(),
-            sleepers: AtomicUsize::new(0),
-            pending_wake: AtomicUsize::new(0),
-            pending_jobs: AtomicUsize::new(0),
+            workers: (0..worker_count)
+                .map(|_| WorkerDeque::new(DEQUE_INITIAL_CAP, MutationSpec::none()))
+                .collect(),
+            sleep: SleepWake::new(MutationSpec::none()),
             num_threads,
-            shutdown: AtomicBool::new(false),
             chaos: chaos_seed.map(Chaos::new),
         });
         let handles = (0..worker_count)
@@ -562,72 +340,17 @@ impl PoolState {
         (state, handles)
     }
 
-    /// Wakes at most one sleeping worker to come steal newly published
-    /// work. Skipped entirely (no lock, no syscall) when nobody sleeps or
-    /// a previous work wake-up is still in flight.
-    fn wake_for_work(&self) {
-        if self.sleepers.load(Ordering::SeqCst) == 0 {
-            return;
-        }
-        if self.pending_wake.swap(1, Ordering::Relaxed) == 1 {
-            return;
-        }
-        let _guard = self.sleep_lock.lock().expect("pool sleep lock");
-        self.sleep_cv.notify_one();
-    }
-
-    /// Wakes every sleeper. Used on job completion (the thread waiting on
-    /// that job's flag must re-check it — `notify_one` could wake an
-    /// unrelated worker instead) and on shutdown.
+    /// Wakes every sleeper (forwarded to [`SleepWake::wake_all`]). Used
+    /// on job completion: the thread waiting on that job's flag must
+    /// re-check it, and a single `notify_one` could wake an unrelated
+    /// worker instead.
     pub(crate) fn wake_all(&self) {
-        if self.sleepers.load(Ordering::SeqCst) == 0 {
-            return;
-        }
-        let _guard = self.sleep_lock.lock().expect("pool sleep lock");
-        self.sleep_cv.notify_all();
-    }
-
-    /// Parks the current thread until any wake-up, unless work or the
-    /// monitored condition appeared while committing to sleep. `done`
-    /// is the join flag a waiter is blocked on (`None` for idle workers).
-    ///
-    /// Lost-wakeup freedom: the sleeper increments `sleepers` *before*
-    /// re-checking `pending_jobs`/`done` (all `SeqCst`), and publishers
-    /// store those *before* loading `sleepers`; in every interleaving the
-    /// sleeper either sees the update and skips the wait, or the publisher
-    /// sees `sleepers > 0` and notifies — and since the sleeper holds
-    /// `sleep_lock` from the re-check until the wait begins, the notify
-    /// cannot land in between.
-    fn park(&self, done: Option<&AtomicBool>) {
-        let guard = self.sleep_lock.lock().expect("pool sleep lock");
-        // A parking thread just scanned every deque and found nothing, so
-        // any wake-up still "in flight" has been serviced or expired:
-        // clear the throttle on *entry* as well as on exit. Without the
-        // entry clear, a publisher racing a waker-less park exit could
-        // set the flag, notify an empty wait set, and leave the stale 1
-        // suppressing every future work wake-up (silently degrading the
-        // pool to inline execution).
-        self.pending_wake.store(0, Ordering::Relaxed);
-        self.sleepers.fetch_add(1, Ordering::SeqCst);
-        let must_wait = self.pending_jobs.load(Ordering::SeqCst) == 0
-            && !self.shutdown.load(Ordering::SeqCst)
-            && done.is_none_or(|d| !d.load(Ordering::SeqCst));
-        if must_wait {
-            // Spurious wakes are fine: every caller re-checks its
-            // condition in a loop around `park`.
-            drop(self.sleep_cv.wait(guard).expect("pool sleep wait"));
-        } else {
-            drop(guard);
-        }
-        self.sleepers.fetch_sub(1, Ordering::SeqCst);
-        self.pending_wake.store(0, Ordering::Relaxed);
+        self.sleep.wake_all();
     }
 
     /// Tells workers to exit once out of work, and wakes them.
     pub(crate) fn shut_down(&self) {
-        let _guard = self.sleep_lock.lock().expect("pool sleep lock");
-        self.shutdown.store(true, Ordering::SeqCst);
-        self.sleep_cv.notify_all();
+        self.sleep.shut_down();
     }
 }
 
@@ -635,6 +358,11 @@ impl PoolState {
 /// deque when the calling thread is a worker of `pool`, else the pool's
 /// injector.
 pub(crate) fn push_job(pool: &Arc<PoolState>, job: JobRef) {
+    // Announce before the push: once the job is in a deque a thief can
+    // claim it, and `claimed()` must never outrun the matching count
+    // (`pending_jobs` would wrap to `usize::MAX` and pin the parking
+    // re-check open — see `SleepWake::announce`).
+    pool.sleep.announce();
     let pushed_local = CTX.with(|c| match &*c.borrow() {
         Some(Ctx::Worker(p, i)) if Arc::ptr_eq(p, pool) => {
             p.workers[*i].push(job);
@@ -648,8 +376,7 @@ pub(crate) fn push_job(pool: &Arc<PoolState>, job: JobRef) {
             .expect("pool injector lock")
             .push_back(job);
     }
-    pool.pending_jobs.fetch_add(1, Ordering::SeqCst);
-    pool.wake_for_work();
+    pool.sleep.wake_for_work();
 }
 
 /// Pops `job` back from where [`push_job`] put it, if it is still there
@@ -692,7 +419,7 @@ pub(crate) fn pop_job_if(pool: &Arc<PoolState>, job: &JobRef) -> bool {
         }
     };
     if popped {
-        pool.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+        pool.sleep.claimed();
     }
     popped
 }
@@ -706,7 +433,7 @@ pub(crate) fn pop_job_if(pool: &Arc<PoolState>, job: &JobRef) -> bool {
 fn find_work(pool: &PoolState, own_index: Option<usize>) -> Option<JobRef> {
     if let Some(i) = own_index {
         if let Some(job) = pool.workers[i].take() {
-            pool.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+            pool.sleep.claimed();
             return Some(job);
         }
     }
@@ -716,7 +443,7 @@ fn find_work(pool: &PoolState, own_index: Option<usize>) -> Option<JobRef> {
         .expect("pool injector lock")
         .pop_front()
     {
-        pool.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+        pool.sleep.claimed();
         return Some(job);
     }
     let k = pool.workers.len();
@@ -747,7 +474,7 @@ fn find_work(pool: &PoolState, own_index: Option<usize>) -> Option<JobRef> {
         // made, and every caller of `find_work` already loops — `None`
         // with `pending_jobs > 0` never parks (see `park`'s re-check).
         if let Steal::Success(job) = pool.workers[target].steal() {
-            pool.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+            pool.sleep.claimed();
             return Some(job);
         }
     }
@@ -775,7 +502,7 @@ pub(crate) fn wait_for_latch(pool: &Arc<PoolState>, done: &AtomicBool) {
             std::thread::yield_now();
             idle_rounds += 1;
         } else {
-            pool.park(Some(done));
+            pool.sleep.park(Some(done));
         }
     }
 }
@@ -792,14 +519,14 @@ fn worker_loop(state: Arc<PoolState>, index: usize) {
             idle_rounds = 0;
             continue;
         }
-        if state.shutdown.load(Ordering::SeqCst) {
+        if state.sleep.is_shut_down() {
             return;
         }
         if idle_rounds < WORKER_SPIN_ROUNDS {
             std::thread::yield_now();
             idle_rounds += 1;
         } else {
-            state.park(None);
+            state.sleep.park(None);
             idle_rounds = 0;
         }
     }

@@ -1,0 +1,310 @@
+//! The Chase–Lev work-stealing deque, generic over the atomic platform.
+//!
+//! Moved verbatim-in-logic from `pool.rs` (where it was `WorkerDeque`);
+//! the only additions are the [`MutationSpec`] hooks, which are
+//! compile-time `false` outside `--cfg pfg_model`. The ordering argument
+//! below is unchanged — and under the model cfg it is machine-checked,
+//! not just prose: `crates/model` explores these exact monomorphized
+//! paths over all bounded interleavings.
+
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+
+use super::{AtomicCell, AtomicInt, AtomicPtrCell, MutationSpec, Platform, SlotPayload};
+
+/// One storage cell: the payload's representation plus a monotone
+/// per-deque push ticket (`seq`) that lets the racecheck and model builds
+/// assert each published item is consumed exactly once. The ticket costs
+/// one relaxed store per push and is dead weight otherwise.
+struct Cell<P: Platform, S: SlotPayload<P>> {
+    payload: S::Cell,
+    seq: P::AtomicUsize,
+}
+
+/// The growable circular array behind a [`Deque`]. `cap` is always a
+/// power of two so index wrap is a mask. Cells are addressed by *absolute*
+/// deque index (`bottom`/`top` never wrap; they are monotone over the
+/// deque lifetime modulo owner pop/push reuse), masked into the buffer.
+struct Buffer<P: Platform, S: SlotPayload<P>> {
+    mask: usize,
+    cells: Box<[Cell<P, S>]>,
+}
+
+impl<P: Platform, S: SlotPayload<P>> Buffer<P, S> {
+    fn alloc(cap: usize) -> *mut Self {
+        debug_assert!(cap.is_power_of_two());
+        let cells = (0..cap)
+            .map(|_| Cell {
+                payload: S::empty_cell(),
+                seq: P::AtomicUsize::new(0),
+            })
+            .collect();
+        Box::into_raw(Box::new(Buffer {
+            mask: cap - 1,
+            cells,
+        }))
+    }
+
+    fn cap(&self) -> usize {
+        self.mask + 1
+    }
+
+    fn cell(&self, index: isize) -> &Cell<P, S> {
+        &self.cells[index as usize & self.mask]
+    }
+
+    /// Stores `item` at absolute index `index` (owner only; relaxed stores
+    /// are published by the subsequent `Release` store of `bottom` or of
+    /// the buffer pointer).
+    fn write(&self, index: isize, item: S, seq: usize) {
+        let cell = self.cell(index);
+        S::write_cell(&cell.payload, item);
+        cell.seq.store(seq, Ordering::Relaxed);
+    }
+
+    /// Loads the cell at absolute index `index`. The result is
+    /// speculative — callers must validate (CAS win / owner fence) before
+    /// trusting it.
+    fn read(&self, index: isize) -> (S, usize) {
+        let cell = self.cell(index);
+        let item = S::read_cell(&cell.payload);
+        let seq = cell.seq.load(Ordering::Relaxed);
+        (item, seq)
+    }
+
+    /// Marks every cell dead (model-only `free_on_grow` mutation — see
+    /// [`SlotPayload::poison_cell`]).
+    fn poison(&self) {
+        for cell in self.cells.iter() {
+            S::poison_cell(&cell.payload);
+        }
+    }
+}
+
+/// Outcome of [`Deque::steal`].
+pub enum Steal<S> {
+    /// No item visible at the top of the deque.
+    Empty,
+    /// Lost the CAS race for the top item to the owner or another thief;
+    /// the deque may still hold work — caller decides whether to rescan.
+    Retry,
+    /// Won the top item.
+    Success(S),
+}
+
+/// A lock-free Chase–Lev deque: the owner pushes and pops at `bottom`,
+/// thieves steal at `top`, over a growable circular `Buffer`.
+///
+/// # Memory-ordering argument (Lê et al., CGO '13, Fig. 1)
+///
+/// * **`push`** writes the cell (relaxed) and then `Release`-stores
+///   `bottom + 1`; a thief's `Acquire` load of `bottom` that observes the
+///   new value therefore also observes the cell write. The `Acquire` load
+///   of `top` in `push` only bounds the occupancy check for growth.
+/// * **`take`** (owner pop) `Relaxed`-stores the decremented `bottom`,
+///   then a **`SeqCst` fence**, then loads `top`. A concurrent `steal`
+///   loads `top`, then a **`SeqCst` fence**, then loads `bottom`. The two
+///   fences give a total order: either the owner's `bottom` decrement is
+///   visible to the thief (which then sees `top >= bottom` and backs off
+///   the last element), or the thief's `top` increment (its CAS) is
+///   visible to the owner (which then sees the smaller window). Both
+///   seeing a one-element window falls through to the CAS on `top`, which
+///   arbitrates — exactly one of them wins the last element.
+/// * **Cell reads are speculative.** A thief reads the cell *before* its
+///   CAS; the value is only trusted if the CAS on `top` succeeds, which
+///   proves `top` never moved past the cell, and the owner cannot have
+///   overwritten it: overwriting absolute index `i` in the *same* buffer
+///   requires `bottom - top >= cap`, which triggers growth into a *new*
+///   buffer instead (capacity doubling ⇒ the live window never wraps onto
+///   itself).
+/// * **Growth** copies the live window `[top, bottom)` into a
+///   twice-as-large buffer at the same absolute indices and publishes the
+///   new buffer pointer with `Release` (thieves load it `Acquire`, so a
+///   thief that sees the new buffer sees the copies). The old buffer is
+///   *retired, not freed*: a stale thief may still hold its pointer and
+///   read a cell from it — the cell it validates via CAS still holds the
+///   correct value there (copies don't mutate the source) — so retired
+///   buffers stay allocated in `Deque::retired` until the deque drops.
+///
+/// # Racecheck / model hook
+///
+/// Every push tickets the item with a monotone per-deque sequence number;
+/// every successful claim (owner pop or winning steal) registers that
+/// ticket with a [`pfg_audit::DisjointWriteAudit::sparse_cells`] registry.
+/// Under `--cfg pfg_racecheck` a broken ordering that lets two threads
+/// claim one published item panics with both claim sites; in normal
+/// builds the registry is zero-sized and the calls compile out. The model
+/// build keeps the registry on as its exactly-once assertion layer.
+pub struct Deque<P: Platform, S: SlotPayload<P>> {
+    /// Next absolute index the owner pushes at. Decremented (then mostly
+    /// restored) during `take`.
+    bottom: P::AtomicIsize,
+    /// Absolute index of the oldest live item; advanced only by the CAS in
+    /// `steal`/last-element `take`.
+    top: P::AtomicIsize,
+    /// Current circular buffer; swapped (never mutated in place) on grow.
+    buffer: P::AtomicPtr<Buffer<P, S>>,
+    /// Superseded buffers, kept allocated until drop so stale thieves can
+    /// finish their speculative reads (see the ordering argument). Locked
+    /// only by the owner on grow — never on a hot path, and never while
+    /// another protocol operation is in flight on the same thread, so the
+    /// plain `std` mutex is sound under the model too. The `Box` is
+    /// load-bearing, not indirection for its own sake: stale thieves hold
+    /// raw `*mut Buffer` pointers to these exact allocations, so the
+    /// `Vec` growing must never move a retired `Buffer`.
+    #[allow(clippy::vec_box)]
+    retired: Mutex<Vec<Box<Buffer<P, S>>>>,
+    /// Monotone push ticket counter (owner-incremented, relaxed).
+    push_seq: P::AtomicUsize,
+    /// Exactly-once claim registry over push tickets (racecheck builds).
+    audit: pfg_audit::DisjointWriteAudit,
+    /// Seeded weakenings for the model's mutation suite; compile-time
+    /// all-`false` outside `--cfg pfg_model`.
+    mutation: MutationSpec,
+}
+
+// SAFETY: the raw buffer pointers are owned by the deque (allocated in
+// `alloc`, freed only in `Drop`); all cross-thread access goes through
+// the atomics per the ordering argument above.
+unsafe impl<P: Platform, S: SlotPayload<P>> Send for Deque<P, S> {}
+// SAFETY: same argument as `Send` directly above — shared access is
+// mediated entirely by the atomic protocol fields.
+unsafe impl<P: Platform, S: SlotPayload<P>> Sync for Deque<P, S> {}
+
+impl<P: Platform, S: SlotPayload<P>> Deque<P, S> {
+    /// A deque with `initial_cap` slots (must be a power of two). The
+    /// production pool passes 64 (covers every split tree the executor
+    /// produces); model scenarios pass 2 to force growth races on tiny
+    /// runs.
+    pub fn new(initial_cap: usize, mutation: MutationSpec) -> Self {
+        assert!(
+            initial_cap.is_power_of_two(),
+            "deque capacity must be a power of two"
+        );
+        Deque {
+            bottom: P::AtomicIsize::new(0),
+            top: P::AtomicIsize::new(0),
+            buffer: P::AtomicPtr::new(Buffer::alloc(initial_cap)),
+            retired: Mutex::new(Vec::new()),
+            push_seq: P::AtomicUsize::new(0),
+            audit: pfg_audit::DisjointWriteAudit::sparse_cells("worker deque claims"),
+            mutation,
+        }
+    }
+
+    /// Owner-only: publishes `item` at the bottom of the deque.
+    pub fn push(&self, item: S) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = self.buffer.load(Ordering::Relaxed);
+        // SAFETY: `buffer` always points at a live allocation (swapped
+        // buffers are retired, not freed, until drop).
+        unsafe {
+            if b - t >= (*buf).cap() as isize {
+                buf = self.grow(buf, t, b);
+            }
+            let seq = self.push_seq.fetch_add(1, Ordering::Relaxed);
+            (*buf).write(b, item, seq);
+        }
+        let publish = if self.mutation.relaxed_bottom_publish() {
+            Ordering::Relaxed
+        } else {
+            Ordering::Release
+        };
+        self.bottom.store(b + 1, publish);
+    }
+
+    /// Owner-only: pops the most recently pushed item still in the deque
+    /// (LIFO). Lock-free; a CAS happens only when taking the last element
+    /// races a thief.
+    pub fn take(&self) -> Option<S> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = self.buffer.load(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        if !self.mutation.skip_take_fence() {
+            P::fence(Ordering::SeqCst);
+        }
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty: restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        // SAFETY: live buffer (see `push`); `t <= b` proves index `b`
+        // holds a published item only we can overwrite.
+        let (item, seq) = unsafe { (*buf).read(b) };
+        if t == b {
+            // Last element: race thieves for it via the `top` CAS.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            if !won {
+                return None;
+            }
+        }
+        self.audit.write_once(seq);
+        Some(item)
+    }
+
+    /// Any thread: tries to steal the oldest item (FIFO).
+    pub fn steal(&self) -> Steal<S> {
+        let t = self.top.load(Ordering::Acquire);
+        P::fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let buf = self.buffer.load(Ordering::Acquire);
+        // SAFETY: live buffer; the read is speculative and only trusted if
+        // the CAS below wins (see the ordering argument on the type).
+        let (item, seq) = unsafe { (*buf).read(t) };
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        self.audit.write_once(seq);
+        Steal::Success(item)
+    }
+
+    /// Owner-only: doubles the buffer, copying the live window `[t, b)` to
+    /// the same absolute indices, publishes it, and retires the old one.
+    ///
+    /// # Safety
+    /// `old` must be the deque's current buffer and the caller must be the
+    /// deque's owner (sole writer of `buffer` and the cells).
+    unsafe fn grow(&self, old: *mut Buffer<P, S>, t: isize, b: isize) -> *mut Buffer<P, S> {
+        let new = Buffer::alloc((*old).cap() * 2);
+        for i in t..b {
+            let (item, seq) = (*old).read(i);
+            (*new).write(i, item, seq);
+        }
+        self.buffer.store(new, Ordering::Release);
+        if self.mutation.free_on_grow() {
+            // The mutation under test: free the superseded buffer while a
+            // stale thief may still be reading it. Actually freeing would
+            // be UB the model cannot observe, so the model simulates it by
+            // poisoning every cell — a stale read then fails loudly — and
+            // still retires the (poisoned) allocation.
+            (*old).poison();
+        }
+        self.retired
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Box::from_raw(old));
+        new
+    }
+}
+
+impl<P: Platform, S: SlotPayload<P>> Drop for Deque<P, S> {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; the current buffer was produced by
+        // `Buffer::alloc` and never freed elsewhere (`retired` holds the
+        // superseded ones and drops them with the Vec).
+        unsafe { drop(Box::from_raw(self.buffer.load(Ordering::Relaxed))) };
+    }
+}

@@ -1,0 +1,345 @@
+//! The executor's lock-free protocols, factored out of `pool.rs` and
+//! parameterized over the atomic primitives they run on.
+//!
+//! Two protocols live here: the Chase–Lev work-stealing deque
+//! ([`deque::Deque`]) and the sleeper/pending-wake handshake
+//! ([`sleep::SleepWake`]). `pool.rs` instantiates both with
+//! [`StdPlatform`] — real `std::sync::atomic` types behind
+//! `#[inline(always)]` forwarders, so the monomorphized release build is
+//! the same machine code as the pre-extraction hand-inlined version
+//! (pinned by the executor benches and the `bench_diff` gate). The
+//! `pfg_model` crate instantiates the *same* generic code with model
+//! atomics that route every load/store/CAS/fence through a bounded
+//! exhaustive interleaving explorer — so what the model checker explores
+//! is the production code path, not a copy that can drift.
+//!
+//! The vocabulary of the traits is deliberately the exact surface the two
+//! protocols use — no `fetch_or`, no `Acquire`-failure CAS — so a reader
+//! can audit the whole atomic footprint of the executor from this one
+//! file.
+//!
+//! # Memory-ordering contract
+//!
+//! The orderings threaded through these traits are the C11 orderings of
+//! Lê et al. (CGO '13) for the deque and the SeqCst publish/re-check
+//! handshake for the sleeper protocol; the full arguments live on
+//! [`deque::Deque`] and [`sleep::SleepWake`]. Under `--cfg pfg_model`
+//! those arguments stop being prose: `crates/model` exhaustively explores
+//! both protocols over all bounded interleavings of a store-buffer
+//! (PSO-style) memory model, and its mutation suite proves the explorer
+//! would catch each load-bearing ordering being weakened.
+
+use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+
+pub mod deque;
+pub mod sleep;
+
+/// A word-sized atomic cell. The `#[track_caller]` on every method is for
+/// the model platform, whose trace records the *protocol* source line of
+/// each operation; with [`StdPlatform`]'s `#[inline(always)]` forwarders
+/// the implicit location argument is dead and compiles out.
+pub trait AtomicCell<T: Copy>: Send + Sync {
+    fn new(v: T) -> Self;
+    #[track_caller]
+    fn load(&self, order: Ordering) -> T;
+    #[track_caller]
+    fn store(&self, v: T, order: Ordering);
+    #[track_caller]
+    fn swap(&self, v: T, order: Ordering) -> T;
+    #[track_caller]
+    fn compare_exchange(
+        &self,
+        current: T,
+        new: T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<T, T>;
+}
+
+/// An atomic integer: the cell operations plus the two RMWs the
+/// protocols use.
+pub trait AtomicInt<T: Copy>: AtomicCell<T> {
+    #[track_caller]
+    fn fetch_add(&self, v: T, order: Ordering) -> T;
+    #[track_caller]
+    fn fetch_sub(&self, v: T, order: Ordering) -> T;
+}
+
+/// An atomic pointer cell (no RMWs — the protocols only publish and read
+/// buffer pointers).
+pub trait AtomicPtrCell<T>: Send + Sync {
+    fn new(v: *mut T) -> Self;
+    #[track_caller]
+    fn load(&self, order: Ordering) -> *mut T;
+    #[track_caller]
+    fn store(&self, v: *mut T, order: Ordering);
+}
+
+/// The atomic substrate a protocol instance runs on: real hardware
+/// atomics ([`StdPlatform`]) or the model checker's instrumented ones
+/// (`pfg_model::ModelPlatform`).
+pub trait Platform: 'static + Sized {
+    type AtomicUsize: AtomicInt<usize>;
+    type AtomicIsize: AtomicInt<isize>;
+    type AtomicBool: AtomicCell<bool>;
+    type AtomicPtr<T>: AtomicPtrCell<T>;
+    #[track_caller]
+    fn fence(order: Ordering);
+}
+
+/// What a deque stores. The cell representation is payload-defined
+/// because the production payload (`JobRef`) is two pointer words stored
+/// as two *independent* relaxed atomics — there is no double-word atomic,
+/// and none is needed: readers' loads are speculative and only trusted
+/// after validation (see [`deque::Deque`]). The model payload is a plain
+/// ticket word.
+pub trait SlotPayload<P: Platform>: Copy + Send {
+    /// Storage for one deque cell (atomics of `P`).
+    type Cell: Send + Sync;
+    /// An empty cell (contents never read before a `write_cell`).
+    fn empty_cell() -> Self::Cell;
+    /// Owner-only relaxed store(s); published by the subsequent `Release`
+    /// store of `bottom` or of the buffer pointer.
+    #[track_caller]
+    fn write_cell(cell: &Self::Cell, v: Self);
+    /// Speculative relaxed load(s); the caller validates before trusting.
+    #[track_caller]
+    fn read_cell(cell: &Self::Cell) -> Self;
+    /// Marks the cell dead so any later read is an error. Only ever
+    /// called under the model's `free_on_grow` mutation (which *simulates*
+    /// freeing a retired buffer — actually freeing it would be UB the
+    /// model could not observe, poisoning turns the stale read into a
+    /// deterministic failure). No-op on the std platform.
+    fn poison_cell(cell: &Self::Cell);
+}
+
+/// The park/wake substrate of the sleeper protocol: a mutex + condvar
+/// pair on the std platform, the model scheduler's blocking primitive
+/// under `pfg_model` (where parking is a scheduler-visible state and a
+/// lost wakeup is detected as a deadlock).
+pub trait Parker: Send + Sync {
+    fn new() -> Self;
+    /// Runs `should_sleep` under the lock; if it returns `true`, waits on
+    /// the condvar (one wait; spurious wakes allowed — every caller loops
+    /// around `park`).
+    fn park_if(&self, should_sleep: impl FnOnce() -> bool);
+    /// Runs `f` under the lock, then issues the notification it asks for
+    /// (still under the lock, so a notify cannot land between a parker's
+    /// re-check and its wait).
+    fn locked(&self, f: impl FnOnce() -> Option<WakeKind>);
+}
+
+/// Which sleepers a [`Parker::locked`] closure wants woken.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WakeKind {
+    /// Wake one sleeper (work published — any worker will do).
+    One,
+    /// Wake everyone (job completion or shutdown — a specific waiter must
+    /// re-check its condition, and `One` could wake someone else).
+    All,
+}
+
+/// Seeded protocol weakenings for the model checker's mutation suite.
+///
+/// Under `--cfg pfg_model` this is a runtime flag set carried by each
+/// protocol instance; in normal builds it is a zero-sized struct whose
+/// accessors return `false` as a compile-time constant, so every mutation
+/// branch folds away and the production protocols are exactly the
+/// unmutated code (pinned by the executor benches).
+///
+/// Each flag weakens one load-bearing piece of the ordering argument; the
+/// mutation suite in `crates/model` proves the explorer catches each one,
+/// and the `chaos-misses-it` test proves at least one survives the
+/// dynamic chaos sweep — the differential that justifies the model
+/// checker's existence.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct MutationSpec {
+    /// Drop the `SeqCst` fence between `take`'s `bottom` decrement and its
+    /// `top` load (the owner half of the fence arbitration).
+    #[cfg(pfg_model)]
+    pub skip_take_fence: bool,
+    /// Demote `push`'s `Release` publish of `bottom` to `Relaxed` (cell
+    /// writes no longer happen-before a thief's read of the new bottom).
+    #[cfg(pfg_model)]
+    pub relaxed_bottom_publish: bool,
+    /// "Free" the superseded buffer on grow instead of retiring it
+    /// (simulated by poisoning — see [`SlotPayload::poison_cell`]).
+    #[cfg(pfg_model)]
+    pub free_on_grow: bool,
+    /// Skip the pending-wake entry clear in `park` (the PR 4 raced-wake
+    /// bug: a stale in-flight flag suppresses every future work wake-up).
+    #[cfg(pfg_model)]
+    pub skip_park_entry_clear: bool,
+}
+
+impl MutationSpec {
+    /// The unmutated protocols.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    #[inline(always)]
+    pub fn skip_take_fence(&self) -> bool {
+        #[cfg(pfg_model)]
+        {
+            self.skip_take_fence
+        }
+        #[cfg(not(pfg_model))]
+        {
+            false
+        }
+    }
+
+    #[inline(always)]
+    pub fn relaxed_bottom_publish(&self) -> bool {
+        #[cfg(pfg_model)]
+        {
+            self.relaxed_bottom_publish
+        }
+        #[cfg(not(pfg_model))]
+        {
+            false
+        }
+    }
+
+    #[inline(always)]
+    pub fn free_on_grow(&self) -> bool {
+        #[cfg(pfg_model)]
+        {
+            self.free_on_grow
+        }
+        #[cfg(not(pfg_model))]
+        {
+            false
+        }
+    }
+
+    #[inline(always)]
+    pub fn skip_park_entry_clear(&self) -> bool {
+        #[cfg(pfg_model)]
+        {
+            self.skip_park_entry_clear
+        }
+        #[cfg(not(pfg_model))]
+        {
+            false
+        }
+    }
+}
+
+/// The production platform: `std::sync::atomic` behind `#[inline(always)]`
+/// forwarders. Monomorphizing the protocols with this type reproduces the
+/// pre-extraction machine code.
+pub struct StdPlatform;
+
+macro_rules! std_atomic_cell {
+    ($atomic:ty, $value:ty) => {
+        impl AtomicCell<$value> for $atomic {
+            #[inline(always)]
+            fn new(v: $value) -> Self {
+                <$atomic>::new(v)
+            }
+            #[inline(always)]
+            fn load(&self, order: Ordering) -> $value {
+                <$atomic>::load(self, order)
+            }
+            #[inline(always)]
+            fn store(&self, v: $value, order: Ordering) {
+                <$atomic>::store(self, v, order)
+            }
+            #[inline(always)]
+            fn swap(&self, v: $value, order: Ordering) -> $value {
+                <$atomic>::swap(self, v, order)
+            }
+            #[inline(always)]
+            fn compare_exchange(
+                &self,
+                current: $value,
+                new: $value,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$value, $value> {
+                <$atomic>::compare_exchange(self, current, new, success, failure)
+            }
+        }
+    };
+}
+
+macro_rules! std_atomic_int {
+    ($atomic:ty, $value:ty) => {
+        std_atomic_cell!($atomic, $value);
+        impl AtomicInt<$value> for $atomic {
+            #[inline(always)]
+            fn fetch_add(&self, v: $value, order: Ordering) -> $value {
+                <$atomic>::fetch_add(self, v, order)
+            }
+            #[inline(always)]
+            fn fetch_sub(&self, v: $value, order: Ordering) -> $value {
+                <$atomic>::fetch_sub(self, v, order)
+            }
+        }
+    };
+}
+
+std_atomic_int!(AtomicUsize, usize);
+std_atomic_int!(AtomicIsize, isize);
+std_atomic_cell!(AtomicBool, bool);
+
+impl<T> AtomicPtrCell<T> for AtomicPtr<T> {
+    #[inline(always)]
+    fn new(v: *mut T) -> Self {
+        AtomicPtr::new(v)
+    }
+    #[inline(always)]
+    fn load(&self, order: Ordering) -> *mut T {
+        AtomicPtr::load(self, order)
+    }
+    #[inline(always)]
+    fn store(&self, v: *mut T, order: Ordering) {
+        AtomicPtr::store(self, v, order)
+    }
+}
+
+impl Platform for StdPlatform {
+    type AtomicUsize = AtomicUsize;
+    type AtomicIsize = AtomicIsize;
+    type AtomicBool = AtomicBool;
+    type AtomicPtr<T> = AtomicPtr<T>;
+
+    #[inline(always)]
+    fn fence(order: Ordering) {
+        fence(order)
+    }
+}
+
+/// The production parker: one mutex + condvar pair, exactly the
+/// `sleep_lock`/`sleep_cv` pair `pool.rs` used before the extraction.
+pub struct StdParker {
+    lock: std::sync::Mutex<()>,
+    cv: std::sync::Condvar,
+}
+
+impl Parker for StdParker {
+    fn new() -> Self {
+        StdParker {
+            lock: std::sync::Mutex::new(()),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    fn park_if(&self, should_sleep: impl FnOnce() -> bool) {
+        let guard = self.lock.lock().expect("pool sleep lock");
+        if should_sleep() {
+            drop(self.cv.wait(guard).expect("pool sleep wait"));
+        }
+    }
+
+    fn locked(&self, f: impl FnOnce() -> Option<WakeKind>) {
+        let _guard = self.lock.lock().expect("pool sleep lock");
+        match f() {
+            Some(WakeKind::One) => self.cv.notify_one(),
+            Some(WakeKind::All) => self.cv.notify_all(),
+            None => {}
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The sleeper/pending-wake handshake, generic over the atomic platform.
+//!
+//! Moved verbatim-in-logic from `pool.rs` (where the fields lived
+//! directly on `PoolState`); the only additions are the [`MutationSpec`]
+//! hook on the park entry clear and the [`Parker`] indirection (a
+//! mutex + condvar pair in production, the model scheduler's blocking
+//! primitive under `--cfg pfg_model`, where a lost wakeup surfaces as a
+//! detected deadlock instead of a hang).
+
+use std::sync::atomic::Ordering;
+
+use super::{AtomicCell, AtomicInt, MutationSpec, Parker, Platform, WakeKind};
+
+/// Shared sleep/wake state of one pool: who is parked, whether a work
+/// wake-up is in flight, and how many published jobs are unclaimed.
+///
+/// # Lost-wakeup freedom
+///
+/// The sleeper increments `sleepers` *before* re-checking
+/// `pending_jobs`/`done` (all `SeqCst`), and publishers store those
+/// *before* loading `sleepers`; in every interleaving the sleeper either
+/// sees the update and skips the wait, or the publisher sees
+/// `sleepers > 0` and notifies — and since the sleeper holds the parker
+/// lock from the re-check until the wait begins, the notify cannot land
+/// in between. Under `--cfg pfg_model` this argument is exhaustively
+/// checked, including the PR 4 raced-wake scenario the
+/// `skip_park_entry_clear` mutation reintroduces.
+pub struct SleepWake<P: Platform, K: Parker> {
+    /// The park/notify substrate (never held while working).
+    parker: K,
+    /// Number of threads currently parked (or committed to parking).
+    /// Publishers skip the wake syscall when this is zero.
+    sleepers: P::AtomicUsize,
+    /// 1 while a work wake-up is in flight (notified but the woken thread
+    /// has not rescanned yet); throttles redundant `notify_one`s when jobs
+    /// are published faster than workers wake.
+    pending_wake: P::AtomicUsize,
+    /// Jobs sitting in deques, not yet claimed. Parking threads re-check
+    /// this after registering as sleepers, closing the lost-wakeup race.
+    pending_jobs: P::AtomicUsize,
+    /// Set on shutdown; workers exit once out of work.
+    shutdown: P::AtomicBool,
+    /// Seeded weakenings for the model's mutation suite; compile-time
+    /// all-`false` outside `--cfg pfg_model`.
+    mutation: MutationSpec,
+}
+
+impl<P: Platform, K: Parker> SleepWake<P, K> {
+    pub fn new(mutation: MutationSpec) -> Self {
+        SleepWake {
+            parker: K::new(),
+            sleepers: P::AtomicUsize::new(0),
+            pending_wake: P::AtomicUsize::new(0),
+            pending_jobs: P::AtomicUsize::new(0),
+            shutdown: P::AtomicBool::new(false),
+            mutation,
+        }
+    }
+
+    /// A job is *about to be* published: account for it **before** it
+    /// becomes claimable. Callers must `announce` strictly before pushing
+    /// the job where another thread can steal it, and call
+    /// [`wake_for_work`](Self::wake_for_work) after the push.
+    ///
+    /// The order is load-bearing: the model checker found that counting
+    /// after the push lets a racing claim run `claimed()` first, wrapping
+    /// `pending_jobs` from 0 to `usize::MAX` — after which the parking
+    /// re-check (`pending_jobs == 0`) never passes and idle workers spin
+    /// instead of sleeping. Announce-then-push makes every `claimed()`
+    /// follow its own `announce()` (a claim needs the push, the push needs
+    /// the announce), so the counter never goes negative.
+    pub fn announce(&self) {
+        self.pending_jobs.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A published job was claimed (popped back or stolen).
+    pub fn claimed(&self) {
+        self.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Wakes at most one sleeping worker to come steal a just-pushed job.
+    /// Skipped entirely (no lock, no syscall) when nobody sleeps or a
+    /// previous work wake-up is still in flight.
+    pub fn wake_for_work(&self) {
+        if self.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        if self.pending_wake.swap(1, Ordering::Relaxed) == 1 {
+            return;
+        }
+        self.parker.locked(|| Some(WakeKind::One));
+    }
+
+    /// Wakes every sleeper. Used on job completion (the thread waiting on
+    /// that job's flag must re-check it — `One` could wake an unrelated
+    /// worker instead) and on shutdown.
+    pub fn wake_all(&self) {
+        if self.sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        self.parker.locked(|| Some(WakeKind::All));
+    }
+
+    /// Parks the current thread until any wake-up, unless work or the
+    /// monitored condition appeared while committing to sleep. `done`
+    /// is the join flag a waiter is blocked on (`None` for idle workers).
+    pub fn park(&self, done: Option<&P::AtomicBool>) {
+        self.parker.park_if(|| {
+            // A parking thread just scanned every deque and found nothing,
+            // so any wake-up still "in flight" has been serviced or
+            // expired: clear the throttle on *entry* as well as on exit.
+            // Without the entry clear, a publisher racing a waker-less
+            // park exit could set the flag, notify an empty wait set, and
+            // leave the stale 1 suppressing every future work wake-up
+            // (silently degrading the pool to inline execution). The
+            // `skip_park_entry_clear` mutation removes exactly this line;
+            // the model's park/notify scenario catches it as a deadlock.
+            if !self.mutation.skip_park_entry_clear() {
+                self.pending_wake.store(0, Ordering::Relaxed);
+            }
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            self.pending_jobs.load(Ordering::SeqCst) == 0
+                && !self.shutdown.load(Ordering::SeqCst)
+                && done.is_none_or(|d| !d.load(Ordering::SeqCst))
+        });
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        self.pending_wake.store(0, Ordering::Relaxed);
+    }
+
+    /// Tells workers to exit once out of work, and wakes them. The store
+    /// happens under the parker lock so it cannot land between a parker's
+    /// re-check and its wait.
+    pub fn shut_down(&self) {
+        self.parker.locked(|| {
+            self.shutdown.store(true, Ordering::SeqCst);
+            Some(WakeKind::All)
+        });
+    }
+
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Model-only scenario hook: seed the "wake in flight" throttle as if a
+    /// work wake-up had just landed on an empty wait set (the residue of a
+    /// publisher racing a waker-less park exit — see the entry-clear comment
+    /// in [`SleepWake::park`]). Lets the model start at the PR 4 race's
+    /// interesting state without replaying its multi-preemption prologue.
+    #[cfg(pfg_model)]
+    pub fn seed_pending_wake_in_flight(&self) {
+        self.pending_wake.store(1, Ordering::Relaxed);
+    }
+}
